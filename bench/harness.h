@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harnesses.
+ *
+ * These binaries measure *virtual* time on the simulated KeyStone II —
+ * each prints the rows/series of one table or figure from the paper's
+ * evaluation (§6). They are deterministic; run them directly:
+ *
+ *     build/bench/bench_fig6_breakdown
+ *
+ * (google-benchmark is used only where host time is the right metric:
+ * the lock-free queue microbenchmark.)
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memif/device.h"
+#include "memif/user_api.h"
+#include "os/kernel.h"
+#include "os/page_migration.h"
+#include "os/process.h"
+#include "sim/types.h"
+#include "vm/vma.h"
+
+namespace memif::bench {
+
+/** One simulated machine + process + opened memif instance. */
+struct TestBed {
+    os::Kernel kernel;
+    os::Process &proc;
+    core::MemifDevice dev;
+    core::MemifUser user;
+
+    explicit TestBed(core::MemifConfig mc = {}, os::KernelConfig kc = {})
+        : kernel(kc),
+          proc(kernel.create_process()),
+          dev(kernel, proc, mc),
+          user(dev)
+    {
+    }
+};
+
+/** Description of a stream of identical requests. */
+struct RequestPlan {
+    core::MovOp op = core::MovOp::kMigrate;
+    vm::PageSize page_size = vm::PageSize::k4K;
+    std::uint32_t pages_per_request = 16;
+    std::uint32_t num_requests = 1;
+};
+
+/** Timing of one completed request. */
+struct RequestTiming {
+    sim::SimTime submitted = 0;
+    sim::SimTime completed = 0;
+    sim::Duration latency() const { return completed - submitted; }
+};
+
+/** Outcome of a memif request stream. */
+struct StreamOutcome {
+    std::vector<RequestTiming> timings;
+    sim::Duration elapsed = 0;
+    std::uint64_t bytes = 0;
+    sim::CpuAccounting cpu;  ///< CPU cost of exactly this stream
+
+    double
+    gb_per_sec() const
+    {
+        return sim::gb_per_sec(bytes, elapsed);
+    }
+};
+
+/**
+ * Submit @p plan.num_requests memif requests back to back (without
+ * waiting in between — the asynchronous usage the paper advocates) and
+ * collect per-request completion times.
+ *
+ * Migration requests ping-pong between the slow and fast node so the
+ * scarce 6 MB SRAM never fills: even requests move slow->fast, odd
+ * requests move the same region fast->slow. Replication copies between
+ * two slow-node regions sized like the request. The regions are mapped
+ * once per call.
+ */
+StreamOutcome run_memif_stream(TestBed &bed, const RequestPlan &plan);
+
+/**
+ * The same workload through Linux page migration, batching
+ * @p requests_per_syscall requests into each migrate call (Fig. 7's
+ * batch parameter). Ping-pongs like run_memif_stream.
+ */
+StreamOutcome run_linux_stream(TestBed &bed, const RequestPlan &plan,
+                               std::uint32_t requests_per_syscall);
+
+/** printf a horizontal rule. */
+void rule(char c = '-', int width = 78);
+
+/** printf a section header. */
+void header(const std::string &title);
+
+}  // namespace memif::bench

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 5 reproduction: "An example execution of memif driver" — a
+ * textual swim-lane timeline of the driver serving a short burst of
+ * small migration requests across its three kernel contexts:
+ *
+ *   app/syscall lane: SubmitRequest, the single kick ioctl, ops 1-3 of
+ *                     the first request
+ *   irq lane:         Release(4) + Notify(5) of the kicked request
+ *   kthread lane:     woken by the interrupt; serves the remaining
+ *                     requests with the DMA interrupt off, sleeping
+ *                     until each predicted completion (polled mode)
+ *
+ * Run: build/examples/driver_timeline
+ */
+#include <cstdio>
+#include <string>
+
+#include "memif/device.h"
+#include "memif/user_api.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/trace.h"
+
+using namespace memif;
+
+namespace {
+
+int
+lane_column(const sim::TraceRecord &r)
+{
+    switch (r.ctx) {
+      case sim::ExecContext::kUser: return 0;
+      case sim::ExecContext::kSyscall: return 1;
+      case sim::ExecContext::kIrq: return 2;
+      case sim::ExecContext::kKthread: return 3;
+      default: return 0;
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    os::Kernel kernel;
+    kernel.tracer().enable();
+    os::Process &proc = kernel.create_process();
+    core::MemifDevice device(kernel, proc);
+    core::MemifUser mif(device);
+
+    // Figure 5's shape: a few small requests submitted back to back.
+    const vm::VAddr region = proc.mmap(3 * 16 * 4096, vm::PageSize::k4K);
+    auto app = [&]() -> sim::Task {
+        for (int i = 0; i < 3; ++i) {
+            const std::uint32_t r = mif.alloc_request();
+            core::MovReq &req = mif.request(r);
+            req.op = core::MovOp::kMigrate;
+            req.src_base = region + static_cast<vm::VAddr>(i) * 16 * 4096;
+            req.num_pages = 16;
+            req.dst_node = kernel.fast_node();
+            co_await mif.submit(r);
+        }
+    };
+    kernel.spawn(app());
+    kernel.run();
+
+    std::printf("Figure 5: memif driver execution timeline "
+                "(3 requests x 16 x 4KB pages)\n");
+    std::printf("ops: 1=prep 2=remap 3=dma-cfg 4=release 5=notify\n\n");
+    std::printf("%-12s | %-16s %-16s %-16s %-16s\n", "time (us)", "app",
+                "syscall path", "interrupt path", "kernel thread");
+    for (int i = 0; i < 85; ++i) std::putchar('-');
+    std::putchar('\n');
+
+    for (const sim::TraceRecord &r : kernel.tracer().records()) {
+        std::string cells[4];
+        std::string label(sim::to_string(r.point));
+        if (r.req != sim::TraceRecord::kNoTraceReq)
+            label += " #" + std::to_string(r.req);
+        cells[lane_column(r)] = label;
+        std::printf("%12.2f | %-16s %-16s %-16s %-16s\n",
+                    sim::to_us(r.time), cells[0].c_str(), cells[1].c_str(),
+                    cells[2].c_str(), cells[3].c_str());
+    }
+
+    std::printf("\nnote how request #0 is served in the caller's syscall "
+                "context and released\nby the interrupt handler, while "
+                "requests #1/#2 are pulled by the kernel\nthread, which "
+                "polls (interrupt off) for their short transfers — exactly\n"
+                "the division of labour of Fig. 5 / Section 5.4.\n");
+    return 0;
+}

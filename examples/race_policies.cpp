@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The three §5.2 race-handling policies side by side: an application
+ * thread writes into a region while memif is migrating it.
+ *
+ *   detect  (memif default): the access proceeds unblocked; Release's
+ *           CAS catches the race and the request fails loudly.
+ *   recover: a custom fault handler aborts the migration, restores the
+ *           old mapping, and the access continues — data never lost.
+ *   prevent (Linux-style): the accessor blocks on a migration PTE until
+ *           Release finishes.
+ *
+ * Run: build/examples/race_policies
+ */
+#include <cstdio>
+
+#include "memif/device.h"
+#include "memif/user_api.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/types.h"
+
+using namespace memif;
+
+namespace {
+
+const char *
+policy_name(core::RacePolicy p)
+{
+    switch (p) {
+      case core::RacePolicy::kDetect: return "detect (proceed-and-fail)";
+      case core::RacePolicy::kRecover: return "recover (abort+rollback)";
+      case core::RacePolicy::kPrevent: return "prevent (migration PTE)";
+    }
+    return "?";
+}
+
+void
+demo(core::RacePolicy policy)
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    core::MemifConfig cfg;
+    cfg.race_policy = policy;
+    core::MemifDevice device(kernel, proc, cfg);
+    core::MemifUser mif(device);
+
+    const vm::VAddr region = proc.mmap(64 * 4096, vm::PageSize::k4K);
+    const std::uint32_t marker = 0xC0FFEE;
+    proc.as().write(region + 10 * 4096, &marker, sizeof(marker));
+
+    // Submit the migration of all 64 pages to fast memory.
+    std::uint32_t r = mif.alloc_request();
+    core::MovReq &req = mif.request(r);
+    req.op = core::MovOp::kMigrate;
+    req.src_base = region;
+    req.num_pages = 64;
+    req.dst_node = kernel.fast_node();
+    auto submitter = [&]() -> sim::Task { co_await mif.submit(r); };
+    sim::Task submit_task = submitter();
+
+    // 300 us in (mid-migration), another thread writes page 10.
+    os::TouchOutcome out;
+    sim::SimTime touched_at = 0;
+    auto toucher = [&]() -> sim::Task {
+        co_await proc.touch(region + 10 * 4096, /*write=*/true, &out);
+        touched_at = kernel.eq().now();
+    };
+    sim::Task touch_task;
+    kernel.eq().schedule_at(sim::microseconds(300),
+                            [&] { touch_task = toucher(); });
+    kernel.run();
+
+    const core::MovReq &done = mif.request(r);
+    std::uint32_t readback = 0;
+    proc.as().read(region + 10 * 4096, &readback, sizeof(readback));
+
+    std::printf("policy: %s\n", policy_name(policy));
+    std::printf("  request outcome:   %s\n",
+                done.load_status() == core::MovStatus::kDone ? "completed"
+                : done.load_status() == core::MovStatus::kRaceDetected
+                    ? "RACE DETECTED (app notified, SIGSEGV analogue)"
+                : done.load_status() == core::MovStatus::kAborted
+                    ? "aborted & rolled back (old mapping restored)"
+                    : "failed");
+    std::printf("  accessor blocked:  %s%s\n",
+                out.blocked ? "yes" : "no",
+                out.blocked
+                    ? " (parked on the migration PTE until Release)"
+                    : "");
+    std::printf("  access finished:   t=%.1f us\n", sim::to_us(touched_at));
+    const vm::Vma *vma = proc.as().find_vma(region);
+    std::printf("  page 10 now on:    %s node, data %s\n",
+                kernel.phys().node_of(vma->pte(10).pfn) ==
+                        kernel.fast_node()
+                    ? "fast"
+                    : "slow",
+                readback == marker ? "intact" : "CHANGED");
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("a writer races a 64-page migration at t=300 us\n");
+    std::printf("===============================================\n\n");
+    demo(core::RacePolicy::kDetect);
+    demo(core::RacePolicy::kRecover);
+    demo(core::RacePolicy::kPrevent);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The §6.6 case study as a runnable program: STREAM triad over a 32 MB
+ * data set, once computing in place in slow DDR ("Linux") and once
+ * through the mini runtime's fast-SRAM prefetch buffers filled by
+ * asynchronous memif replication.
+ *
+ * Run: build/examples/streaming_prefetch
+ */
+#include <cstdio>
+#include <vector>
+
+#include "memif/device.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "runtime/streaming_runtime.h"
+#include "sim/random.h"
+#include "workloads/stream.h"
+
+using namespace memif;
+
+int
+main()
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    core::MemifDevice device(kernel, proc);
+
+    // A 32 MB stream of random doubles in slow memory.
+    const std::uint64_t total = 32ull << 20;
+    const vm::VAddr src = proc.mmap(total, vm::PageSize::k4K);
+    {
+        sim::Rng rng(2026);
+        std::vector<double> page(4096 / sizeof(double));
+        for (std::uint64_t off = 0; off < total; off += 4096) {
+            for (double &v : page) v = rng.next_double();
+            proc.as().write(src + off, page.data(), 4096);
+        }
+    }
+
+    runtime::RuntimeConfig cfg{.num_buffers = 4,
+                               .buffer_bytes = 1u << 20,
+                               .page_size = vm::PageSize::k4K};
+    runtime::StreamingRuntime rt(kernel, proc, device, cfg);
+    workloads::StreamTriad triad;
+
+    runtime::StreamRunResult direct;
+    kernel.spawn(rt.run_direct(src, total, triad, &direct));
+    kernel.run();
+
+    runtime::StreamRunResult prefetched;
+    kernel.spawn(rt.run(src, total, triad, &prefetched));
+    kernel.run();
+
+    std::printf("STREAM.triad over %llu MB (4 x 1 MB SRAM buffers)\n\n",
+                static_cast<unsigned long long>(total >> 20));
+    std::printf("  in-place (slow DDR):      %8.1f MB/s\n",
+                direct.throughput_mb_per_sec());
+    std::printf("  memif prefetch (SRAM):    %8.1f MB/s  (%+.1f%%)\n",
+                prefetched.throughput_mb_per_sec(),
+                100.0 * (prefetched.throughput_mb_per_sec() /
+                             direct.throughput_mb_per_sec() -
+                         1.0));
+    std::printf("\n  chunks consumed from fast buffers: %llu, fallback "
+                "from slow: %llu\n",
+                static_cast<unsigned long long>(prefetched.chunks_from_fast),
+                static_cast<unsigned long long>(prefetched.chunks_from_slow));
+    std::printf("  data digests %s (prefetch path moved the exact bytes)\n",
+                direct.result_digest == prefetched.result_digest
+                    ? "match"
+                    : "MISMATCH");
+    std::printf("  kick ioctls during the prefetched run: %llu\n",
+                static_cast<unsigned long long>(
+                    device.stats().kick_ioctls));
+    return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Rebuild everything, run the full test suite and every figure/table
+# harness, and collect the outputs under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build --output-on-failure | tee results/tests.txt
+
+for b in build/bench/*; do
+    name=$(basename "$b")
+    echo "== $name =="
+    "$b" | tee "results/$name.txt"
+done
+
+for e in build/examples/*; do
+    name=$(basename "$e")
+    echo "== example: $name =="
+    "$e" | tee "results/example_$name.txt"
+done
+
+echo "All outputs collected under results/."

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Descriptor-chain reuse (paper §5.3 "Minimal Reconfiguration of DMA
+ * Engine").
+ *
+ * The enhanced driver "maintains the knowledge of existing descriptor
+ * chains": it remembers that, say, descriptors 42..73 form a chain each
+ * configured for a 4 KB copy, and reuses part or all of such a chain
+ * for the next transfer — rewriting only the source and destination
+ * fields (4x cheaper than a full 12-parameter write into uncached I/O
+ * memory).
+ *
+ * The cache allocates PaRAM entries, hands out chains for transfers,
+ * and reabsorbs them at retirement. When the PaRAM fills up, chains of
+ * other chunk sizes are evicted oldest-first.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "dma/descriptor.h"
+
+namespace memif::dma {
+
+/** A chain handed out for one transfer. */
+struct ChainLease {
+    /** Descriptor indices in chain order; links are already programmed. */
+    std::vector<DescIndex> descs;
+    /** The first @c reused entries were already configured for this
+     *  chunk size (only src/dst need rewriting). */
+    std::uint32_t reused = 0;
+    /** Chunk size the lease is keyed under. */
+    std::uint64_t chunk_bytes = 0;
+
+    DescIndex head() const { return descs.empty() ? kNullLink : descs.front(); }
+    std::uint32_t size() const { return static_cast<std::uint32_t>(descs.size()); }
+    std::uint32_t fresh() const { return size() - reused; }
+};
+
+/** Cache hit/miss accounting (ablation benches read these). */
+struct ChainCacheStats {
+    std::uint64_t descs_reused = 0;
+    std::uint64_t descs_fresh = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t link_fixups = 0;
+};
+
+class ChainCache {
+  public:
+    /**
+     * @param ram      the PaRAM to allocate from
+     * @param enabled  when false every acquisition is fully fresh
+     *                 (the ablation baseline of Table 1's "Baseline"
+     *                 DMA/cfg column)
+     */
+    explicit ChainCache(DescriptorRam &ram, bool enabled = true);
+
+    /**
+     * Lease @p count descriptors for copies of @p chunk_bytes each.
+     * Reuses cached same-size chains first; then fresh PaRAM entries;
+     * then evicts other-size chains. Links along the lease are made
+     * consistent (fix-ups are counted as partial writes).
+     *
+     * @p count must not exceed the PaRAM capacity.
+     */
+    ChainLease acquire(std::uint32_t count, std::uint64_t chunk_bytes);
+
+    /** Return a retired transfer's chain to the cache. */
+    void release(ChainLease lease);
+
+    /** Max descriptors a single lease may request. */
+    std::uint32_t capacity() const { return ram_.size(); }
+
+    /** Descriptors not currently leased to an in-flight transfer. */
+    std::uint32_t available() const { return ram_.size() - outstanding_; }
+
+    const ChainCacheStats &stats() const { return stats_; }
+    void reset_stats() { stats_ = ChainCacheStats{}; }
+
+  private:
+    /** Fix the link field of @p idx if it does not already equal @p to. */
+    void ensure_link(DescIndex idx, DescIndex to);
+
+    /** Free the oldest cached chain (panics when nothing is cached). */
+    void evict_one();
+
+    DescriptorRam &ram_;
+    bool enabled_;
+    /** PaRAM entries in no cached chain. */
+    std::vector<DescIndex> free_;
+    /** Cached chains per chunk size, oldest first. */
+    std::map<std::uint64_t, std::deque<std::vector<DescIndex>>> chains_;
+    /** Driver-side knowledge of each entry's link (no I/O reads needed). */
+    std::vector<DescIndex> shadow_links_;
+    /** Descriptors in currently leased (not yet released) chains. */
+    std::uint32_t outstanding_ = 0;
+    ChainCacheStats stats_;
+};
+
+}  // namespace memif::dma

@@ -1,0 +1,91 @@
+#include "dma/driver.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace memif::dma {
+
+DmaDriver::Prepared
+DmaDriver::prepare(const std::vector<SgEntry> &sg)
+{
+    MEMIF_ASSERT(!sg.empty(), "empty scatter-gather list");
+    const std::uint64_t chunk = sg.front().bytes;
+    for (const SgEntry &e : sg)
+        MEMIF_ASSERT(e.bytes == chunk, "non-uniform SG chunk sizes");
+
+    Prepared p;
+    p.lease = cache_.acquire(static_cast<std::uint32_t>(sg.size()), chunk);
+    p.bytes = chunk * sg.size();
+
+    // Program the PaRAM: reused entries get src/dst only; fresh entries
+    // get the full 12 parameters (link included).
+    for (std::uint32_t i = 0; i < p.lease.size(); ++i) {
+        const DescIndex idx = p.lease.descs[i];
+        if (i < p.lease.reused) {
+            engine_.param_ram().rewrite_src_dst(idx, sg[i].src_addr,
+                                                sg[i].dst_addr);
+            p.cpu_time += cm_.dma_desc_write_reuse;
+        } else {
+            TransferDescriptor d = TransferDescriptor::contiguous(
+                sg[i].src_addr, sg[i].dst_addr, chunk);
+            d.link = (i + 1 < p.lease.size()) ? p.lease.descs[i + 1]
+                                              : kNullLink;
+            engine_.param_ram().write_full(idx, d);
+            p.cpu_time += cm_.dma_desc_write_full;
+            p.cpu_time += opts_.cache_params ? cm_.dma_desc_param_cached
+                                             : cm_.dma_desc_param_calc;
+        }
+    }
+    // Link fix-ups the cache already performed on reused entries.
+    // (acquire() counts them; each is one uncached field write.)
+    p.cpu_time +=
+        0;  // fix-up costs folded below via stats delta would be racy;
+            // instead charge per junction: at most one per reuse splice.
+    // Conservatively charge one link write when the lease mixes reused
+    // and fresh entries (the splice point).
+    if (p.lease.reused > 0 && p.lease.fresh() > 0)
+        p.cpu_time += cm_.dma_desc_write_link;
+
+    // The trigger-register write that starts the engine.
+    p.cpu_time += cm_.dma_start;
+    return p;
+}
+
+TransferId
+DmaDriver::start(Prepared prepared, bool irq_mode, CompletionFn on_complete,
+                 unsigned tc)
+{
+    const DescIndex head = prepared.lease.head();
+    MEMIF_ASSERT(head != kNullLink, "starting an empty chain");
+
+    // Stash the lease; it returns to the cache on retirement or cancel.
+    const TransferId id = engine_.start_chain(
+        head, tc, irq_mode,
+        [this, cb = std::move(on_complete)](TransferId tid) {
+            retire(tid);
+            if (cb) cb(tid);
+        });
+    leases_.emplace(id, std::move(prepared.lease));
+    return id;
+}
+
+void
+DmaDriver::retire(TransferId id)
+{
+    auto it = leases_.find(id);
+    if (it == leases_.end()) return;  // already cancelled
+    cache_.release(std::move(it->second));
+    leases_.erase(it);
+    capacity_wq_.notify_all();
+}
+
+bool
+DmaDriver::cancel(TransferId id)
+{
+    const bool cancelled = engine_.cancel(id);
+    if (cancelled) retire(id);  // the engine will not retire it for us
+    return cancelled;
+}
+
+}  // namespace memif::dma

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Queue cells and the lock-free cell pool.
+ *
+ * The paper chains mov_req entries directly through link fields. A
+ * faithful MPMC realization of the Michael & Scott queue, however, must
+ * not let a node's link word be rewritten while it is still a queue's
+ * dummy. We therefore decouple the *cells* (the linked-list nodes) from
+ * the *payload slots* (the mov_req array): a cell carries the index of
+ * the payload it transports, and released cells recycle through a
+ * Treiber-stack pool that lives in the same shared region. All references
+ * remain validated indices, preserving the paper's safety argument.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lockfree/link.h"
+
+namespace memif::lockfree {
+
+/**
+ * One linked-list node in the shared region.
+ *
+ * `next` doubles as the Treiber-stack link while the cell sits in the
+ * free pool. Writes to `next` always increment its tag so stale readers'
+ * CAS attempts fail.
+ */
+struct alignas(16) Cell {
+    std::atomic<std::uint64_t> next;
+    std::atomic<std::uint32_t> value;
+    std::uint32_t pad = 0;
+};
+static_assert(sizeof(Cell) == 16, "Cell layout is part of the shared ABI");
+
+/** Cache-line-aligned stack header (Treiber top pointer). */
+struct alignas(64) StackHeader {
+    std::atomic<std::uint64_t> top;  ///< HeadPtr encoding
+};
+
+/**
+ * A lock-free pool of cells: a Treiber stack over a StackHeader and a
+ * cell array, both residing in the shared region. The pool is a *view*
+ * — it owns no memory.
+ */
+class CellPool {
+  public:
+    CellPool(StackHeader *header, Cell *cells, std::uint32_t capacity)
+        : header_(header), cells_(cells), capacity_(capacity)
+    {
+    }
+
+    /** Format the header and chain every cell into the pool. */
+    static void
+    initialize(StackHeader *header, Cell *cells, std::uint32_t capacity)
+    {
+        for (std::uint32_t i = 0; i < capacity; ++i) {
+            const std::uint32_t succ = (i + 1 < capacity) ? i + 1 : kNil;
+            cells[i].next.store(Link{succ, Color::kRed, 0}.pack(),
+                                std::memory_order_relaxed);
+            cells[i].value.store(kNil, std::memory_order_relaxed);
+        }
+        header->top.store(HeadPtr{capacity ? 0 : kNil, 0}.pack(),
+                          std::memory_order_release);
+    }
+
+    /**
+     * Pop a free cell.
+     * @return the cell index, or kNil if the pool is exhausted.
+     */
+    std::uint32_t
+    pop()
+    {
+        for (;;) {
+            const HeadPtr top =
+                HeadPtr::unpack(header_->top.load(std::memory_order_acquire));
+            if (top.index == kNil) return kNil;
+            const Link next = Link::unpack(
+                cells_[top.index].next.load(std::memory_order_acquire));
+            std::uint64_t expected = top.pack();
+            const std::uint64_t desired =
+                HeadPtr{next.index, top.tag + 1}.pack();
+            if (header_->top.compare_exchange_weak(expected, desired,
+                                                   std::memory_order_acq_rel))
+                return top.index;
+        }
+    }
+
+    /** Return a cell to the pool. */
+    void
+    push(std::uint32_t idx)
+    {
+        Cell &cell = cells_[idx];
+        for (;;) {
+            const HeadPtr top =
+                HeadPtr::unpack(header_->top.load(std::memory_order_acquire));
+            const Link old_link =
+                Link::unpack(cell.next.load(std::memory_order_relaxed));
+            cell.next.store(
+                Link{top.index, Color::kRed, old_link.tag + 1}.pack(),
+                std::memory_order_relaxed);
+            std::uint64_t expected = top.pack();
+            const std::uint64_t desired = HeadPtr{idx, top.tag + 1}.pack();
+            if (header_->top.compare_exchange_weak(expected, desired,
+                                                   std::memory_order_acq_rel))
+                return;
+        }
+    }
+
+    Cell *cells() { return cells_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** True if @p idx could be a valid cell reference. */
+    bool valid_index(std::uint32_t idx) const { return idx < capacity_; }
+
+  private:
+    StackHeader *header_;
+    Cell *cells_;
+    std::uint32_t capacity_;
+};
+
+}  // namespace memif::lockfree

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Link-word encodings for the memif lock-free interface (paper §4.2/4.3).
+ *
+ * Every pointer in the shared user/kernel region is an *index* into an
+ * array (never a raw pointer), so a misbehaving application cannot make
+ * the kernel dereference arbitrary memory; the driver validates indices
+ * before use (paper §4.2 "Safety Concerns").
+ *
+ * Two 64-bit encodings are used:
+ *
+ *   Link  (a cell's `next` field):  [63:32] tag | [31] color | [30:0] index
+ *   Head  (queue head/tail words):  [63:32] tag | [31:0] index
+ *
+ * The tag is a monotonically increasing modification counter that defeats
+ * ABA on compare-and-swap, exactly as in the classic Michael & Scott
+ * counted-pointer queue the paper builds on. The color bit is the
+ * red-blue extension of §4.3: it rides inside every link so that a queue
+ * operation and the queue-wide color are read/updated by a *single* CAS.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace memif::lockfree {
+
+/** Queue color (paper §4.4): blue = application flushes, red = kernel. */
+enum class Color : std::uint32_t {
+    kRed = 0,
+    kBlue = 1,
+};
+
+/** Null index: "no successor". */
+inline constexpr std::uint32_t kNil = 0x7FFF'FFFFu;
+
+/** Returned by RedBlueQueue::set_color() when the queue was not empty. */
+inline constexpr int kColorBusy = -1;
+
+/** A decoded cell link: successor index + queue color + ABA tag. */
+struct Link {
+    std::uint32_t index = kNil;
+    Color color = Color::kRed;
+    std::uint32_t tag = 0;
+
+    static constexpr std::uint64_t kColorBit = 0x8000'0000ull;
+
+    /** Encode to the 64-bit shared-region representation. */
+    constexpr std::uint64_t
+    pack() const
+    {
+        return (static_cast<std::uint64_t>(tag) << 32) |
+               (color == Color::kBlue ? kColorBit : 0) |
+               (index & 0x7FFF'FFFFull);
+    }
+
+    /** Decode from the 64-bit shared-region representation. */
+    static constexpr Link
+    unpack(std::uint64_t raw)
+    {
+        Link l;
+        l.index = static_cast<std::uint32_t>(raw & 0x7FFF'FFFFull);
+        l.color = (raw & kColorBit) ? Color::kBlue : Color::kRed;
+        l.tag = static_cast<std::uint32_t>(raw >> 32);
+        return l;
+    }
+
+    constexpr bool is_nil() const { return index == kNil; }
+
+    friend constexpr bool
+    operator==(const Link &a, const Link &b)
+    {
+        return a.index == b.index && a.color == b.color && a.tag == b.tag;
+    }
+};
+
+/** A decoded queue head/tail pointer: cell index + ABA tag. */
+struct HeadPtr {
+    std::uint32_t index = kNil;
+    std::uint32_t tag = 0;
+
+    constexpr std::uint64_t
+    pack() const
+    {
+        return (static_cast<std::uint64_t>(tag) << 32) | index;
+    }
+
+    static constexpr HeadPtr
+    unpack(std::uint64_t raw)
+    {
+        return HeadPtr{static_cast<std::uint32_t>(raw & 0xFFFF'FFFFull),
+                       static_cast<std::uint32_t>(raw >> 32)};
+    }
+
+    friend constexpr bool
+    operator==(const HeadPtr &a, const HeadPtr &b)
+    {
+        return a.index == b.index && a.tag == b.tag;
+    }
+};
+
+}  // namespace memif::lockfree

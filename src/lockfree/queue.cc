@@ -1,0 +1,15 @@
+#include "lockfree/queue.h"
+
+#include "sim/log.h"
+
+namespace memif::lockfree {
+
+Color
+RedBlueQueue::enqueue_overflow()
+{
+    // The shared region sizes the pool as payload-capacity + queues +
+    // margin, so exhaustion means region corruption or a sizing bug.
+    MEMIF_PANIC("lock-free cell pool exhausted: shared region mis-sized");
+}
+
+}  // namespace memif::lockfree

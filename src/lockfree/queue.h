@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The red-blue lock-free queue (paper §4.3).
+ *
+ * A Michael & Scott counted-pointer MPMC queue whose every link carries a
+ * color bit. The color is a queue-wide flag — "who is responsible for
+ * flushing this queue" — that is read and updated *atomically with* queue
+ * operations:
+ *
+ *   - enqueue() observes the old tail's color while checkpointing its
+ *     link, propagates it into the new tail's nil link, and returns it;
+ *   - dequeue() returns the color of the link it traversed;
+ *   - set_color() succeeds only on an empty queue, by CASing the dummy's
+ *     nil link from one color to the other.
+ *
+ * Because the color rides inside the same word the CAS already targets,
+ * no separate flag (and hence no lock) is needed — the property the
+ * paper's SubmitRequest protocol depends on.
+ *
+ * The queue is a *view* over shared-region memory: a QueueHeader plus the
+ * cell array / pool shared with sibling queues. Values are opaque 31-bit
+ * payload indices.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lockfree/cell.h"
+#include "lockfree/link.h"
+
+namespace memif::lockfree {
+
+/** Cache-line-aligned queue head/tail words in the shared region. */
+struct alignas(64) QueueHeader {
+    std::atomic<std::uint64_t> head;  ///< HeadPtr: dummy cell
+    std::atomic<std::uint64_t> tail;  ///< HeadPtr: last cell
+};
+
+/** Result of a dequeue attempt. */
+struct DequeueResult {
+    bool ok = false;           ///< false: the queue was empty
+    std::uint32_t value = kNil;  ///< dequeued payload index when ok
+    Color color = Color::kRed;   ///< color of the link traversed / nil link
+};
+
+/**
+ * MPMC lock-free FIFO queue with an entangled queue-wide color.
+ *
+ * Thread-safe for any number of concurrent enqueuers and dequeuers from
+ * any context (application threads, simulated syscall/interrupt/kthread
+ * contexts). All operations are lock-free; a stalled thread can never
+ * block others (paper §4.2 "Why lock-free?").
+ */
+class RedBlueQueue {
+  public:
+    RedBlueQueue(QueueHeader *header, CellPool pool)
+        : header_(header), pool_(pool), cells_(pool.cells())
+    {
+    }
+
+    /**
+     * Format @p header as an empty queue with the given initial color.
+     * Consumes one cell from @p pool as the permanent-style dummy.
+     * Must happen before any concurrent access.
+     */
+    static void
+    initialize(QueueHeader *header, CellPool &pool, Color initial)
+    {
+        const std::uint32_t dummy = pool.pop();
+        // Initialization happens before sharing; a full pool is a setup bug
+        // the caller (SharedRegion) guards against.
+        Cell &cell = pool.cells()[dummy];
+        const Link old_link =
+            Link::unpack(cell.next.load(std::memory_order_relaxed));
+        cell.next.store(Link{kNil, initial, old_link.tag + 1}.pack(),
+                        std::memory_order_relaxed);
+        header->head.store(HeadPtr{dummy, 0}.pack(),
+                           std::memory_order_relaxed);
+        header->tail.store(HeadPtr{dummy, 0}.pack(),
+                           std::memory_order_release);
+    }
+
+    /**
+     * Append payload index @p value.
+     *
+     * @return the queue color observed atomically with the append, i.e.
+     *         the color the queue had when this element became visible.
+     *         The caller uses it to decide flush responsibility (§4.4).
+     */
+    Color
+    enqueue(std::uint32_t value)
+    {
+        const std::uint32_t idx = pool_.pop();
+        if (idx == kNil) return enqueue_overflow();
+        Cell &cell = cells_[idx];
+        cell.value.store(value, std::memory_order_relaxed);
+
+        for (;;) {
+            const HeadPtr tail = load_tail();
+            Cell &last = cells_[tail.index];
+            const Link next =
+                Link::unpack(last.next.load(std::memory_order_acquire));
+            if (tail.pack() != header_->tail.load(std::memory_order_acquire))
+                continue;  // tail moved under us; re-read
+            if (!next.is_nil()) {
+                // Tail is lagging; help swing it forward.
+                advance_tail(tail, next.index);
+                continue;
+            }
+            // Propagate the observed color into our own nil link *before*
+            // publishing, so the color travels with the list atomically.
+            const Link my_old =
+                Link::unpack(cell.next.load(std::memory_order_relaxed));
+            cell.next.store(Link{kNil, next.color, my_old.tag + 1}.pack(),
+                            std::memory_order_relaxed);
+            std::uint64_t expected = next.pack();
+            const Link desired{idx, next.color, next.tag + 1};
+            if (last.next.compare_exchange_weak(expected, desired.pack(),
+                                                std::memory_order_acq_rel)) {
+                advance_tail(tail, idx);
+                return next.color;
+            }
+        }
+    }
+
+    /**
+     * Remove the oldest element.
+     *
+     * @return {ok=false, color} when empty (color = the queue's current
+     *         color); {ok=true, value, color} otherwise.
+     */
+    DequeueResult
+    dequeue()
+    {
+        for (;;) {
+            const HeadPtr head = load_head();
+            const HeadPtr tail = load_tail();
+            const Link next = Link::unpack(
+                cells_[head.index].next.load(std::memory_order_acquire));
+            if (head.pack() != header_->head.load(std::memory_order_acquire))
+                continue;  // inconsistent snapshot
+            if (head.index == tail.index) {
+                if (next.is_nil())
+                    return DequeueResult{false, kNil, next.color};
+                // Tail lagging behind a half-finished enqueue: help.
+                advance_tail(tail, next.index);
+                continue;
+            }
+            const std::uint32_t value =
+                cells_[next.index].value.load(std::memory_order_relaxed);
+            std::uint64_t expected = head.pack();
+            const std::uint64_t desired =
+                HeadPtr{next.index, head.tag + 1}.pack();
+            if (header_->head.compare_exchange_weak(
+                    expected, desired, std::memory_order_acq_rel)) {
+                pool_.push(head.index);  // old dummy recycles
+                return DequeueResult{true, value, next.color};
+            }
+        }
+    }
+
+    /**
+     * Atomically change the queue color, permitted only while the queue
+     * is empty (paper §4.3).
+     *
+     * @return the previous color on success, or kColorBusy if the queue
+     *         held elements at the decision point.
+     */
+    int
+    set_color(Color new_color)
+    {
+        for (;;) {
+            const HeadPtr head = load_head();
+            Cell &dummy = cells_[head.index];
+            const Link next =
+                Link::unpack(dummy.next.load(std::memory_order_acquire));
+            if (head.pack() != header_->head.load(std::memory_order_acquire))
+                continue;
+            if (!next.is_nil()) return kColorBusy;
+            if (next.color == new_color)
+                return static_cast<int>(new_color);  // idempotent
+            std::uint64_t expected = next.pack();
+            const Link desired{kNil, new_color, next.tag + 1};
+            if (dummy.next.compare_exchange_weak(expected, desired.pack(),
+                                                 std::memory_order_acq_rel))
+                return static_cast<int>(next.color);
+        }
+    }
+
+    /** Best-effort emptiness check (exact only when externally quiesced). */
+    bool
+    empty() const
+    {
+        const HeadPtr head = load_head();
+        const Link next = Link::unpack(
+            cells_[head.index].next.load(std::memory_order_acquire));
+        return next.is_nil();
+    }
+
+    /** Best-effort color read (the dummy link's color). */
+    Color
+    color() const
+    {
+        const HeadPtr head = load_head();
+        return Link::unpack(
+                   cells_[head.index].next.load(std::memory_order_acquire))
+            .color;
+    }
+
+    /** Exact size; only meaningful when externally quiesced. */
+    std::size_t
+    size_unsafe() const
+    {
+        std::size_t n = 0;
+        std::uint32_t idx =
+            Link::unpack(cells_[load_head().index].next.load(
+                             std::memory_order_acquire))
+                .index;
+        while (idx != kNil) {
+            ++n;
+            idx = Link::unpack(
+                      cells_[idx].next.load(std::memory_order_acquire))
+                      .index;
+        }
+        return n;
+    }
+
+  private:
+    HeadPtr
+    load_head() const
+    {
+        return HeadPtr::unpack(header_->head.load(std::memory_order_acquire));
+    }
+    HeadPtr
+    load_tail() const
+    {
+        return HeadPtr::unpack(header_->tail.load(std::memory_order_acquire));
+    }
+
+    void
+    advance_tail(const HeadPtr &seen, std::uint32_t to)
+    {
+        std::uint64_t expected = seen.pack();
+        header_->tail.compare_exchange_strong(
+            expected, HeadPtr{to, seen.tag + 1}.pack(),
+            std::memory_order_acq_rel);
+    }
+
+    [[noreturn]] static Color enqueue_overflow();
+
+    QueueHeader *header_;
+    CellPool pool_;
+    Cell *cells_;
+};
+
+}  // namespace memif::lockfree

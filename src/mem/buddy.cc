@@ -1,0 +1,91 @@
+#include "mem/buddy.h"
+
+#include "sim/log.h"
+
+namespace memif::mem {
+
+BuddyAllocator::BuddyAllocator(std::uint64_t num_frames)
+    : num_frames_(num_frames),
+      free_lists_(kMaxOrder + 1),
+      allocated_order_(num_frames, 0)
+{
+    // Seed the free lists with the largest naturally aligned blocks that
+    // fit, walking the range front to back (handles non-power-of-two
+    // node sizes).
+    std::uint64_t frame = 0;
+    while (frame < num_frames_) {
+        unsigned order = kMaxOrder;
+        while (order > 0 &&
+               ((frame & ((std::uint64_t{1} << order) - 1)) != 0 ||
+                frame + (std::uint64_t{1} << order) > num_frames_)) {
+            --order;
+        }
+        free_lists_[order].insert(frame);
+        free_frames_ += std::uint64_t{1} << order;
+        frame += std::uint64_t{1} << order;
+    }
+    MEMIF_ASSERT(free_frames_ == num_frames_);
+}
+
+std::uint64_t
+BuddyAllocator::allocate(unsigned order)
+{
+    MEMIF_ASSERT(order <= kMaxOrder, "order %u too large", order);
+    // Find the smallest order with a free block.
+    unsigned o = order;
+    while (o <= kMaxOrder && free_lists_[o].empty()) ++o;
+    if (o > kMaxOrder) return kInvalidFrame;
+
+    std::uint64_t head = *free_lists_[o].begin();
+    free_lists_[o].erase(free_lists_[o].begin());
+
+    // Split down to the requested order, returning the upper halves.
+    while (o > order) {
+        --o;
+        free_lists_[o].insert(head + (std::uint64_t{1} << o));
+    }
+
+    allocated_order_[head] = static_cast<std::uint8_t>(order + 1);
+    free_frames_ -= std::uint64_t{1} << order;
+    return head;
+}
+
+void
+BuddyAllocator::free(std::uint64_t head, unsigned order)
+{
+    MEMIF_ASSERT(head < num_frames_, "frame %llu out of range",
+                 static_cast<unsigned long long>(head));
+    MEMIF_ASSERT(order <= kMaxOrder);
+    if (allocated_order_[head] == 0)
+        MEMIF_PANIC("double free or bad head frame %llu",
+                    static_cast<unsigned long long>(head));
+    if (allocated_order_[head] != order + 1)
+        MEMIF_PANIC("free order %u mismatches allocation order %u", order,
+                    allocated_order_[head] - 1);
+    allocated_order_[head] = 0;
+    free_frames_ += std::uint64_t{1} << order;
+
+    // Coalesce with the buddy while possible.
+    std::uint64_t block = head;
+    unsigned o = order;
+    while (o < kMaxOrder) {
+        const std::uint64_t buddy = buddy_of(block, o);
+        auto it = free_lists_[o].find(buddy);
+        if (it == free_lists_[o].end()) break;
+        // A same-order free buddy exists: merge.
+        free_lists_[o].erase(it);
+        block = block < buddy ? block : buddy;
+        ++o;
+    }
+    free_lists_[o].insert(block);
+}
+
+bool
+BuddyAllocator::can_allocate(unsigned order) const
+{
+    for (unsigned o = order; o <= kMaxOrder; ++o)
+        if (!free_lists_[o].empty()) return true;
+    return false;
+}
+
+}  // namespace memif::mem

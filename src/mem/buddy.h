@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A classic binary buddy allocator over a frame range, the analogue of
+ * Linux's zoned page allocator that both the baseline migration path and
+ * the memif driver allocate destination pages from.
+ *
+ * Frames are addressed by *local* index within the node. The allocator
+ * detects double frees and frees of never-allocated blocks (they panic:
+ * in this codebase such a call is always a library bug).
+ */
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace memif::mem {
+
+class BuddyAllocator {
+  public:
+    /** Largest supported block: 2^kMaxOrder frames (4 MB at 4 KB). */
+    static constexpr unsigned kMaxOrder = 10;
+    static constexpr std::uint64_t kInvalidFrame = ~std::uint64_t{0};
+
+    explicit BuddyAllocator(std::uint64_t num_frames);
+
+    /**
+     * Allocate a 2^order-frame block, naturally aligned.
+     * @return the head frame index or kInvalidFrame when exhausted.
+     */
+    std::uint64_t allocate(unsigned order);
+
+    /** Free a block previously allocated with the same order. */
+    void free(std::uint64_t head, unsigned order);
+
+    std::uint64_t num_frames() const { return num_frames_; }
+    std::uint64_t free_frames() const { return free_frames_; }
+
+    /** Free blocks currently held at @p order (diagnostic). */
+    std::size_t free_blocks(unsigned order) const
+    {
+        return free_lists_[order].size();
+    }
+
+    /** True if a block of @p order could be allocated right now. */
+    bool can_allocate(unsigned order) const;
+
+  private:
+    std::uint64_t buddy_of(std::uint64_t head, unsigned order) const
+    {
+        return head ^ (std::uint64_t{1} << order);
+    }
+
+    std::uint64_t num_frames_;
+    std::uint64_t free_frames_ = 0;
+    /** Free block heads per order; std::set keeps behaviour deterministic
+     *  (lowest-address block is always handed out first). */
+    std::vector<std::set<std::uint64_t>> free_lists_;
+    /** Allocation order of each allocated head frame, +1 (0 = not a head). */
+    std::vector<std::uint8_t> allocated_order_;
+};
+
+}  // namespace memif::mem

@@ -1,0 +1,114 @@
+#include "mem/phys.h"
+
+#include <cstring>
+
+#include "sim/log.h"
+
+namespace memif::mem {
+
+MemoryNode::MemoryNode(NodeId id, Pfn base_pfn, const NodeConfig &cfg)
+    : id_(id),
+      base_(base_pfn),
+      cfg_(cfg),
+      backing_(new std::byte[cfg.bytes]()),
+      buddy_(cfg.bytes >> kPageShift),
+      frames_(cfg.bytes >> kPageShift)
+{
+    if (cfg.bytes == 0 || (cfg.bytes & (kPageSize - 1)) != 0)
+        MEMIF_FATAL("node '%s': capacity must be a nonzero page multiple",
+                    cfg.name.c_str());
+}
+
+NodeId
+PhysicalMemory::add_node(const NodeConfig &cfg)
+{
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::make_unique<MemoryNode>(id, next_base_, cfg));
+    next_base_ += cfg.bytes >> kPageShift;
+    return id;
+}
+
+NodeId
+PhysicalMemory::node_of(Pfn pfn) const
+{
+    for (const auto &n : nodes_)
+        if (n->contains(pfn)) return n->id();
+    return kInvalidNode;
+}
+
+Pfn
+PhysicalMemory::allocate(NodeId node_id, unsigned order)
+{
+    MemoryNode &n = node(node_id);
+    const std::uint64_t local = n.buddy().allocate(order);
+    if (local == BuddyAllocator::kInvalidFrame) return kInvalidPfn;
+    const Pfn head = n.base_pfn() + local;
+    for (std::uint64_t i = 0; i < (std::uint64_t{1} << order); ++i) {
+        PageFrame &f = n.frame(head + i);
+        f.allocated = true;
+        f.is_block_head = (i == 0);
+        f.order = static_cast<std::uint8_t>(order);
+        f.rmaps.clear();
+    }
+    return head;
+}
+
+void
+PhysicalMemory::free(Pfn head, unsigned order)
+{
+    const NodeId id = node_of(head);
+    MEMIF_ASSERT(id != kInvalidNode, "freeing unmapped pfn");
+    MemoryNode &n = node(id);
+    for (std::uint64_t i = 0; i < (std::uint64_t{1} << order); ++i) {
+        PageFrame &f = n.frame(head + i);
+        MEMIF_ASSERT(f.allocated, "freeing unallocated frame pfn=%llu",
+                     (unsigned long long)(head + i));
+        MEMIF_ASSERT(f.rmaps.empty(), "freeing a still-mapped frame");
+        f.allocated = false;
+        f.is_block_head = false;
+    }
+    n.buddy().free(head - n.base_pfn(), order);
+}
+
+PageFrame &
+PhysicalMemory::frame(Pfn pfn)
+{
+    const NodeId id = node_of(pfn);
+    MEMIF_ASSERT(id != kInvalidNode, "pfn out of range");
+    return node(id).frame(pfn);
+}
+
+std::byte *
+PhysicalMemory::span(Pfn pfn, std::uint64_t bytes)
+{
+    const NodeId id = node_of(pfn);
+    MEMIF_ASSERT(id != kInvalidNode, "pfn out of range");
+    MemoryNode &n = node(id);
+    const std::uint64_t last_frame = pfn + ((bytes + kPageSize - 1) >> kPageShift) - 1;
+    MEMIF_ASSERT(bytes == 0 || n.contains(last_frame),
+                 "span crosses node boundary");
+    return n.frame_data(pfn);
+}
+
+void
+PhysicalMemory::copy(Pfn dst, Pfn src, std::uint64_t bytes)
+{
+    if (bytes == 0) return;
+    std::memcpy(span(dst, bytes), span(src, bytes), bytes);
+}
+
+std::pair<NodeId, NodeId>
+KeystoneMemory::build(PhysicalMemory &pm, std::uint64_t slow_bytes)
+{
+    // Table 2: DDR3 measured at 6.2 GB/s, SRAM at 24.0 GB/s. Node 0 is
+    // the CPU-local DRAM node, node 1 the fast SRAM node (§6.1).
+    const NodeId slow = pm.add_node(NodeConfig{
+        .name = "ddr3-slow", .bytes = slow_bytes,
+        .bandwidth_bps = 6.2e9, .is_fast = false});
+    const NodeId fast = pm.add_node(NodeConfig{
+        .name = "sram-fast", .bytes = kFastBytes,
+        .bandwidth_bps = 24.0e9, .is_fast = true});
+    return {slow, fast};
+}
+
+}  // namespace memif::mem

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Physical memory for the simulated platform: heterogeneous memory
+ * nodes (paper Table 2: 6 MB on-chip SRAM + DDR3) with *real* host
+ * backing buffers, page-frame descriptors, and per-node buddy
+ * allocators.
+ *
+ * The module is purely functional: it moves real bytes and tracks real
+ * allocation state but never advances virtual time. All timing is
+ * charged by the OS/driver layers from the CostModel, keeping the
+ * calibration in one place.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/buddy.h"
+
+namespace memif::mem {
+
+/** Base-2 log of the frame size; frames are 4 KB as on ARMv7/Linux. */
+inline constexpr unsigned kPageShift = 12;
+/** Physical frame size in bytes. */
+inline constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+
+/** Global physical frame number. */
+using Pfn = std::uint64_t;
+/** Sentinel: no frame. */
+inline constexpr Pfn kInvalidPfn = ~Pfn{0};
+
+/** Pseudo-NUMA node id (paper §1: heterogeneous banks as NUMA nodes). */
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/** What kind of object holds a reverse mapping. */
+enum class RmapKind : std::uint8_t {
+    kAddressSpace = 0,  ///< a process page table maps the frame
+    kPageCache,         ///< a file's page cache holds the frame
+};
+
+/** One reverse mapping of a frame: which object references it where. */
+struct RmapEntry {
+    /** Mapping object (opaque to this layer; the vm/os layers cast
+     *  according to kind). */
+    void *owner = nullptr;
+    /** Virtual address (kAddressSpace) or file page index (kPageCache). */
+    std::uint64_t vaddr = 0;
+    RmapKind kind = RmapKind::kAddressSpace;
+
+    friend bool
+    operator==(const RmapEntry &a, const RmapEntry &b)
+    {
+        return a.owner == b.owner && a.vaddr == b.vaddr &&
+               a.kind == b.kind;
+    }
+};
+
+/**
+ * Per-frame descriptor, the analogue of Linux's `struct page`.
+ * The vm layer maintains the reverse-mapping chain: one entry per
+ * address space mapping the frame (shared anonymous memory has
+ * several, paper §6.7).
+ */
+struct PageFrame {
+    /** Allocation order of the block this frame heads (head frames only). */
+    std::uint8_t order = 0;
+    /** True for the first frame of an allocated block. */
+    bool is_block_head = false;
+    /** True while the frame belongs to an allocated block. */
+    bool allocated = false;
+    /** Reverse mappings; size() is the map count. */
+    std::vector<RmapEntry> rmaps;
+
+    std::uint32_t
+    mapcount() const
+    {
+        return static_cast<std::uint32_t>(rmaps.size());
+    }
+
+    void
+    add_rmap(void *owner, std::uint64_t vaddr,
+             RmapKind kind = RmapKind::kAddressSpace)
+    {
+        rmaps.push_back(RmapEntry{owner, vaddr, kind});
+    }
+
+    /** Remove one matching entry. @return true if found. */
+    bool
+    remove_rmap(void *owner, std::uint64_t vaddr,
+                RmapKind kind = RmapKind::kAddressSpace)
+    {
+        for (auto it = rmaps.begin(); it != rmaps.end(); ++it) {
+            if (it->owner == owner && it->vaddr == vaddr &&
+                it->kind == kind) {
+                rmaps.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+/** Configuration of one memory node. */
+struct NodeConfig {
+    std::string name;
+    std::uint64_t bytes = 0;       ///< capacity (multiple of kPageSize)
+    double bandwidth_bps = 0.0;    ///< sustained bandwidth
+    bool is_fast = false;          ///< fast (SRAM-like) vs slow (DRAM-like)
+};
+
+/**
+ * One memory node: a contiguous physical frame range with a real
+ * backing buffer and its own buddy allocator.
+ */
+class MemoryNode {
+  public:
+    MemoryNode(NodeId id, Pfn base_pfn, const NodeConfig &cfg);
+
+    NodeId id() const { return id_; }
+    const std::string &name() const { return cfg_.name; }
+    bool is_fast() const { return cfg_.is_fast; }
+    double bandwidth_bps() const { return cfg_.bandwidth_bps; }
+    Pfn base_pfn() const { return base_; }
+    std::uint64_t num_frames() const { return frames_.size(); }
+    std::uint64_t bytes() const { return cfg_.bytes; }
+
+    bool
+    contains(Pfn pfn) const
+    {
+        return pfn >= base_ && pfn < base_ + num_frames();
+    }
+
+    /** Frames currently free in the buddy allocator. */
+    std::uint64_t free_frames() const { return buddy_.free_frames(); }
+
+    BuddyAllocator &buddy() { return buddy_; }
+    PageFrame &frame(Pfn pfn) { return frames_.at(pfn - base_); }
+    const PageFrame &frame(Pfn pfn) const { return frames_.at(pfn - base_); }
+
+    /** Host pointer to the first byte of frame @p pfn. */
+    std::byte *
+    frame_data(Pfn pfn)
+    {
+        return backing_.get() + ((pfn - base_) << kPageShift);
+    }
+
+  private:
+    NodeId id_;
+    Pfn base_;
+    NodeConfig cfg_;
+    std::unique_ptr<std::byte[]> backing_;
+    BuddyAllocator buddy_;
+    std::vector<PageFrame> frames_;
+};
+
+/**
+ * The machine's physical memory: all nodes, global PFN resolution,
+ * allocation and byte access across node boundaries.
+ */
+class PhysicalMemory {
+  public:
+    PhysicalMemory() = default;
+    PhysicalMemory(const PhysicalMemory &) = delete;
+    PhysicalMemory &operator=(const PhysicalMemory &) = delete;
+
+    /** Register a node; returns its id. Frame ranges never overlap. */
+    NodeId add_node(const NodeConfig &cfg);
+
+    std::size_t node_count() const { return nodes_.size(); }
+    MemoryNode &node(NodeId id) { return *nodes_.at(id); }
+    const MemoryNode &node(NodeId id) const { return *nodes_.at(id); }
+
+    /** Node owning @p pfn; kInvalidNode when out of range. */
+    NodeId node_of(Pfn pfn) const;
+
+    /**
+     * Allocate a 2^order-frame block on @p node.
+     * @return the head PFN, or kInvalidPfn when the node is exhausted.
+     */
+    Pfn allocate(NodeId node, unsigned order);
+
+    /** Free a block previously returned by allocate(). */
+    void free(Pfn head, unsigned order);
+
+    PageFrame &frame(Pfn pfn);
+
+    /**
+     * Host pointer to @p bytes of physically contiguous memory starting
+     * at frame @p pfn (must stay inside one node).
+     */
+    std::byte *span(Pfn pfn, std::uint64_t bytes);
+
+    /**
+     * Copy @p bytes between physically contiguous regions (real bytes
+     * move; no virtual time passes here).
+     */
+    void copy(Pfn dst, Pfn src, std::uint64_t bytes);
+
+  private:
+    std::vector<std::unique_ptr<MemoryNode>> nodes_;
+    Pfn next_base_ = 0;
+};
+
+/**
+ * Build the default simulated KeyStone II memory: node 0 = slow DDR3
+ * (CPU-local), node 1 = fast on-chip SRAM — matching the paper's §6.1
+ * pseudo-NUMA layout (cores+DRAM on one node, SRAM on the other).
+ *
+ * @param slow_bytes DDR capacity to actually back (default 256 MB; the
+ *        real board has 8 GB but no experiment needs it).
+ */
+struct KeystoneMemory {
+    static constexpr std::uint64_t kDefaultSlowBytes = 256ull << 20;
+    static constexpr std::uint64_t kFastBytes = 6ull << 20;  // 6 MB SRAM
+
+    /** Adds both nodes to @p pm; returns {slow_id, fast_id}. */
+    static std::pair<NodeId, NodeId> build(
+        PhysicalMemory &pm, std::uint64_t slow_bytes = kDefaultSlowBytes);
+};
+
+}  // namespace memif::mem

@@ -1,0 +1,689 @@
+#include "memif/device.h"
+
+#include <algorithm>
+
+#include "sim/cost_model.h"
+#include "sim/log.h"
+#include "vm/addr_space.h"
+#include "vm/pte.h"
+#include "vm/walk_cost.h"
+
+namespace memif::core {
+
+using sim::ExecContext;
+using sim::Op;
+using sim::TracePoint;
+
+MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
+                         MemifConfig config)
+    : kernel_(kernel),
+      proc_(proc),
+      config_(config),
+      tc_(kernel.assign_transfer_controller()),
+      region_(config.capacity),
+      completion_event_(kernel.eq()),
+      kthread_wq_(kernel.eq())
+{
+    if (config_.race_policy == RacePolicy::kRecover) {
+        proc_.as().set_young_fault_hook(
+            [this](vm::Vma &vma, std::uint64_t idx) {
+                return handle_young_fault(vma, idx);
+            });
+    }
+    kthread_task_ = kthread_loop();
+}
+
+MemifDevice::~MemifDevice()
+{
+    stopping_ = true;
+    // Cancel anything still in flight: the engine outlives us, and its
+    // completion callbacks capture this device.
+    for (const InFlightPtr &fl : in_flight_) {
+        if (fl->tid != dma::kInvalidTransfer &&
+            !kernel_.dma().is_complete(fl->tid))
+            kernel_.dma().cancel(fl->tid);
+    }
+    if (config_.race_policy == RacePolicy::kRecover)
+        proc_.as().set_young_fault_hook(nullptr);
+}
+
+bool
+MemifDevice::idle() const
+{
+    return in_flight_.empty() && pending_release_.empty() &&
+           const_cast<SharedRegion &>(region_).staging_queue().empty() &&
+           const_cast<SharedRegion &>(region_).submission_queue().empty();
+}
+
+// --------------------------------------------------------------------
+// Validation (§4.2 safety: the driver trusts nothing in the region).
+// --------------------------------------------------------------------
+
+MovError
+MemifDevice::validate(const MovReq &req, vm::Vma **src_vma,
+                      vm::Vma **dst_vma) const
+{
+    *src_vma = nullptr;
+    *dst_vma = nullptr;
+    if (req.num_pages == 0 ||
+        req.num_pages > dma::DescriptorRam::kEntries)
+        return MovError::kBadRequest;
+
+    vm::AddressSpace &as = const_cast<os::Process &>(proc_).as();
+    vm::Vma *src = as.find_vma(req.src_base);
+    if (!src) return MovError::kBadAddress;
+    const std::uint64_t pb = vm::page_bytes(src->page_size());
+    if (req.src_base % pb != 0) return MovError::kBadAddress;
+    if (req.src_base + req.num_pages * pb > src->end())
+        return MovError::kBadAddress;
+    *src_vma = src;
+
+    if (req.op == MovOp::kMigrate) {
+        if (req.dst_node >= kernel_.phys().node_count())
+            return MovError::kBadNode;
+        if (src->is_file_backed() && !config_.allow_file_backed)
+            return MovError::kFileBacked;  // the prototype's §6.7 limit
+        return MovError::kNone;
+    }
+
+    // Replication: the destination must be a mapped region of the same
+    // granularity, and must not overlap the source.
+    vm::Vma *dst = as.find_vma(req.dst_base);
+    if (!dst) return MovError::kBadAddress;
+    if (dst->page_size() != src->page_size()) return MovError::kBadRequest;
+    if (req.dst_base % pb != 0) return MovError::kBadAddress;
+    if (req.dst_base + req.num_pages * pb > dst->end())
+        return MovError::kBadAddress;
+    const std::uint64_t src_end = req.src_base + req.num_pages * pb;
+    const std::uint64_t dst_end = req.dst_base + req.num_pages * pb;
+    if (req.src_base < dst_end && req.dst_base < src_end)
+        return MovError::kBadRequest;
+    *dst_vma = dst;
+    return MovError::kNone;
+}
+
+// --------------------------------------------------------------------
+// Notification (op 5).
+// --------------------------------------------------------------------
+
+void
+MemifDevice::notify(std::uint32_t idx, MovStatus status, MovError error)
+{
+    MovReq &req = region_.request(idx);
+    req.error = error;
+    req.complete_time = kernel_.eq().now();
+    req.store_status(status);
+    if (status == MovStatus::kDone)
+        region_.completion_ok_queue().enqueue(idx);
+    else
+        region_.completion_err_queue().enqueue(idx);
+    ++stats_.requests_completed;
+    completion_event_.set();
+}
+
+// --------------------------------------------------------------------
+// Ops 1-3: Prep, Remap, DMA config + trigger.
+// --------------------------------------------------------------------
+
+sim::Task
+MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
+                           InFlightPtr *out)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    sim::Cpu &cpu = kernel_.cpu();
+    mem::PhysicalMemory &pm = kernel_.phys();
+    MovReq &req = region_.request(idx);
+    sim::Tracer &tr = kernel_.tracer();
+    tr.record(kernel_.eq().now(), TracePoint::kServeBegin, ctx, idx);
+
+    // ---- 1. Prep: validate + locate every physical page -------------
+    co_await cpu.busy(ctx, Op::kPrep,
+                      cm.request_validate + cm.request_admin);
+    vm::Vma *src_vma = nullptr;
+    vm::Vma *dst_vma = nullptr;
+    const MovError verr = validate(req, &src_vma, &dst_vma);
+    if (verr != MovError::kNone) {
+        ++stats_.validation_failures;
+        co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+        notify(idx, MovStatus::kFailed, verr);
+        co_return;
+    }
+
+    auto fl = std::make_shared<InFlight>();
+    fl->req_idx = idx;
+    fl->op = req.op;
+    fl->vma = src_vma;
+    fl->num_pages = req.num_pages;
+    fl->order = vm::page_order(src_vma->page_size());
+    fl->page_bytes = vm::page_bytes(src_vma->page_size());
+    fl->total_bytes = fl->page_bytes * req.num_pages;
+    fl->first_page = src_vma->page_index(req.src_base);
+
+    // Page lookup: gang (§5.1) walks the real radix table, descending
+    // once and stepping horizontally through adjacent PTEs; the
+    // baseline pays a full root-to-leaf descent per page.
+    const std::uint64_t lookup_regions = (req.op == MovOp::kReplicate) ? 2 : 1;
+    sim::Duration lookup_cost = 0;
+    vm::PageTable &table = proc_.as().page_table();
+    for (std::uint64_t r = 0; r < lookup_regions; ++r) {
+        const vm::WalkCost wc =
+            config_.gang_lookup
+                ? table
+                      .gang_lookup(r == 0 ? req.src_base : req.dst_base,
+                                   req.num_pages, src_vma->page_size())
+                      .cost
+                : vm::PageTable::per_page_cost(req.num_pages);
+        lookup_cost += wc.full_descents * cm.page_walk_full +
+                       wc.adjacent_steps * cm.page_walk_adjacent;
+    }
+    co_await cpu.busy(ctx, Op::kPrep, lookup_cost);
+    tr.record(kernel_.eq().now(), TracePoint::kPrepDone, ctx, idx);
+
+    fl->old_pfns.reserve(req.num_pages);
+    for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+        const vm::Pte pte = src_vma->pte(fl->first_page + i);
+        if (!pte.present) {
+            co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+            notify(idx, MovStatus::kFailed, MovError::kBadAddress);
+            co_return;
+        }
+        if (pte.migration) {
+            // Under race *prevention* an in-flight page is marked by
+            // the migration bit while the PTE still names the old
+            // frame; overlapping the move would double-manage it.
+            co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+            notify(idx, MovStatus::kFailed, MovError::kBusy);
+            co_return;
+        }
+        fl->old_pfns.push_back(pte.pfn);
+        fl->old_ptes.push_back(pte.pack());
+    }
+
+    std::vector<dma::SgEntry> sg;
+    sg.reserve(req.num_pages);
+
+    if (req.op == MovOp::kMigrate) {
+        // ---- 2. Remap (migration only) -------------------------------
+        sim::Duration remap_cost = 0;
+        fl->new_pfns.reserve(req.num_pages);
+        bool exhausted = false;
+        for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+            remap_cost += cm.page_alloc_time(fl->order);
+            const mem::Pfn new_pfn = pm.allocate(req.dst_node, fl->order);
+            if (new_pfn == mem::kInvalidPfn) {
+                exhausted = true;
+                break;
+            }
+            fl->new_pfns.push_back(new_pfn);
+        }
+        if (exhausted) {
+            for (const mem::Pfn pfn : fl->new_pfns) pm.free(pfn, fl->order);
+            co_await cpu.busy(ctx, Op::kRemap, remap_cost);
+            co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+            notify(idx, MovStatus::kFailed, MovError::kNoMemory);
+            co_return;
+        }
+        // Collect every mapping of every page from the reverse-map
+        // chains (shared anonymous pages have several, §6.7) — the
+        // caller's own mapping is forced to the front.
+        fl->mappings.resize(req.num_pages);
+        fl->cache_refs.resize(req.num_pages);
+        bool busy = false;
+        for (std::uint32_t i = 0; i < req.num_pages && !busy; ++i) {
+            const mem::PageFrame &frame = pm.frame(fl->old_pfns[i]);
+            if (frame.mapcount() == 0) {
+                // The PTE points at a frame with no reverse mapping yet:
+                // the page is mid-flight in another move. A protected
+                // service rejects this cleanly (§4.2) — the application
+                // overlapped moves on the same region.
+                busy = true;
+                break;
+            }
+            for (const mem::RmapEntry &re : frame.rmaps) {
+                if (re.kind == mem::RmapKind::kPageCache) {
+                    fl->cache_refs[i] = CacheRef{
+                        static_cast<vm::FileBacking *>(re.owner),
+                        re.vaddr};
+                    continue;
+                }
+                auto *as = static_cast<vm::AddressSpace *>(re.owner);
+                vm::Vma *mvma = as->find_vma(re.vaddr);
+                MEMIF_ASSERT(mvma != nullptr, "stale rmap entry");
+                Mapping m;
+                m.as = as;
+                m.vma = mvma;
+                m.page_idx = mvma->page_index(re.vaddr);
+                m.old_pte = mvma->pte(m.page_idx).pack();
+                if (as == &proc_.as() && mvma == src_vma)
+                    fl->mappings[i].insert(fl->mappings[i].begin(), m);
+                else
+                    fl->mappings[i].push_back(m);
+            }
+            if (frame.mapcount() > 1)
+                remap_cost += cm.rmap_per_page * (frame.mapcount() - 1);
+        }
+        if (busy) {
+            for (const mem::Pfn pfn : fl->new_pfns) pm.free(pfn, fl->order);
+            co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+            notify(idx, MovStatus::kFailed, MovError::kBusy);
+            co_return;
+        }
+        for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+            for (const Mapping &m : fl->mappings[i]) {
+                const vm::Pte old_pte = vm::Pte::unpack(m.old_pte);
+                vm::Pte next = old_pte;
+                if (config_.race_policy == RacePolicy::kPrevent) {
+                    // Linux-style: block accessors on the old mapping.
+                    next.migration = true;
+                } else {
+                    // Semi-final PTE: points at the new page, young set
+                    // so any CPU access is trapped (§5.2 Fig. 4b).
+                    next.pfn = fl->new_pfns[i];
+                    next.young = true;
+                }
+                m.vma->pte_slot(m.page_idx)
+                    .store(next.pack(), std::memory_order_release);
+                m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
+                                     m.vma->page_size());
+                remap_cost += cm.pte_update + cm.tlb_flush_page;
+            }
+            sg.push_back(dma::SgEntry{
+                fl->old_pfns[i] << mem::kPageShift,
+                fl->new_pfns[i] << mem::kPageShift, fl->page_bytes});
+        }
+        co_await cpu.busy(ctx, Op::kRemap, remap_cost);
+        tr.record(kernel_.eq().now(), TracePoint::kRemapDone, ctx, idx);
+        ++stats_.migrations;
+        // From here the semi-final/migration PTEs are live: register the
+        // request so the recover-mode fault hook can see it even before
+        // the DMA is triggered.
+        req.store_status(MovStatus::kInFlight);
+        in_flight_.push_back(fl);
+    } else {
+        // Replication: both regions already mapped; no VM management
+        // and no race concern (§3).
+        const std::uint64_t dst_first = dst_vma->page_index(req.dst_base);
+        for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+            const vm::Pte dst_pte = dst_vma->pte(dst_first + i);
+            if (!dst_pte.present) {
+                co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+                notify(idx, MovStatus::kFailed, MovError::kBadAddress);
+                co_return;
+            }
+            sg.push_back(dma::SgEntry{
+                fl->old_pfns[i] << mem::kPageShift,
+                dst_pte.pfn << mem::kPageShift, fl->page_bytes});
+        }
+        ++stats_.replications;
+        req.store_status(MovStatus::kInFlight);
+        in_flight_.push_back(fl);
+    }
+
+    // ---- 3. DMA config + trigger -------------------------------------
+    // The PaRAM has 512 entries (Table 2); with several instances (or a
+    // deep pipeline) in flight, wait until enough descriptors retire.
+    while (kernel_.dma().available_descriptors() < sg.size()) {
+        if (fl->aborted) co_return;  // rolled back while waiting
+        co_await kernel_.dma().capacity_wait();
+    }
+    dma::DmaDriver::Prepared prepared = kernel_.dma().prepare(sg);
+    co_await cpu.busy(ctx, Op::kDmaConfig, prepared.cpu_time);
+    tr.record(kernel_.eq().now(), TracePoint::kDmaConfigDone, ctx, idx);
+
+    if (fl->aborted) {
+        // A racing access rolled the migration back while we were
+        // programming descriptors; nothing to trigger.
+        kernel_.dma().abandon(std::move(prepared));
+        co_return;
+    }
+    if (out) *out = fl;
+    if (irq_mode) {
+        fl->tid = kernel_.dma().start(
+            std::move(prepared), /*irq_mode=*/true,
+            [this, fl](dma::TransferId) {
+                kernel_.tracer().record(kernel_.eq().now(),
+                                        TracePoint::kDmaComplete,
+                                        ExecContext::kIrq, fl->req_idx);
+                kernel_.spawn(irq_complete(fl));
+            },
+            tc_);
+    } else {
+        fl->tid = kernel_.dma().start(std::move(prepared),
+                                      /*irq_mode=*/false, nullptr, tc_);
+    }
+    tr.record(kernel_.eq().now(), TracePoint::kDmaStart, ctx, idx);
+}
+
+// --------------------------------------------------------------------
+// Ops 4-5: Release + Notify.
+// --------------------------------------------------------------------
+
+sim::Task
+MemifDevice::do_release(InFlightPtr fl, ExecContext ctx)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    sim::Cpu &cpu = kernel_.cpu();
+    mem::PhysicalMemory &pm = kernel_.phys();
+    bool raced = false;
+    if (fl->op == MovOp::kMigrate) {
+        sim::Duration release_cost = 0;
+        for (std::uint32_t i = 0; i < fl->num_pages; ++i) {
+            bool page_raced = false;
+            for (const Mapping &m : fl->mappings[i]) {
+                vm::PteSlot &slot = m.vma->pte_slot(m.page_idx);
+                if (config_.race_policy == RacePolicy::kPrevent) {
+                    // Swap the migration PTE for the final one;
+                    // accessors blocked on it can proceed afterwards.
+                    vm::Pte final_pte = vm::Pte::unpack(m.old_pte);
+                    final_pte.pfn = fl->new_pfns[i];
+                    final_pte.migration = false;
+                    slot.store(final_pte.pack(),
+                               std::memory_order_release);
+                    m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
+                                         m.vma->page_size());
+                    release_cost += cm.pte_update + cm.tlb_flush_page;
+                } else {
+                    // Proceed-and-fail: one CAS clears young; failure
+                    // means some access beat us to the semi-final PTE
+                    // (§5.2). No TLB flush is needed — the semi-final
+                    // entry never entered the TLB.
+                    vm::Pte semi = vm::Pte::unpack(m.old_pte);
+                    semi.pfn = fl->new_pfns[i];
+                    semi.young = true;
+                    vm::Pte final_pte = semi;
+                    final_pte.young = false;
+                    std::uint64_t expected = semi.pack();
+                    const bool ok = slot.compare_exchange_strong(
+                        expected, final_pte.pack(),
+                        std::memory_order_acq_rel);
+                    release_cost += cm.pte_cas;
+                    if (!ok) {
+                        const vm::Pte seen = vm::Pte::unpack(expected);
+                        const bool benign =
+                            config_.race_policy == RacePolicy::kRecover &&
+                            seen.present &&
+                            seen.pfn == fl->new_pfns[i] && !seen.young;
+                        // In recover mode an access *after* the copy
+                        // landed is harmless: the new page was already
+                        // authoritative.
+                        if (!benign) page_raced = true;
+                    }
+                }
+                // The new frame inherits this reverse mapping.
+                pm.frame(fl->new_pfns[i])
+                    .add_rmap(m.as, m.vma->page_vaddr(m.page_idx));
+                pm.frame(fl->old_pfns[i])
+                    .remove_rmap(m.as, m.vma->page_vaddr(m.page_idx));
+            }
+            if (page_raced) {
+                raced = true;
+                ++stats_.races_detected;
+            }
+            // File-backed pages: the page cache follows the frame.
+            if (fl->cache_refs[i].backing) {
+                const CacheRef &cr = fl->cache_refs[i];
+                cr.backing->relocate(cr.file_page, fl->new_pfns[i]);
+                pm.frame(fl->new_pfns[i])
+                    .add_rmap(cr.backing, cr.file_page,
+                              mem::RmapKind::kPageCache);
+                pm.frame(fl->old_pfns[i])
+                    .remove_rmap(cr.backing, cr.file_page,
+                                 mem::RmapKind::kPageCache);
+            }
+            // Old page (now unmapped everywhere) back to the buddy.
+            pm.free(fl->old_pfns[i], fl->order);
+            release_cost += cm.page_free;
+        }
+        co_await cpu.busy(ctx, Op::kRelease, release_cost);
+        if (config_.race_policy == RacePolicy::kPrevent)
+            kernel_.migration_waitq().notify_all();
+        if (raced)
+            kernel_.tracer().record(kernel_.eq().now(),
+                                    TracePoint::kRaceDetected, ctx,
+                                    fl->req_idx);
+    }
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kReleaseDone,
+                            ctx, fl->req_idx);
+
+    // ---- 5. Notify ----------------------------------------------------
+    co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kNotifyDone,
+                            ctx, fl->req_idx);
+    stats_.pages_moved += fl->num_pages;
+    stats_.bytes_moved += fl->total_bytes;
+    if (raced)
+        notify(fl->req_idx, MovStatus::kRaceDetected, MovError::kRace);
+    else
+        notify(fl->req_idx, MovStatus::kDone, MovError::kNone);
+
+    std::erase(in_flight_, fl);
+}
+
+// --------------------------------------------------------------------
+// Interrupt path (§5.4).
+// --------------------------------------------------------------------
+
+sim::Task
+MemifDevice::irq_complete(InFlightPtr fl)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    sim::Cpu &cpu = kernel_.cpu();
+    ++stats_.irq_completions;
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kIrqEnter,
+                            ExecContext::kIrq, fl->req_idx);
+    co_await cpu.busy(ExecContext::kIrq, Op::kSched, cm.irq_overhead);
+
+    if (config_.race_policy == RacePolicy::kPrevent &&
+        fl->op == MovOp::kMigrate) {
+        // Modifying the address space under race prevention needs
+        // sleepable locks — forbidden here. Defer to the kernel thread.
+        pending_release_.push_back(fl);
+    } else {
+        co_await do_release(fl, ExecContext::kIrq);
+    }
+    cpu.charge(ExecContext::kIrq, Op::kSched, cm.kthread_wakeup);
+    wake_kthread();
+}
+
+// --------------------------------------------------------------------
+// Kernel-thread path (§5.4).
+// --------------------------------------------------------------------
+
+void
+MemifDevice::wake_kthread()
+{
+    if (kthread_sleeping_) ++stats_.kthread_wakeups;
+    kthread_wq_.notify_one();
+}
+
+sim::Task
+MemifDevice::kthread_loop()
+{
+    os::Kernel &k = kernel_;
+    const sim::CostModel &cm = k.costs();
+    sim::Cpu &cpu = k.cpu();
+
+    for (;;) {
+        if (stopping_) co_return;
+
+        // Releases the interrupt handler deferred (kPrevent only).
+        if (!pending_release_.empty()) {
+            InFlightPtr fl = pending_release_.front();
+            pending_release_.erase(pending_release_.begin());
+            co_await do_release(fl, ExecContext::kKthread);
+            continue;
+        }
+
+        // Serve the oldest queued request: submission first, then any
+        // requests still parked in staging (the queue is red, so the
+        // kernel owns them).
+        lockfree::DequeueResult d = region_.submission_queue().dequeue();
+        if (!d.ok) d = region_.staging_queue().dequeue();
+        cpu.charge(ExecContext::kKthread, Op::kQueue, cm.queue_op);
+
+        if (d.ok) {
+            if (!region_.valid_index(d.value)) {
+                MEMIF_WARN("memif: dropping corrupt request index %u",
+                           d.value);
+                continue;
+            }
+            MovReq &req = region_.request(d.value);
+            const vm::Vma *vma = proc_.as().find_vma(req.src_base);
+            const std::uint64_t bytes =
+                vma ? req.num_pages * vm::page_bytes(vma->page_size()) : 0;
+            const bool polled = bytes > 0 &&
+                                bytes < config_.poll_threshold_bytes;
+            InFlightPtr fl;
+            co_await serve_request(d.value, ExecContext::kKthread,
+                                   /*irq_mode=*/!polled, &fl);
+            if (polled && fl) {
+                // §5.4: small request — interrupt off, sleep until the
+                // predicted completion, then Release/Notify here.
+                const sim::SimTime done =
+                    k.dma().completion_time(fl->tid);
+                const sim::SimTime now = k.eq().now();
+                k.tracer().record(now, TracePoint::kPolledWait,
+                                  ExecContext::kKthread, fl->req_idx);
+                if (done > now) {
+                    // Sleep in whole scheduler ticks: the worker cannot
+                    // wake at an arbitrary instant (§5.4 "sleeps
+                    // shortly").
+                    const sim::Duration tick = cm.kthread_poll_interval;
+                    const sim::Duration wait =
+                        (done - now + tick - 1) / tick * tick;
+                    co_await sim::Delay{k.eq(), wait};
+                } else {
+                    co_await sim::Yield{k.eq()};
+                }
+                if (!fl->aborted) {
+                    k.tracer().record(k.eq().now(),
+                                      TracePoint::kDmaComplete,
+                                      ExecContext::kKthread, fl->req_idx);
+                    MEMIF_ASSERT(k.dma().is_complete(fl->tid),
+                                 "polled wakeup before DMA completion");
+                    ++stats_.polled_completions;
+                    co_await do_release(fl, ExecContext::kKthread);
+                }
+            }
+            continue;
+        }
+
+        // Both queues drained. If nothing is in flight either, hand
+        // flush responsibility back to the application (color -> blue)
+        // and sleep; otherwise sleep until an interrupt wakes us.
+        if (in_flight_.empty() && pending_release_.empty()) {
+            const int old = region_.staging_queue().set_color(
+                lockfree::Color::kBlue);
+            cpu.charge(ExecContext::kKthread, Op::kQueue, cm.queue_op);
+            if (old == lockfree::kColorBusy) continue;  // raced: retry
+        }
+        k.tracer().record(k.eq().now(), TracePoint::kKthreadSleep,
+                          ExecContext::kKthread);
+        // Housekeeping before sleeping: drop finished-transfer records.
+        kernel_.dma_engine().purge_finished();
+        kthread_sleeping_ = true;
+        co_await kthread_wq_.wait();
+        kthread_sleeping_ = false;
+        co_await cpu.busy(ExecContext::kKthread, Op::kSched,
+                          cm.kthread_wakeup);
+        k.tracer().record(k.eq().now(), TracePoint::kKthreadWake,
+                          ExecContext::kKthread);
+    }
+}
+
+// --------------------------------------------------------------------
+// Syscall path: ioctl(MOV_ONE) (§4.2, §5.4).
+// --------------------------------------------------------------------
+
+sim::Task
+MemifDevice::ioctl_mov_one()
+{
+    ++stats_.kick_ioctls;
+    co_await kernel_.syscall_crossing();
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kKickIoctl,
+                            ExecContext::kSyscall);
+    const lockfree::DequeueResult d = region_.submission_queue().dequeue();
+    kernel_.cpu().charge(ExecContext::kSyscall, Op::kQueue,
+                         kernel_.costs().queue_op);
+    if (!d.ok) {
+        // Nothing queued (the kernel thread may have raced us to it);
+        // make sure the worker is running and return.
+        wake_kthread();
+        co_return;
+    }
+    if (!region_.valid_index(d.value)) {
+        MEMIF_WARN("memif: dropping corrupt request index %u", d.value);
+        co_return;
+    }
+    // Serve exactly one request in the caller's context, interrupt-
+    // driven, and return as soon as the DMA is started.
+    InFlightPtr fl;
+    co_await serve_request(d.value, ExecContext::kSyscall,
+                           /*irq_mode=*/true, &fl);
+    // If no transfer started (validation/resource failure), there is no
+    // completion interrupt coming: hand the rest to the worker now.
+    if (!fl) wake_kthread();
+}
+
+// --------------------------------------------------------------------
+// Proceed-and-recover (§5.2 alternative).
+// --------------------------------------------------------------------
+
+bool
+MemifDevice::handle_young_fault(vm::Vma &vma, std::uint64_t page_idx)
+{
+    for (const InFlightPtr &fl : in_flight_) {
+        if (fl->op != MovOp::kMigrate || fl->aborted) continue;
+        bool hit = false;
+        for (const auto &page_mappings : fl->mappings) {
+            for (const Mapping &m : page_mappings) {
+                if (m.vma == &vma && m.page_idx == page_idx) {
+                    hit = true;
+                    break;
+                }
+            }
+            if (hit) break;
+        }
+        if (!hit) continue;
+        if (fl->tid != dma::kInvalidTransfer &&
+            kernel_.dma().is_complete(fl->tid))
+            return false;  // data already landed; default path is safe
+        abort_migration(fl);
+        return true;
+    }
+    return false;
+}
+
+void
+MemifDevice::abort_migration(const InFlightPtr &fl)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    mem::PhysicalMemory &pm = kernel_.phys();
+
+    // Drop the outstanding DMA (if it was ever triggered), restore
+    // every old mapping, release the new pages, and notify the
+    // application of the abort. Runs synchronously in the faulting
+    // thread's context.
+    if (fl->tid != dma::kInvalidTransfer) kernel_.dma().cancel(fl->tid);
+    sim::Duration cost = 0;
+    for (std::uint32_t i = 0; i < fl->num_pages; ++i) {
+        for (const Mapping &m : fl->mappings[i]) {
+            m.vma->pte_slot(m.page_idx)
+                .store(m.old_pte, std::memory_order_release);
+            m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
+                                 m.vma->page_size());
+            cost += cm.pte_update + cm.tlb_flush_page;
+        }
+        pm.free(fl->new_pfns[i], fl->order);
+        cost += cm.page_free;
+    }
+    kernel_.cpu().charge(ExecContext::kSyscall, Op::kRelease, cost);
+    fl->aborted = true;
+    ++stats_.migrations_aborted;
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kAborted,
+                            ExecContext::kSyscall, fl->req_idx);
+    notify(fl->req_idx, MovStatus::kAborted, MovError::kAborted);
+    std::erase(in_flight_, fl);
+}
+
+}  // namespace memif::core

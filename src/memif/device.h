@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The memif kernel driver (paper §3, §5): one MemifDevice per opened
+ * instance, owned by one process.
+ *
+ * The driver serves mov_reqs through three execution paths (§5.4,
+ * Fig. 5):
+ *
+ *  - *Syscall path*: ioctl(MOV_ONE) runs in the caller's context,
+ *    performs Prep/Remap/DMA-config for ONE queued request and returns
+ *    to userspace the moment the transfer starts.
+ *  - *Interrupt path*: the DMA completion interrupt performs Release and
+ *    Notify immediately (possible only because race *detection* frees
+ *    Release from sleepable locks, §5.2) and wakes the kernel thread.
+ *  - *Kernel-thread path*: the worker drains the submission and staging
+ *    queues without any userspace involvement. For small requests
+ *    (< poll_threshold_bytes, 512 KB in the paper) it disables the DMA
+ *    interrupt and sleeps until the predicted completion, then performs
+ *    Release/Notify itself; large requests stay interrupt-driven. When
+ *    everything is drained it colors the staging queue blue and sleeps.
+ *
+ * Race handling is configurable (§5.2):
+ *  - kDetect ("proceed and fail", the default): Remap installs the
+ *    semi-final PTE (young set); Release clears young with a CAS; a
+ *    failed CAS reports the race to the application (the simulation's
+ *    analogue of the SIGSEGV).
+ *  - kRecover ("proceed and recover"): a custom fault handler catches
+ *    the racing access, rolls the whole migration back (old PTEs
+ *    restored, DMA dropped), and delivers an "aborted" notification.
+ *  - kPrevent: the Linux-style migration PTE; accessors block, Release
+ *    must run in the kernel thread (never in the interrupt handler).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dma/driver.h"
+#include "memif/mov_req.h"
+#include "memif/shared_region.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "vm/vma.h"
+
+namespace memif::core {
+
+/** Race-handling policy (§5.2). */
+enum class RacePolicy : std::uint8_t {
+    kDetect = 0,  ///< proceed and fail (memif default)
+    kRecover,     ///< proceed and recover (abort + rollback)
+    kPrevent,     ///< Linux-style migration PTE (ablation baseline)
+};
+
+/** Per-instance configuration; defaults reproduce the paper's memif. */
+struct MemifConfig {
+    std::uint32_t capacity = SharedRegion::kDefaultCapacity;
+    /** §5.1 gang page lookup (off = per-page walks, Table 1 baseline). */
+    bool gang_lookup = true;
+    /** §5.2 race handling. */
+    RacePolicy race_policy = RacePolicy::kDetect;
+    /** §5.4: below this size the kernel thread polls instead of taking
+     *  the completion interrupt. */
+    std::uint64_t poll_threshold_bytes = 512 * 1024;
+    /**
+     * Migrate file-backed (page-cache) pages. Off by default — the
+     * paper's prototype "can only move anonymous pages" (§6.7) and
+     * reports kFileBacked; on, the driver relocates the page-cache
+     * frame along with every mapping (implemented future work).
+     */
+    bool allow_file_backed = false;
+};
+
+/** Driver event counters. */
+struct DeviceStats {
+    std::uint64_t requests_completed = 0;
+    std::uint64_t replications = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t pages_moved = 0;
+    std::uint64_t bytes_moved = 0;
+    std::uint64_t validation_failures = 0;
+    std::uint64_t races_detected = 0;
+    std::uint64_t migrations_aborted = 0;
+    std::uint64_t kick_ioctls = 0;
+    std::uint64_t irq_completions = 0;
+    std::uint64_t polled_completions = 0;
+    std::uint64_t kthread_wakeups = 0;
+};
+
+class MemifDevice {
+  public:
+    /**
+     * Create (open) a memif instance for @p proc. The shared region is
+     * allocated and conceptually mapped into the process.
+     */
+    MemifDevice(os::Kernel &kernel, os::Process &proc,
+                MemifConfig config = {});
+    ~MemifDevice();
+    MemifDevice(const MemifDevice &) = delete;
+    MemifDevice &operator=(const MemifDevice &) = delete;
+
+    os::Kernel &kernel() { return kernel_; }
+    os::Process &owner() { return proc_; }
+    SharedRegion &region() { return region_; }
+    const MemifConfig &config() const { return config_; }
+    const DeviceStats &stats() const { return stats_; }
+
+    /**
+     * The MOV_ONE ioctl (§4.2): dequeue one request from the submission
+     * queue and run the driver for it, returning as the DMA starts.
+     * Runs in the calling process's context.
+     */
+    sim::Task ioctl_mov_one();
+
+    /** Signalled whenever a completion notification is posted; backs
+     *  the device file's poll() support. */
+    sim::SimEvent &completion_event() { return completion_event_; }
+
+    /** True when no request is anywhere between submit and notify. */
+    bool idle() const;
+
+  private:
+    friend class MemifUser;
+
+    /** One PTE mapping a migrating page (shared pages have several). */
+    struct Mapping {
+        vm::AddressSpace *as = nullptr;
+        vm::Vma *vma = nullptr;
+        std::uint64_t page_idx = 0;
+        std::uint64_t old_pte = 0;  ///< packed pre-move PTE
+    };
+
+    /** A page-cache reference to a migrating page (file-backed). */
+    struct CacheRef {
+        vm::FileBacking *backing = nullptr;
+        std::uint64_t file_page = 0;
+    };
+
+    /** Per-page state of one request being served. */
+    struct InFlight {
+        std::uint32_t req_idx = 0;
+        MovOp op = MovOp::kReplicate;
+        vm::Vma *vma = nullptr;          ///< migration: region's vma
+        std::uint64_t first_page = 0;    ///< migration: first page index
+        std::uint32_t num_pages = 0;
+        unsigned order = 0;
+        std::uint64_t page_bytes = 0;
+        std::uint64_t total_bytes = 0;
+        std::vector<mem::Pfn> old_pfns;  ///< migration: replaced frames
+        std::vector<mem::Pfn> new_pfns;  ///< migration: new frames
+        std::vector<std::uint64_t> old_ptes;  ///< source-view PTEs
+        /** Migration: every mapping of every page, via the rmap chains
+         *  (index 0 per page is the caller's own mapping). */
+        std::vector<std::vector<Mapping>> mappings;
+        /** Migration: page-cache reference per page (backing == nullptr
+         *  for anonymous pages). */
+        std::vector<CacheRef> cache_refs;
+        dma::TransferId tid = dma::kInvalidTransfer;
+        bool aborted = false;            ///< recover-mode rollback done
+    };
+    using InFlightPtr = std::shared_ptr<InFlight>;
+
+    /** Ops 1-3 for one request; on success the DMA is running and
+     *  @p out (if given) receives the in-flight record. */
+    sim::Task serve_request(std::uint32_t idx, sim::ExecContext ctx,
+                            bool irq_mode, InFlightPtr *out = nullptr);
+    /** Ops 4-5. */
+    sim::Task do_release(InFlightPtr fl, sim::ExecContext ctx);
+    /** Interrupt handler body for one completed transfer. */
+    sim::Task irq_complete(InFlightPtr fl);
+    /** The worker (§5.4 kernel-thread path). */
+    sim::Task kthread_loop();
+    void wake_kthread();
+
+    /** Validation of one user-supplied request (§4.2 safety). */
+    MovError validate(const MovReq &req, vm::Vma **src_vma,
+                      vm::Vma **dst_vma) const;
+
+    /** Post a completion notification (op 5). */
+    void notify(std::uint32_t idx, MovStatus status, MovError error);
+
+    /** Recover-mode fault hook: true if the access hit an in-flight
+     *  migration that was rolled back. */
+    bool handle_young_fault(vm::Vma &vma, std::uint64_t page_idx);
+    /** Roll back an in-flight migration (recover policy). */
+    void abort_migration(const InFlightPtr &fl);
+
+    os::Kernel &kernel_;
+    os::Process &proc_;
+    MemifConfig config_;
+    /** Transfer controller this instance submits on. */
+    unsigned tc_;
+    SharedRegion region_;
+    sim::SimEvent completion_event_;
+    sim::WaitQueue kthread_wq_;
+    bool kthread_sleeping_ = false;
+    sim::Task kthread_task_;
+    std::vector<InFlightPtr> in_flight_;
+    /** kPrevent: releases deferred from the interrupt handler. */
+    std::vector<InFlightPtr> pending_release_;
+    bool stopping_ = false;
+    DeviceStats stats_;
+};
+
+}  // namespace memif::core

@@ -1,0 +1,178 @@
+#include "memif/memif.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace memif::core {
+
+namespace {
+
+/** The "filesystem": device names -> devices (per-process fd tables
+ *  would be overkill for the façade; descriptors are global). */
+std::map<std::string, MemifDevice *> &
+device_files()
+{
+    static std::map<std::string, MemifDevice *> files;
+    return files;
+}
+
+struct OpenFile {
+    MemifDevice *device = nullptr;
+    std::unique_ptr<MemifUser> user;
+};
+
+std::vector<OpenFile> &
+fd_table()
+{
+    static std::vector<OpenFile> fds;
+    return fds;
+}
+
+OpenFile *
+lookup(int memfd)
+{
+    auto &fds = fd_table();
+    if (memfd < 0 || static_cast<std::size_t>(memfd) >= fds.size())
+        return nullptr;
+    OpenFile &f = fds[static_cast<std::size_t>(memfd)];
+    return f.device ? &f : nullptr;
+}
+
+}  // namespace
+
+void
+RegisterDeviceFile(const std::string &name, MemifDevice &device)
+{
+    device_files()[name] = &device;
+}
+
+void
+UnregisterDeviceFile(const std::string &name)
+{
+    device_files().erase(name);
+    // Invalidate descriptors still pointing at now-unregistered devices.
+    for (OpenFile &f : fd_table()) {
+        if (!f.device) continue;
+        bool still_registered = false;
+        for (const auto &[n, d] : device_files())
+            if (d == f.device) still_registered = true;
+        if (!still_registered) {
+            f.device = nullptr;
+            f.user.reset();
+        }
+    }
+}
+
+void
+ResetDeviceFiles()
+{
+    device_files().clear();
+    fd_table().clear();
+}
+
+int
+MemifOpen(const char *device_name)
+{
+    auto it = device_files().find(device_name);
+    if (it == device_files().end()) return kErrNoEntry;
+    OpenFile f;
+    f.device = it->second;
+    f.user = std::make_unique<MemifUser>(*it->second);
+    // Reuse a closed slot if one exists.
+    auto &fds = fd_table();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (!fds[i].device) {
+            fds[i] = std::move(f);
+            return static_cast<int>(i);
+        }
+    }
+    fds.push_back(std::move(f));
+    return static_cast<int>(fds.size() - 1);
+}
+
+int
+MemifClose(int memfd)
+{
+    OpenFile *f = lookup(memfd);
+    if (!f) return kErrBadFd;
+    f->device = nullptr;
+    f->user.reset();
+    return kOk;
+}
+
+mov_req *
+AllocRequest(int memfd)
+{
+    OpenFile *f = lookup(memfd);
+    if (!f) return nullptr;
+    const std::uint32_t idx = f->user->alloc_request();
+    if (idx == kNoRequest) return nullptr;
+    return &f->user->request(idx);
+}
+
+void
+FreeRequest(int memfd, mov_req *req)
+{
+    OpenFile *f = lookup(memfd);
+    if (!f || !req) return;
+    f->user->free_request(f->device->region().index_of(*req));
+}
+
+sim::Task
+SubmitRequest(int memfd, mov_req *req, int *out_rc)
+{
+    OpenFile *f = lookup(memfd);
+    if (!f || !req) {
+        if (out_rc) *out_rc = kErrBadFd;
+        co_return;
+    }
+    co_await f->user->submit(f->device->region().index_of(*req));
+    if (out_rc) *out_rc = kOk;
+}
+
+mov_req *
+RetrieveCompleted(int memfd)
+{
+    OpenFile *f = lookup(memfd);
+    if (!f) return nullptr;
+    const std::uint32_t idx = f->user->retrieve_completed();
+    if (idx == kNoRequest) return nullptr;
+    return &f->user->request(idx);
+}
+
+sim::Task
+Poll(int memfd)
+{
+    OpenFile *f = lookup(memfd);
+    if (!f) co_return;
+    co_await f->user->poll();
+}
+
+sim::Task
+PollFds(std::vector<int> fds, int *out_ready)
+{
+    if (out_ready) *out_ready = -1;
+    std::vector<sim::SimEvent *> events;
+    std::vector<int> valid;
+    sim::EventQueue *eq = nullptr;
+    for (const int fd : fds) {
+        OpenFile *f = lookup(fd);
+        if (!f) continue;
+        events.push_back(&f->device->completion_event());
+        valid.push_back(fd);
+        eq = &f->device->kernel().eq();
+    }
+    if (events.empty()) co_return;
+    // Charge the poll syscall once, against the first device's kernel.
+    os::Kernel &k = lookup(valid.front())->device->kernel();
+    co_await k.cpu().busy(sim::ExecContext::kSyscall, sim::Op::kSyscall,
+                          k.costs().poll_syscall);
+    std::size_t which = 0;
+    co_await sim::wait_any(*eq, events, &which);
+    if (out_ready) *out_ready = valid[which];
+}
+
+}  // namespace memif::core

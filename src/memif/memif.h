@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The memif user API, verbatim from the paper (§4.1, Fig. 2): C-style
+ * functions over integer device descriptors, so application code reads
+ * exactly like the paper's example:
+ *
+ *     int memfd = MemifOpen("/dev/memif0");
+ *     struct mov_req *req = AllocRequest(memfd);
+ *     // populate all the fields
+ *     req->src_base = ...;
+ *     SubmitRequest(req);                  // non-blocking
+ *     ...
+ *     if ((req = RetrieveCompleted(memfd)))
+ *         ... consume ...
+ *     Poll(memfd);                         // sleep for notifications
+ *     MemifClose(memfd);
+ *
+ * The façade wraps MemifUser/MemifDevice. Device files are registered
+ * per simulated kernel under names like "/dev/memif0"; because the
+ * substrate is a simulation, SubmitRequest and Poll are awaitable
+ * (sim::Task) rather than plain blocking calls — the one concession to
+ * the host environment.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memif/device.h"
+#include "memif/mov_req.h"
+#include "memif/user_api.h"
+#include "sim/task.h"
+
+namespace memif::core {
+
+/** mov_req under its paper name. */
+using mov_req = MovReq;
+
+/** Errno-style results for the C API. */
+inline constexpr int kOk = 0;
+inline constexpr int kErrBadFd = -9;       ///< EBADF
+inline constexpr int kErrNoEntry = -2;     ///< ENOENT
+inline constexpr int kErrNoSpace = -28;    ///< ENOSPC (free list empty)
+
+/**
+ * Register @p device under @p name ("/dev/memif0"); done by whoever
+ * creates devices (the analogue of the driver creating the device
+ * node). Names are per-kernel.
+ */
+void RegisterDeviceFile(const std::string &name, MemifDevice &device);
+
+/** Remove a registration (device teardown); descriptors still open on
+ *  the device are invalidated. */
+void UnregisterDeviceFile(const std::string &name);
+
+/** Drop every registration and descriptor (test isolation). */
+void ResetDeviceFiles();
+
+/**
+ * MemifOpen(): open a memif device file.
+ * @return a nonnegative descriptor, or kErrNoEntry.
+ */
+int MemifOpen(const char *device_name);
+
+/** MemifClose(): release the descriptor. @return kOk or kErrBadFd. */
+int MemifClose(int memfd);
+
+/**
+ * AllocRequest(): take a blank mov_req off the instance's free list.
+ * @return the request, or nullptr when none is available.
+ */
+mov_req *AllocRequest(int memfd);
+
+/** FreeRequest(): return a consumed request to the free list. */
+void FreeRequest(int memfd, mov_req *req);
+
+/**
+ * SubmitRequest(): submit a populated request; non-blocking from the
+ * application's perspective (the coroutine only suspends for modelled
+ * time, including the kick ioctl when the library decides one is
+ * needed). @p out_rc receives kOk or an error.
+ */
+sim::Task SubmitRequest(int memfd, mov_req *req, int *out_rc = nullptr);
+
+/**
+ * RetrieveCompleted(): one completion notification, or nullptr if none
+ * is pending. Never blocks.
+ */
+mov_req *RetrieveCompleted(int memfd);
+
+/**
+ * Poll(): sleep until the instance has a pending notification — the
+ * paper's poll(fdset) on one device file.
+ */
+sim::Task Poll(int memfd);
+
+/**
+ * PollFds(): the full poll(fdset) of Figure 2 — sleep until ANY of the
+ * given memif descriptors has a pending notification. @p out_ready
+ * receives a descriptor that is ready (-1 when @p fds was empty or all
+ * invalid).
+ */
+sim::Task PollFds(std::vector<int> fds, int *out_ready);
+
+}  // namespace memif::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The move request (paper Fig. 3b): the hardware-independent
+ * description of one replication or migration of a virtual memory
+ * region, allocated from and living inside the shared region.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace memif::core {
+
+/** The two move semantics of §3. */
+enum class MovOp : std::uint32_t {
+    /** memcpy() semantics between two mapped regions. */
+    kReplicate = 0,
+    /** Replace backing pages with pages on the destination node. */
+    kMigrate = 1,
+};
+
+/** Lifecycle / completion status of a request. */
+enum class MovStatus : std::uint32_t {
+    kFree = 0,       ///< in the free queue
+    kOwned,          ///< allocated by the application, being filled in
+    kSubmitted,      ///< in staging/submission
+    kInFlight,       ///< DMA running
+    kDone,           ///< completed successfully
+    kRaceDetected,   ///< §5.2 proceed-and-fail: CPU touched a page mid-move
+    kAborted,        ///< §5.2 proceed-and-recover: migration rolled back
+    kFailed,         ///< validation or resource failure (see error)
+};
+
+/** Error codes reported through MovReq::error. */
+enum class MovError : std::uint32_t {
+    kNone = 0,
+    kBadAddress,     ///< region not mapped / not page aligned
+    kBadNode,        ///< unknown destination node
+    kNoMemory,       ///< destination node exhausted
+    kBadRequest,     ///< malformed fields
+    kRace,           ///< race detected during migration
+    kAborted,        ///< migration aborted by the recovery handler
+    kBusy,           ///< page already part of an in-flight move
+    kFileBacked,     ///< file-backed pages (rejected unless enabled, §6.7)
+};
+
+/**
+ * One move request. Lives in the shared region; referenced everywhere
+ * by its index. The application populates the parameter fields after
+ * AllocRequest() and must not touch them again until the completion
+ * notification returns the request (paper §4.1).
+ */
+struct MovReq {
+    std::atomic<std::uint32_t> status{
+        static_cast<std::uint32_t>(MovStatus::kFree)};
+    MovOp op = MovOp::kReplicate;
+
+    /** Source region base virtual address (page aligned). */
+    std::uint64_t src_base = 0;
+    /** Replication only: destination region base (page aligned). */
+    std::uint64_t dst_base = 0;
+    /** Migration only: destination memory node. */
+    std::uint32_t dst_node = 0;
+    /** Region length in pages of the containing Vma's granularity. */
+    std::uint32_t num_pages = 0;
+
+    /** Failure detail when status is an error status. */
+    MovError error = MovError::kNone;
+    /** Opaque application cookie, returned untouched. */
+    std::uint64_t user_tag = 0;
+
+    /** Diagnostics (virtual time): set by the library/driver. */
+    std::uint64_t submit_time = 0;
+    std::uint64_t complete_time = 0;
+
+    MovStatus
+    load_status() const
+    {
+        return static_cast<MovStatus>(
+            status.load(std::memory_order_acquire));
+    }
+
+    void
+    store_status(MovStatus s)
+    {
+        status.store(static_cast<std::uint32_t>(s),
+                     std::memory_order_release);
+    }
+
+    /** True for the statuses a completed request can carry. */
+    bool
+    succeeded() const
+    {
+        return load_status() == MovStatus::kDone;
+    }
+};
+
+}  // namespace memif::core

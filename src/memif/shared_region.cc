@@ -1,0 +1,118 @@
+#include "memif/shared_region.h"
+
+#include <new>
+
+#include "sim/log.h"
+
+namespace memif::core {
+
+namespace {
+/** Cells: one per queued request + five queue dummies + slack for
+ *  operations caught between a pool pop and the enqueue CAS. */
+constexpr std::uint32_t kQueueCount = 5;
+constexpr std::uint32_t kCellSlack = 16;
+}  // namespace
+
+SharedRegion::SharedRegion(std::uint32_t capacity)
+{
+    MEMIF_ASSERT(capacity > 0 && capacity < lockfree::kNil,
+                 "bad region capacity");
+    const std::uint32_t ncells = capacity + kQueueCount + kCellSlack;
+
+    const std::size_t header_bytes =
+        (sizeof(RegionHeader) + alignof(lockfree::Cell) - 1) &
+        ~(alignof(lockfree::Cell) - 1);
+    const std::size_t cells_bytes = sizeof(lockfree::Cell) * ncells;
+    const std::size_t cells_end =
+        (header_bytes + cells_bytes + alignof(MovReq) - 1) &
+        ~(alignof(MovReq) - 1);
+    bytes_ = cells_end + sizeof(MovReq) * capacity;
+
+    storage_ = std::make_unique<std::byte[]>(bytes_);
+    header_ = new (storage_.get()) RegionHeader{};
+    header_->capacity = capacity;
+    header_->ncells = ncells;
+    cells_ = reinterpret_cast<lockfree::Cell *>(storage_.get() +
+                                                header_bytes);
+    for (std::uint32_t i = 0; i < ncells; ++i) new (&cells_[i]) lockfree::Cell{};
+    requests_ = reinterpret_cast<MovReq *>(storage_.get() + cells_end);
+    for (std::uint32_t i = 0; i < capacity; ++i) new (&requests_[i]) MovReq{};
+
+    // Format the lock-free structures, then preload the free list with
+    // every request slot (paper Fig. 3a).
+    lockfree::CellPool::initialize(&header_->cell_pool, cells_, ncells);
+    lockfree::CellPool p = pool();
+    lockfree::RedBlueQueue::initialize(&header_->free_q, p,
+                                       lockfree::Color::kRed);
+    lockfree::RedBlueQueue::initialize(&header_->staging_q, p,
+                                       lockfree::Color::kBlue);
+    lockfree::RedBlueQueue::initialize(&header_->submission_q, p,
+                                       lockfree::Color::kRed);
+    lockfree::RedBlueQueue::initialize(&header_->completion_ok_q, p,
+                                       lockfree::Color::kRed);
+    lockfree::RedBlueQueue::initialize(&header_->completion_err_q, p,
+                                       lockfree::Color::kRed);
+    lockfree::RedBlueQueue freeq = free_queue();
+    for (std::uint32_t i = 0; i < capacity; ++i) freeq.enqueue(i);
+}
+
+MovReq &
+SharedRegion::request(std::uint32_t idx)
+{
+    MEMIF_ASSERT(valid_index(idx), "request index out of range");
+    return requests_[idx];
+}
+
+const MovReq &
+SharedRegion::request(std::uint32_t idx) const
+{
+    MEMIF_ASSERT(valid_index(idx), "request index out of range");
+    return requests_[idx];
+}
+
+std::uint32_t
+SharedRegion::index_of(const MovReq &req) const
+{
+    const MovReq *p = &req;
+    MEMIF_ASSERT(p >= requests_ && p < requests_ + capacity(),
+                 "foreign MovReq pointer");
+    return static_cast<std::uint32_t>(p - requests_);
+}
+
+lockfree::CellPool
+SharedRegion::pool()
+{
+    return lockfree::CellPool(&header_->cell_pool, cells_, header_->ncells);
+}
+
+lockfree::RedBlueQueue
+SharedRegion::free_queue()
+{
+    return lockfree::RedBlueQueue(&header_->free_q, pool());
+}
+
+lockfree::RedBlueQueue
+SharedRegion::staging_queue()
+{
+    return lockfree::RedBlueQueue(&header_->staging_q, pool());
+}
+
+lockfree::RedBlueQueue
+SharedRegion::submission_queue()
+{
+    return lockfree::RedBlueQueue(&header_->submission_q, pool());
+}
+
+lockfree::RedBlueQueue
+SharedRegion::completion_ok_queue()
+{
+    return lockfree::RedBlueQueue(&header_->completion_ok_q, pool());
+}
+
+lockfree::RedBlueQueue
+SharedRegion::completion_err_queue()
+{
+    return lockfree::RedBlueQueue(&header_->completion_err_q, pool());
+}
+
+}  // namespace memif::core

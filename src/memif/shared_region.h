@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The shared user/kernel region of one memif instance (paper Fig. 3).
+ *
+ * On the real system this is a set of pinned pages the driver allocates
+ * and mmap()s into the application; here it is one heap buffer both
+ * "sides" address directly (KeyStone II's non-aliasing caches make the
+ * shared-mapping trick sound, §2.3). Layout:
+ *
+ *     [RegionHeader | Cell pool | MovReq array]
+ *
+ * The header holds the lock-free metadata: the cell-pool top and the
+ * five queue head/tail pairs — free list, staging (the red-blue queue),
+ * submission, and the two completion queues ("one for successful moves
+ * and the other for failed ones", §4.2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lockfree/cell.h"
+#include "lockfree/link.h"
+#include "lockfree/queue.h"
+#include "memif/mov_req.h"
+
+namespace memif::core {
+
+/** Queue metadata at the head of the region. */
+struct RegionHeader {
+    std::uint32_t capacity = 0;  ///< MovReq slots
+    std::uint32_t ncells = 0;    ///< lock-free cells
+    lockfree::StackHeader cell_pool;
+    lockfree::QueueHeader free_q;
+    lockfree::QueueHeader staging_q;     ///< red-blue
+    lockfree::QueueHeader submission_q;
+    lockfree::QueueHeader completion_ok_q;
+    lockfree::QueueHeader completion_err_q;
+};
+
+/**
+ * Owner of one instance's shared memory plus typed views onto it.
+ *
+ * All cross-references inside the region are indices; accessors
+ * validate them, preserving the §4.2 safety argument (a corrupted
+ * region can fail requests but cannot make the kernel wander).
+ */
+class SharedRegion {
+  public:
+    /** Default request capacity per instance. */
+    static constexpr std::uint32_t kDefaultCapacity = 256;
+
+    explicit SharedRegion(std::uint32_t capacity = kDefaultCapacity);
+    SharedRegion(const SharedRegion &) = delete;
+    SharedRegion &operator=(const SharedRegion &) = delete;
+
+    std::uint32_t capacity() const { return header_->capacity; }
+
+    /** True if @p idx names a MovReq slot. */
+    bool valid_index(std::uint32_t idx) const { return idx < capacity(); }
+
+    MovReq &request(std::uint32_t idx);
+    const MovReq &request(std::uint32_t idx) const;
+
+    /** Index of @p req within the region (panics on foreign pointers). */
+    std::uint32_t index_of(const MovReq &req) const;
+
+    lockfree::CellPool pool();
+    lockfree::RedBlueQueue free_queue();
+    lockfree::RedBlueQueue staging_queue();
+    lockfree::RedBlueQueue submission_queue();
+    lockfree::RedBlueQueue completion_ok_queue();
+    lockfree::RedBlueQueue completion_err_queue();
+
+    /** Total region footprint in bytes (what the driver would pin). */
+    std::size_t bytes() const { return bytes_; }
+
+  private:
+    lockfree::Cell *cells();
+
+    std::size_t bytes_;
+    std::unique_ptr<std::byte[]> storage_;
+    RegionHeader *header_;
+    lockfree::Cell *cells_;
+    MovReq *requests_;
+};
+
+}  // namespace memif::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The memif user library (paper §4.1, Fig. 2): thin wrappers around the
+ * shared lock-free queues plus the one non-trivial piece, the
+ * SubmitRequest() red-blue flush protocol (§4.4).
+ *
+ * Everything here runs in application context. Calls never block:
+ * AllocRequest/RetrieveCompleted return "nothing available" rather than
+ * waiting, SubmitRequest returns as soon as the request is visible to
+ * the kernel (issuing at most one kick ioctl per idle period), and
+ * poll() is the explicit way to sleep for notifications.
+ *
+ * Typical use (mirrors the paper's Figure 2):
+ *
+ *     MemifUser mif(device);                       // MemifOpen
+ *     std::uint32_t r = mif.alloc_request();       // AllocRequest
+ *     MovReq &req = mif.request(r);
+ *     req.op = MovOp::kMigrate; req.src_base = ...;
+ *     co_await mif.submit(r);                      // SubmitRequest
+ *     ... compute ...
+ *     std::uint32_t done = mif.retrieve_completed();
+ *     if (done == kNoRequest) co_await mif.poll(); // sleep for events
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "lockfree/link.h"
+#include "memif/device.h"
+#include "memif/mov_req.h"
+#include "sim/task.h"
+
+namespace memif::core {
+
+/** Returned when no request / completion is available. */
+inline constexpr std::uint32_t kNoRequest = lockfree::kNil;
+
+/** Library-side counters. */
+struct UserStats {
+    std::uint64_t submits = 0;
+    std::uint64_t kicks = 0;         ///< ioctls actually issued
+    std::uint64_t flush_moves = 0;   ///< staging->submission transfers
+    std::uint64_t completions = 0;
+    std::uint64_t polls = 0;
+};
+
+/**
+ * One application's handle on a memif instance ("MemifOpen").
+ *
+ * Multiple MemifUser objects (one per application thread) may wrap the
+ * same device; the shared queues make that safe by construction (§3).
+ */
+class MemifUser {
+  public:
+    explicit MemifUser(MemifDevice &device)
+        : dev_(device), region_(device.region())
+    {
+    }
+
+    MemifDevice &device() { return dev_; }
+
+    /**
+     * AllocRequest(): take a blank mov_req off the free list.
+     * @return its index, or kNoRequest when the instance is at capacity.
+     */
+    std::uint32_t alloc_request();
+
+    /** Access a request slot by index. */
+    MovReq &request(std::uint32_t idx) { return region_.request(idx); }
+
+    /** FreeRequest(): return a consumed request to the free list. */
+    void free_request(std::uint32_t idx);
+
+    /**
+     * SubmitRequest(): make the request visible to the kernel. The
+     * caller is oblivious to whether a syscall happens; the library
+     * decides via the staging queue's color (§4.4).
+     *
+     * @param kicked (optional) set to whether this call issued the ioctl
+     */
+    sim::Task submit(std::uint32_t idx, bool *kicked = nullptr);
+
+    /**
+     * RetrieveCompleted(): non-blocking; one completed request's index
+     * or kNoRequest. Successful completions are drained before failed
+     * ones; inspect MovReq::load_status()/error to distinguish.
+     */
+    std::uint32_t retrieve_completed();
+
+    /**
+     * poll(): sleep until at least one completion notification is
+     * pending (the device file's poll() support, §4.1).
+     */
+    sim::Task poll();
+
+    const UserStats &stats() const { return stats_; }
+
+  private:
+    /** Charge one user-side lock-free queue operation. */
+    void charge_queue_op(std::uint64_t n = 1);
+
+    MemifDevice &dev_;
+    SharedRegion &region_;
+    UserStats stats_;
+};
+
+}  // namespace memif::core

@@ -1,0 +1,53 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+
+#include "os/process.h"
+#include "sim/log.h"
+
+namespace memif::os {
+
+Kernel::Kernel(KernelConfig cfg)
+    : cfg_(cfg),
+      cpu_(eq_, cfg.num_cores),
+      migration_waitq_(eq_)
+{
+    auto ids = mem::KeystoneMemory::build(pm_, cfg_.slow_bytes);
+    slow_node_ = ids.first;
+    fast_node_ = ids.second;
+    engine_ = std::make_unique<dma::Edma3Engine>(eq_, pm_, cfg_.costs);
+    dma_driver_ = std::make_unique<dma::DmaDriver>(*engine_, cfg_.costs,
+                                                   cfg_.dma_options);
+}
+
+Kernel::~Kernel() = default;
+
+Process &
+Kernel::create_process()
+{
+    const auto pid = static_cast<std::uint32_t>(processes_.size() + 1);
+    processes_.push_back(std::make_unique<Process>(*this, pid));
+    return *processes_.back();
+}
+
+void
+Kernel::spawn(sim::Task task)
+{
+    reap_finished_tasks();
+    if (!task.done()) tasks_.push_back(std::move(task));
+    // else: finished synchronously; rethrow any stored error and drop.
+    else
+        task.rethrow_if_failed();
+}
+
+void
+Kernel::reap_finished_tasks()
+{
+    std::erase_if(tasks_, [](const sim::Task &t) {
+        if (!t.done()) return false;
+        t.rethrow_if_failed();
+        return true;
+    });
+}
+
+}  // namespace memif::os

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The Linux page-migration baseline (paper §2.2, Table 1 "Baseline"
+ * column): the synchronous, CPU-copy, race-*preventing* migration path
+ * that memif is evaluated against in Figures 6, 7 and 8.
+ *
+ * For every page the baseline:
+ *   1. walks the page table from the root and touches the rmap   (Prep)
+ *   2. allocates a destination page, installs a *migration PTE*
+ *      that blocks any accessor, flushes the TLB entry, performs
+ *      cache maintenance                                        (Remap)
+ *   3. copies the bytes with the CPU                             (Copy)
+ *   4. installs the final PTE, flushes the TLB entry again,
+ *      frees the old page, wakes blocked accessors            (Release)
+ *
+ * The whole operation runs in the caller's process context inside one
+ * syscall; completion is the syscall's return (requests batched into a
+ * syscall all complete together — the latency behaviour Figure 7
+ * demonstrates).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "mem/phys.h"
+#include "os/process.h"
+#include "sim/task.h"
+#include "sim/types.h"
+#include "vm/vma.h"
+
+namespace memif::os {
+
+/** Outcome of one migrate_pages()-style syscall. */
+struct MigrationResult {
+    std::uint64_t pages_requested = 0;
+    std::uint64_t pages_moved = 0;
+    /** Unmapped, already on target, or destination exhausted. */
+    std::uint64_t pages_failed = 0;
+    std::uint64_t bytes_moved = 0;
+    /** Virtual time at which the syscall returned. */
+    sim::SimTime completed_at = 0;
+};
+
+/**
+ * Synchronously migrate @p npages pages (of the containing Vma's
+ * granularity) starting at @p start to @p dst_node, Linux-style.
+ *
+ * Coroutine; runs in @p proc's context. Bytes really move and PTEs are
+ * really rewritten, with all costs charged per the Table 1 baseline.
+ */
+sim::Task migrate_pages_sync(Process &proc, vm::VAddr start,
+                             std::uint64_t npages, mem::NodeId dst_node,
+                             MigrationResult *out);
+
+/**
+ * Lazy migration (Goglin & Furmento, paper §7's related work): mark
+ * @p npages pages so each migrates to @p dst_node on its *first
+ * access*. Cheap to request (PTE marking only); every deferred
+ * migration pays the full baseline per-page cost at fault time —
+ * exactly the critique the paper makes ("defer migration without
+ * addressing the major inefficiency").
+ *
+ * Coroutine (one syscall); Process::touch() performs the deferred
+ * per-page migration when the fault fires.
+ */
+sim::Task mbind_lazy(Process &proc, vm::VAddr start, std::uint64_t npages,
+                     mem::NodeId dst_node, MigrationResult *out);
+
+/**
+ * The fault-side worker: migrate exactly the page containing @p va to
+ * its lazy target and clear the marker. Used by Process::touch().
+ */
+sim::Task migrate_lazy_fault(Process &proc, vm::VAddr va);
+
+}  // namespace memif::os

@@ -1,0 +1,78 @@
+#include "os/process.h"
+
+#include <algorithm>
+
+#include "os/kernel.h"
+#include "os/page_migration.h"
+#include "sim/log.h"
+
+namespace memif::os {
+
+Process::Process(Kernel &kernel, std::uint32_t pid)
+    : kernel_(kernel), pid_(pid), as_(kernel.phys())
+{
+}
+
+vm::VAddr
+Process::mmap(std::uint64_t bytes, vm::PageSize psize)
+{
+    return mmap(bytes, psize, kernel_.slow_node());
+}
+
+vm::VAddr
+Process::mmap(std::uint64_t bytes, vm::PageSize psize, mem::NodeId node)
+{
+    return as_.mmap(bytes, psize, node);
+}
+
+sim::Task
+Process::touch(vm::VAddr va, bool write, TouchOutcome *out)
+{
+    Kernel &k = kernel_;
+    TouchOutcome result;
+    for (;;) {
+        const vm::AccessResult r = as_.touch(va, write);
+        if (r == vm::AccessResult::kBlockedOnMigration) {
+            // Baseline race prevention parks us until Release wakes the
+            // migration wait queue; then we retry the access.
+            ++result.blocked;
+            co_await k.migration_waitq().wait();
+            continue;
+        }
+        if (r == vm::AccessResult::kLazyFault) {
+            // Lazy migration: the fault handler moves the page now,
+            // then the access retries on the new location.
+            ++result.lazy_migrations;
+            co_await migrate_lazy_fault(*this, va);
+            continue;
+        }
+        if (r == vm::AccessResult::kClearedYoung) {
+            // The access-flag emulation fault costs a trap round trip.
+            co_await k.cpu().busy(sim::ExecContext::kSyscall,
+                                  sim::Op::kOther,
+                                  k.costs().syscall_crossing);
+        }
+        result.result = r;
+        break;
+    }
+    if (out) *out = result;
+}
+
+sim::Task
+Process::stream_compute(vm::VAddr va, std::uint64_t bytes,
+                        double bytes_per_sec_at_full_speed,
+                        sim::Duration *out_duration)
+{
+    const vm::Vma *vma = as_.find_vma(va);
+    MEMIF_ASSERT(vma != nullptr, "stream_compute over unmapped memory");
+    const mem::Pfn pfn = vma->pte(vma->page_index(va)).pfn;
+    const mem::NodeId node = kernel_.phys().node_of(pfn);
+    const double node_bw = kernel_.phys().node(node).bandwidth_bps();
+    const double bw = std::min(bytes_per_sec_at_full_speed, node_bw);
+    const auto d = static_cast<sim::Duration>(
+        static_cast<double>(bytes) / bw * 1e9);
+    if (out_duration) *out_duration = d;
+    co_await kernel_.cpu().busy(sim::ExecContext::kUser, sim::Op::kOther, d);
+}
+
+}  // namespace memif::os

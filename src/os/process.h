@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Simulated processes: an address space plus the user-side access
+ * behaviours the experiments need (touching memory with migration-PTE
+ * blocking, streaming reads/writes with modelled time).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/task.h"
+#include "vm/addr_space.h"
+#include "vm/vma.h"
+
+namespace memif::os {
+
+class Kernel;
+
+/** Result of a simulated, possibly blocking, memory access. */
+struct TouchOutcome {
+    vm::AccessResult result = vm::AccessResult::kOk;
+    /** Times the accessor was parked on a migration PTE. */
+    std::uint32_t blocked = 0;
+    /** Lazy migrations this access performed (paper §7 related work). */
+    std::uint32_t lazy_migrations = 0;
+};
+
+class Process {
+  public:
+    Process(Kernel &kernel, std::uint32_t pid);
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    std::uint32_t pid() const { return pid_; }
+    Kernel &kernel() { return kernel_; }
+    vm::AddressSpace &as() { return as_; }
+
+    /** mmap in this process, defaulting to the slow (CPU-local) node. */
+    vm::VAddr mmap(std::uint64_t bytes, vm::PageSize psize);
+    vm::VAddr mmap(std::uint64_t bytes, vm::PageSize psize,
+                   mem::NodeId node);
+
+    /**
+     * Simulate one CPU access at @p va. Blocks (in virtual time) while
+     * the page carries a migration PTE, exactly like a Linux thread
+     * caught by baseline migration; charges the access-flag fault cost
+     * when it clears a young bit.
+     *
+     * The final outcome is written to @p out (never kBlockedOnMigration).
+     */
+    sim::Task touch(vm::VAddr va, bool write, TouchOutcome *out);
+
+    /**
+     * Model the CPU streaming over @p bytes at @p va (reading and/or
+     * writing, bandwidth-bound on the backing node). Returns via
+     * @p out_duration the virtual time charged.
+     */
+    sim::Task stream_compute(vm::VAddr va, std::uint64_t bytes,
+                             double bytes_per_sec_at_full_speed,
+                             sim::Duration *out_duration);
+
+  private:
+    Kernel &kernel_;
+    std::uint32_t pid_;
+    vm::AddressSpace as_;
+};
+
+}  // namespace memif::os

@@ -1,0 +1,64 @@
+#include "os/report.h"
+
+#include "os/numa.h"
+#include "sim/cpu.h"
+#include "sim/types.h"
+
+namespace memif::os {
+
+void
+print_system_report(std::FILE *out, Kernel &kernel)
+{
+    std::fprintf(out, "=== system report @ t=%.1f us ===\n",
+                 sim::to_us(kernel.eq().now()));
+
+    std::fprintf(out, "memory nodes:\n");
+    for (const NumaNodeStat &s : numa_stat(kernel)) {
+        std::fprintf(out,
+                     "  node%u %-10s %6llu KB total, %6llu KB used, "
+                     "%6llu KB free%s\n",
+                     s.id, s.name.c_str(),
+                     static_cast<unsigned long long>(s.total_bytes >> 10),
+                     static_cast<unsigned long long>(s.used_bytes >> 10),
+                     static_cast<unsigned long long>(s.free_bytes >> 10),
+                     s.is_fast ? "  [fast]" : "");
+    }
+
+    const dma::EngineStats &es = kernel.dma_engine().stats();
+    std::fprintf(out,
+                 "dma engine: %llu transfers (%llu irq, %llu cancelled), "
+                 "%llu MB moved, busy %.1f us\n",
+                 static_cast<unsigned long long>(es.transfers_started),
+                 static_cast<unsigned long long>(es.interrupts_raised),
+                 static_cast<unsigned long long>(es.transfers_cancelled),
+                 static_cast<unsigned long long>(es.bytes_copied >> 20),
+                 sim::to_us(es.busy_time));
+    const dma::DescriptorRamStats &ds =
+        kernel.dma_engine().param_ram().stats();
+    std::fprintf(out,
+                 "descriptor ram: %llu full writes, %llu partial "
+                 "(reuse) writes\n",
+                 static_cast<unsigned long long>(ds.full_writes),
+                 static_cast<unsigned long long>(ds.partial_writes));
+
+    const sim::CpuAccounting &acct = kernel.cpu().accounting();
+    std::fprintf(out, "cpu time by context:");
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(sim::ExecContext::kCount); ++c) {
+        const auto ctx = static_cast<sim::ExecContext>(c);
+        std::fprintf(out, "  %s=%.1fus",
+                     std::string(sim::to_string(ctx)).c_str(),
+                     sim::to_us(acct.context(ctx)));
+    }
+    std::fprintf(out, "\ncpu time by operation:");
+    for (unsigned o = 0; o < static_cast<unsigned>(sim::Op::kCount); ++o) {
+        const auto op = static_cast<sim::Op>(o);
+        if (acct.op(op) == 0) continue;
+        std::fprintf(out, "  %s=%.1fus",
+                     std::string(sim::to_string(op)).c_str(),
+                     sim::to_us(acct.op(op)));
+    }
+    std::fprintf(out, "\n");
+}
+
+}  // namespace memif::os

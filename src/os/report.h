@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Human-readable system reports — the /proc-style summaries a real
+ * deployment would expose: per-node memory (numastat), DMA engine
+ * counters, and the CPU-time breakdown by context and by Table 1
+ * operation.
+ */
+#pragma once
+
+#include <cstdio>
+
+#include "os/kernel.h"
+
+namespace memif::os {
+
+/** Print node / engine / CPU summaries for the whole machine. */
+void print_system_report(std::FILE *out, Kernel &kernel);
+
+}  // namespace memif::os

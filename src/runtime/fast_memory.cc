@@ -1,0 +1,150 @@
+#include "runtime/fast_memory.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace memif::runtime {
+
+FastMemoryManager::FastMemoryManager(os::Kernel &kernel, os::Process &proc,
+                                     std::uint64_t budget_bytes)
+    : kernel_(kernel),
+      proc_(proc),
+      device_(kernel, proc),
+      user_(device_),
+      budget_(budget_bytes)
+{
+    MEMIF_ASSERT(budget_bytes > 0);
+}
+
+std::list<FastMemoryManager::Region>::iterator
+FastMemoryManager::find_region(vm::VAddr va)
+{
+    return std::find_if(residents_.begin(), residents_.end(),
+                        [va](const Region &r) { return r.va == va; });
+}
+
+bool
+FastMemoryManager::is_resident(vm::VAddr va) const
+{
+    return std::any_of(residents_.begin(), residents_.end(),
+                       [va](const Region &r) { return r.va == va; });
+}
+
+void
+FastMemoryManager::touch_region(vm::VAddr va)
+{
+    auto it = find_region(va);
+    if (it != residents_.end()) it->last_use = ++lru_clock_;
+}
+
+sim::Task
+FastMemoryManager::migrate_and_wait(vm::VAddr va, std::uint64_t bytes,
+                                    mem::NodeId node, bool *ok)
+{
+    *ok = false;
+    const vm::Vma *vma = proc_.as().find_vma(va);
+    if (!vma) co_return;
+    const std::uint64_t pb = vm::page_bytes(vma->page_size());
+    std::uint64_t pages = (bytes + pb - 1) / pb;
+
+    // A mov_req carries at most one PaRAM's worth of pages; split.
+    std::uint32_t outstanding = 0;
+    vm::VAddr cursor = va;
+    while (pages > 0) {
+        const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            pages, dma::DescriptorRam::kEntries));
+        const std::uint32_t idx = user_.alloc_request();
+        MEMIF_ASSERT(idx != core::kNoRequest,
+                     "fast-memory manager instance exhausted");
+        core::MovReq &req = user_.request(idx);
+        req.op = core::MovOp::kMigrate;
+        req.src_base = cursor;
+        req.num_pages = chunk;
+        req.dst_node = node;
+        co_await user_.submit(idx);
+        ++outstanding;
+        cursor += std::uint64_t{chunk} * pb;
+        pages -= chunk;
+    }
+
+    bool all_ok = true;
+    while (outstanding > 0) {
+        const std::uint32_t done = user_.retrieve_completed();
+        if (done == core::kNoRequest) {
+            co_await user_.poll();
+            continue;
+        }
+        if (!user_.request(done).succeeded()) all_ok = false;
+        user_.free_request(done);
+        --outstanding;
+    }
+    if (all_ok) stats_.bytes_migrated += bytes;
+    *ok = all_ok;
+}
+
+sim::Task
+FastMemoryManager::make_resident(vm::VAddr va, std::uint64_t bytes, bool *ok)
+{
+    ++stats_.residency_requests;
+    if (ok) *ok = false;
+    if (bytes == 0 || bytes > budget_) {
+        ++stats_.failures;
+        co_return;
+    }
+
+    auto it = find_region(va);
+    if (it != residents_.end()) {
+        it->last_use = ++lru_clock_;
+        ++stats_.hits;
+        if (ok) *ok = true;
+        co_return;
+    }
+
+    // Evict LRU residents until the region fits the budget.
+    while (resident_bytes_ + bytes > budget_ && !residents_.empty()) {
+        auto victim = residents_.begin();
+        for (auto r = residents_.begin(); r != residents_.end(); ++r)
+            if (r->last_use < victim->last_use) victim = r;
+        const Region evicted = *victim;
+        residents_.erase(victim);
+        resident_bytes_ -= evicted.bytes;
+        ++stats_.evictions;
+        bool evict_ok = false;
+        co_await migrate_and_wait(evicted.va, evicted.bytes,
+                                  kernel_.slow_node(), &evict_ok);
+        if (!evict_ok)
+            MEMIF_WARN("fast-memory eviction of 0x%llx failed",
+                       static_cast<unsigned long long>(evicted.va));
+    }
+
+    bool admit_ok = false;
+    co_await migrate_and_wait(va, bytes, kernel_.fast_node(), &admit_ok);
+    if (!admit_ok) {
+        ++stats_.failures;
+        co_return;
+    }
+    residents_.push_back(Region{va, bytes, ++lru_clock_});
+    resident_bytes_ += bytes;
+    ++stats_.admissions;
+    if (ok) *ok = true;
+}
+
+sim::Task
+FastMemoryManager::evict(vm::VAddr va, bool *ok)
+{
+    if (ok) *ok = false;
+    auto it = find_region(va);
+    if (it == residents_.end()) co_return;
+    const Region region = *it;
+    residents_.erase(it);
+    resident_bytes_ -= region.bytes;
+    ++stats_.evictions;
+    bool mig_ok = false;
+    co_await migrate_and_wait(region.va, region.bytes, kernel_.slow_node(),
+                              &mig_ok);
+    if (ok) *ok = mig_ok;
+}
+
+}  // namespace memif::runtime

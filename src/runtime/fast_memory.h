@@ -1,0 +1,97 @@
+/**
+ * @file
+ * FastMemoryManager — the paper's §6.7 future work, implemented: the
+ * memif prototype "cannot automatically swap out fast memory"; this
+ * extension manages the scarce fast node as an LRU cache of
+ * application regions.
+ *
+ * Applications (or a compiler/runtime, per the paper's vision) ask for
+ * regions to become fast-resident before a compute phase. The manager
+ * migrates them in with memif and transparently evicts the least
+ * recently used residents back to slow memory when the fast budget is
+ * exceeded. All movement is asynchronous memif migration under the
+ * hood; callers await residency.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+
+#include "memif/device.h"
+#include "memif/user_api.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/task.h"
+#include "vm/vma.h"
+
+namespace memif::runtime {
+
+/** Manager statistics. */
+struct FastMemoryStats {
+    std::uint64_t residency_requests = 0;
+    std::uint64_t hits = 0;            ///< already resident
+    std::uint64_t admissions = 0;      ///< migrated in
+    std::uint64_t evictions = 0;       ///< migrated out to make room
+    std::uint64_t failures = 0;        ///< could not admit
+    std::uint64_t bytes_migrated = 0;  ///< both directions
+};
+
+class FastMemoryManager {
+  public:
+    /**
+     * @param budget_bytes fast-node bytes the manager may occupy
+     *        (leave headroom for other fast-memory users).
+     *
+     * Opens a dedicated memif instance for its own traffic so it never
+     * steals the application's completion notifications.
+     */
+    FastMemoryManager(os::Kernel &kernel, os::Process &proc,
+                      std::uint64_t budget_bytes = 5ull << 20);
+
+    std::uint64_t budget() const { return budget_; }
+    std::uint64_t resident_bytes() const { return resident_bytes_; }
+    const FastMemoryStats &stats() const { return stats_; }
+
+    /**
+     * Make [va, va+bytes) fast-resident, evicting LRU residents as
+     * needed. @p va must be page-aligned within one Vma. Coroutine;
+     * *ok reports success (false: bigger than the budget, unmapped, or
+     * migration failure).
+     */
+    sim::Task make_resident(vm::VAddr va, std::uint64_t bytes, bool *ok);
+
+    /** LRU touch — call when computing over a resident region. */
+    void touch_region(vm::VAddr va);
+
+    /** Explicitly send a resident region back to slow memory. */
+    sim::Task evict(vm::VAddr va, bool *ok);
+
+    /** True if the region starting at @p va is currently resident. */
+    bool is_resident(vm::VAddr va) const;
+
+  private:
+    struct Region {
+        vm::VAddr va = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t last_use = 0;  ///< LRU stamp
+    };
+
+    /** Migrate [va, va+bytes) to @p node and wait; *ok = all succeeded. */
+    sim::Task migrate_and_wait(vm::VAddr va, std::uint64_t bytes,
+                               mem::NodeId node, bool *ok);
+
+    std::list<Region>::iterator find_region(vm::VAddr va);
+
+    os::Kernel &kernel_;
+    os::Process &proc_;
+    core::MemifDevice device_;  ///< dedicated instance
+    core::MemifUser user_;
+    std::uint64_t budget_;
+    std::uint64_t resident_bytes_ = 0;
+    std::uint64_t lru_clock_ = 0;
+    std::list<Region> residents_;
+    FastMemoryStats stats_;
+};
+
+}  // namespace memif::runtime

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The compute-kernel interface the mini streaming runtime (§6.6) drives.
+ *
+ * A kernel is two things at once:
+ *
+ *  1. *Real computation*: process() consumes actual bytes (the backing
+ *     memory of the simulated machine) and folds them into a running
+ *     result, so tests can prove the runtime + memif moved the right
+ *     data.
+ *  2. *A timing model*: a KernelModel describing how fast the 4-core
+ *     CPU consumes data depending on where it lives. The calibration
+ *     constants are per-kernel and documented against Table 4 where
+ *     they are defined (src/workloads).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace memif::runtime {
+
+/**
+ * Timing model of one streaming kernel on the simulated platform.
+ *
+ * "Useful bytes" are the stream bytes the throughput metric counts
+ * (Table 4 reports MB/s of consumed stream data).
+ */
+struct KernelModel {
+    std::string name;
+    /**
+     * Consumption rate (useful B/s, all 4 cores) when inputs sit in
+     * fast memory — the compute-bound ceiling.
+     */
+    double compute_rate_fast = 0.0;
+    /**
+     * Total slow-memory traffic per useful byte when computing directly
+     * from slow memory (extra arrays, write-allocate, ...). The
+     * slow-memory consumption rate is slow_bw / this.
+     */
+    double slow_traffic_factor = 1.0;
+    /**
+     * DMA bytes that must be staged into fast memory per useful byte
+     * (how much of the kernel's traffic the prefetch path carries).
+     */
+    double fill_factor = 1.0;
+    /**
+     * Fraction of the kernel's accesses served by the on-chip caches
+     * regardless of which memory backs the data. Cache-friendly
+     * workloads (paper §6.7: wordcount, psearchy) have this near 1 and
+     * therefore gain little from fast memory.
+     */
+    double cache_hit_fraction = 0.0;
+
+    /** Time for the CPU to consume @p bytes living in fast memory. */
+    sim::Duration
+    consume_time_fast(std::uint64_t bytes) const
+    {
+        return static_cast<sim::Duration>(
+            static_cast<double>(bytes) / compute_rate_fast * 1e9);
+    }
+
+    /** Time to consume @p bytes directly from slow memory. */
+    sim::Duration
+    consume_time_slow(std::uint64_t bytes, double slow_bw) const
+    {
+        const double rate_bw = slow_bw / slow_traffic_factor;
+        const double rate =
+            rate_bw < compute_rate_fast ? rate_bw : compute_rate_fast;
+        // Accesses the cache absorbs run at the compute-bound rate even
+        // when the data nominally lives in slow memory (§6.7).
+        const double t_fast = 1.0 / compute_rate_fast;
+        const double t_slow = 1.0 / rate;
+        const double t = cache_hit_fraction * t_fast +
+                         (1.0 - cache_hit_fraction) * t_slow;
+        return static_cast<sim::Duration>(static_cast<double>(bytes) * t *
+                                          1e9);
+    }
+};
+
+/** A streaming compute kernel. */
+class StreamKernel {
+  public:
+    explicit StreamKernel(KernelModel model) : model_(std::move(model)) {}
+    virtual ~StreamKernel() = default;
+
+    const KernelModel &model() const { return model_; }
+    const std::string &name() const { return model_.name; }
+
+    /** Consume @p bytes of real data, folding them into the result. */
+    virtual void process(const std::byte *data, std::uint64_t bytes) = 0;
+
+    /** Order-independent digest of everything processed so far. */
+    virtual std::uint64_t result() const = 0;
+
+    /** Reset the running result. */
+    virtual void reset() = 0;
+
+  private:
+    KernelModel model_;
+};
+
+}  // namespace memif::runtime

@@ -1,0 +1,187 @@
+#include "runtime/streaming_runtime.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace memif::runtime {
+
+namespace {
+
+/**
+ * Feed @p bytes at @p va into the kernel page by page (virtually
+ * contiguous memory need not be physically contiguous).
+ */
+void
+process_region(StreamKernel &kernel, vm::AddressSpace &as, vm::VAddr va,
+               std::uint64_t bytes, std::uint64_t page_bytes)
+{
+    std::uint64_t off = 0;
+    while (off < bytes) {
+        const std::uint64_t chunk = std::min(page_bytes, bytes - off);
+        const std::byte *p = as.translate(va + off);
+        MEMIF_ASSERT(p != nullptr, "stream region not mapped");
+        kernel.process(p, chunk);
+        off += chunk;
+    }
+}
+
+}  // namespace
+
+StreamingRuntime::StreamingRuntime(os::Kernel &kernel, os::Process &proc,
+                                   core::MemifDevice &device,
+                                   RuntimeConfig config)
+    : kernel_(kernel),
+      proc_(proc),
+      device_(device),
+      user_(device),
+      config_(config),
+      buffers_(config.num_buffers)
+{
+    MEMIF_ASSERT(config_.num_buffers > 0 && config_.buffer_bytes > 0);
+    MEMIF_ASSERT(config_.buffer_bytes %
+                     vm::page_bytes(config_.page_size) == 0,
+                 "buffer size must be page-aligned");
+    for (Buffer &buf : buffers_) {
+        buf.base = proc_.mmap(config_.buffer_bytes, config_.page_size,
+                              kernel_.fast_node());
+        if (buf.base == 0)
+            MEMIF_FATAL("fast memory cannot back %u x %llu prefetch buffers",
+                        config_.num_buffers,
+                        static_cast<unsigned long long>(config_.buffer_bytes));
+    }
+}
+
+sim::Task
+StreamingRuntime::submit_fill(Buffer &buf, vm::VAddr src,
+                              std::uint64_t offset, std::uint64_t bytes)
+{
+    const std::uint32_t idx = user_.alloc_request();
+    MEMIF_ASSERT(idx != core::kNoRequest,
+                 "memif instance too small for the buffer count");
+    core::MovReq &req = user_.request(idx);
+    req.op = core::MovOp::kReplicate;
+    req.src_base = src + offset;
+    req.dst_base = buf.base;
+    req.num_pages = static_cast<std::uint32_t>(
+        (bytes + vm::page_bytes(config_.page_size) - 1) /
+        vm::page_bytes(config_.page_size));
+    buf.req = idx;
+    buf.chunk_offset = offset;
+    buf.ready = false;
+    co_await user_.submit(idx);
+}
+
+sim::Task
+StreamingRuntime::run(vm::VAddr src, std::uint64_t total_bytes,
+                      StreamKernel &kernel, StreamRunResult *out)
+{
+    const sim::SimTime t0 = kernel_.eq().now();
+    const std::uint64_t chunk = config_.buffer_bytes;
+    const double slow_bw =
+        kernel_.phys().node(kernel_.slow_node()).bandwidth_bps();
+    const std::uint64_t page_bytes = vm::page_bytes(config_.page_size);
+
+    kernel.reset();
+    StreamRunResult result;
+    std::uint64_t next_offset = 0;   // next stream offset to assign
+    std::uint64_t consumed = 0;
+
+    // Fill every buffer up front ("as soon as one application starts,
+    // the runtime fills all buffers ... asynchronously"). Submissions
+    // run as separate application threads: a kick ioctl then overlaps
+    // with compute, as it does on the real 4-core machine where the
+    // workload computes on all cores while one thread manages buffers.
+    for (Buffer &buf : buffers_) {
+        if (next_offset >= total_bytes) break;
+        const std::uint64_t bytes = std::min(chunk, total_bytes - next_offset);
+        kernel_.spawn(submit_fill(buf, src, next_offset, bytes));
+        next_offset += bytes;
+    }
+
+    while (consumed < total_bytes) {
+        const std::uint32_t done = user_.retrieve_completed();
+        if (done != core::kNoRequest) {
+            // A buffer is ready: consume it with all cores, then refill.
+            auto it = std::find_if(
+                buffers_.begin(), buffers_.end(),
+                [done](const Buffer &b) { return b.req == done; });
+            MEMIF_ASSERT(it != buffers_.end(), "orphan completion");
+            MEMIF_ASSERT(user_.request(done).succeeded(),
+                         "prefetch replication failed");
+            Buffer &buf = *it;
+            const std::uint64_t bytes =
+                std::min(chunk, total_bytes - buf.chunk_offset);
+            user_.free_request(done);
+            buf.req = core::kNoRequest;
+
+            co_await kernel_.cpu().busy(
+                sim::ExecContext::kUser, sim::Op::kOther,
+                kernel.model().consume_time_fast(bytes));
+            process_region(kernel, proc_.as(), buf.base, bytes, page_bytes);
+            consumed += bytes;
+            ++result.chunks_from_fast;
+
+            if (next_offset < total_bytes) {
+                const std::uint64_t nbytes =
+                    std::min(chunk, total_bytes - next_offset);
+                kernel_.spawn(submit_fill(buf, src, next_offset, nbytes));
+                next_offset += nbytes;
+            }
+            continue;
+        }
+        if (next_offset < total_bytes) {
+            // No prefetched data ready: consume the next chunk straight
+            // from slow memory (§6.6 fallback).
+            const std::uint64_t bytes =
+                std::min(chunk, total_bytes - next_offset);
+            co_await kernel_.cpu().busy(
+                sim::ExecContext::kUser, sim::Op::kOther,
+                kernel.model().consume_time_slow(bytes, slow_bw));
+            process_region(kernel, proc_.as(), src + next_offset, bytes,
+                           page_bytes);
+            consumed += bytes;
+            next_offset += bytes;
+            ++result.chunks_from_slow;
+            continue;
+        }
+        // Everything is fetched or in flight: sleep for notifications.
+        co_await user_.poll();
+    }
+
+    result.bytes_consumed = consumed;
+    result.elapsed = kernel_.eq().now() - t0;
+    result.result_digest = kernel.result();
+    if (out) *out = result;
+}
+
+sim::Task
+StreamingRuntime::run_direct(vm::VAddr src, std::uint64_t total_bytes,
+                             StreamKernel &kernel, StreamRunResult *out)
+{
+    const sim::SimTime t0 = kernel_.eq().now();
+    const std::uint64_t chunk = config_.buffer_bytes;
+    const double slow_bw =
+        kernel_.phys().node(kernel_.slow_node()).bandwidth_bps();
+    const std::uint64_t page_bytes = vm::page_bytes(config_.page_size);
+
+    kernel.reset();
+    StreamRunResult result;
+    std::uint64_t consumed = 0;
+    while (consumed < total_bytes) {
+        const std::uint64_t bytes = std::min(chunk, total_bytes - consumed);
+        co_await kernel_.cpu().busy(
+            sim::ExecContext::kUser, sim::Op::kOther,
+            kernel.model().consume_time_slow(bytes, slow_bw));
+        process_region(kernel, proc_.as(), src + consumed, bytes,
+                       page_bytes);
+        consumed += bytes;
+        ++result.chunks_from_slow;
+    }
+    result.bytes_consumed = consumed;
+    result.elapsed = kernel_.eq().now() - t0;
+    result.result_digest = kernel.result();
+    if (out) *out = result;
+}
+
+}  // namespace memif::runtime

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The central timing calibration for the simulated KeyStone II platform.
+ *
+ * Every constant is annotated with the paper passage it was derived from.
+ * Where the paper gives only aggregates (e.g. "~15 us per 4 KB page, of
+ * which 4 us is the copy"), the split across primitive operations was
+ * chosen so the aggregates and all evaluation *shapes* (Figures 6-8,
+ * Table 4) are reproduced; see EXPERIMENTS.md for the validation.
+ *
+ * All times are virtual nanoseconds; all bandwidths are bytes/second.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace memif::sim {
+
+/**
+ * Calibrated cost constants for one simulated platform.
+ *
+ * The defaults model the TI KeyStone II of Table 2: 4x Cortex-A15 @1.2 GHz,
+ * 6 MB on-chip SRAM (24.0 GB/s measured), 8 GB DDR3-1600 (6.2 GB/s
+ * measured), and the EDMA3 DMA engine.
+ */
+struct CostModel {
+    // ----- Memory system (paper Table 2) ------------------------------
+    /** Measured fast-memory (SRAM) bandwidth: 24.0 GB/s. */
+    double fast_mem_bw = 24.0e9;
+    /** Measured slow-memory (DDR3) bandwidth: 6.2 GB/s. */
+    double slow_mem_bw = 6.2e9;
+
+    // ----- CPU byte copy (paper 2.2: ~4 us of the ~15 us per 4 KB page
+    //       is copying bytes; Fig. 8 shows migspeed at ~2 GB/s for 2 MB
+    //       pages, so the copy has a fixed per-call component plus a
+    //       streaming component).
+    /** Fixed per-copy-call overhead (cache warmup, loop setup). */
+    Duration cpu_copy_fixed = nanoseconds(2050);
+    /** Streaming CPU copy bandwidth (read+write through one A15 core). */
+    double cpu_copy_bw = 2.1e9;
+
+    // ----- Virtual memory management (paper 2.2 & 5.2: per-page kernel
+    //       work is ~11 us beyond the copy; "changing PTE and TLB has
+    //       significant direct cost, e.g., up to a couple of us").
+    /** Full top-down page-table walk to one PTE. */
+    Duration page_walk_full = nanoseconds(800);
+    /** Stepping to an adjacent PTE during gang lookup (paper 5.1). */
+    Duration page_walk_adjacent = nanoseconds(50);
+    /** Writing one PTE (no TLB work). */
+    Duration pte_update = nanoseconds(400);
+    /** Atomic compare-and-swap on one PTE (paper 5.2 Release). */
+    Duration pte_cas = nanoseconds(120);
+    /** Flushing one page's TLB entry, incl. broadcast cost (paper 5.2). */
+    Duration tlb_flush_page = nanoseconds(1500);
+    /** Per-page reverse-map / page-descriptor bookkeeping. */
+    Duration rmap_per_page = nanoseconds(1000);
+    /** Cache maintenance per 4 KB (baseline Linux flushes; EDMA3 on
+     *  KeyStone II is coherent so memif skips this, paper 2.3). */
+    Duration cache_flush_per_4k = nanoseconds(1000);
+    /** Upper bound on one flush: cleaning the whole L2 by set/way is
+     *  cheaper than by-VA maintenance over a large range. */
+    Duration cache_flush_cap = microseconds(64);
+
+    // ----- Physical page allocator -----------------------------------
+    /** Allocating one 4 KB page from the buddy allocator. */
+    Duration page_alloc_base = nanoseconds(1500);
+    /** Extra allocation cost per order (finding/splitting larger blocks). */
+    Duration page_alloc_per_order = nanoseconds(350);
+    /** Per-frame cost of high-order allocations (compaction pressure:
+     *  assembling 512 contiguous frames is far costlier than 1). */
+    Duration page_alloc_per_frame = nanoseconds(25);
+    /** Freeing one page (any order). */
+    Duration page_free = nanoseconds(1000);
+
+    // ----- User/kernel interface (paper 2.3: crossings "significantly
+    //       interfere"; FlexSC-style motivation).
+    /** One syscall enter+exit round trip. */
+    Duration syscall_crossing = nanoseconds(600);
+    /** Fixed in-kernel setup per migration syscall (arg copy, vma checks). */
+    Duration syscall_setup = nanoseconds(2000);
+    /** One lock-free queue operation (enqueue/dequeue/set_color). */
+    Duration queue_op = nanoseconds(50);
+    /** Validating one mov_req (bounds, ownership; paper 4.2 safety). */
+    Duration request_validate = nanoseconds(1000);
+    /** Per-request driver bookkeeping (in-flight tracking, SG set-up). */
+    Duration request_admin = nanoseconds(2000);
+
+    // ----- DMA engine (paper 5.3: "4-5 us to configure one descriptor";
+    //       reuse rewrites only src/dst, "reducing the second overhead
+    //       by 4x").
+    /** Full 12-field write of one EDMA3 PaRAM descriptor (uncached I/O). */
+    Duration dma_desc_write_full = nanoseconds(4500);
+    /** Rewriting only src+dst of a cached descriptor (4x cheaper). */
+    Duration dma_desc_write_reuse = nanoseconds(1100);
+    /** Rewriting a single link field (chain fix-up during reuse). */
+    Duration dma_desc_write_link = nanoseconds(550);
+    /** Computing one descriptor's 12 parameters. */
+    Duration dma_desc_param_calc = nanoseconds(500);
+    /** Parameter calc when cached per-page-size (paper 5.3 first opt.). */
+    Duration dma_desc_param_cached = nanoseconds(100);
+    /** Kicking the engine (trigger register write) per transfer. */
+    Duration dma_start = nanoseconds(1500);
+    /** Engine-internal startup latency before bytes flow. */
+    Duration dma_latency = nanoseconds(800);
+    /** Per-descriptor (per-page) engine processing overhead. */
+    Duration dma_per_desc = nanoseconds(150);
+
+    // ----- Interrupts & scheduling ------------------------------------
+    /** IRQ entry + handler prologue/epilogue. */
+    Duration irq_overhead = nanoseconds(3500);
+    /** Waking a kernel thread and getting it on a core. */
+    Duration kthread_wakeup = nanoseconds(2500);
+    /** Kernel thread short-sleep granularity in polled mode (paper 5.4). */
+    Duration kthread_poll_interval = nanoseconds(2000);
+    /** poll() syscall: enqueue on wait queue + wakeup + return. */
+    Duration poll_syscall = nanoseconds(3000);
+
+    // ----- Derived helpers --------------------------------------------
+    /** Time for the CPU to copy @p bytes (one core, synchronous). */
+    Duration
+    cpu_copy_time(std::uint64_t bytes) const
+    {
+        return cpu_copy_fixed +
+               static_cast<Duration>(static_cast<double>(bytes) / cpu_copy_bw *
+                                     1e9);
+    }
+
+    /** Buddy allocation cost for a 2^order-page block. */
+    Duration
+    page_alloc_time(unsigned order) const
+    {
+        return page_alloc_base + order * page_alloc_per_order +
+               (std::uint64_t{1} << order) * page_alloc_per_frame;
+    }
+
+    /**
+     * DMA streaming time for @p bytes between nodes with the given
+     * bandwidths; the slower side bounds the transfer.
+     */
+    Duration
+    dma_stream_time(std::uint64_t bytes, double src_bw, double dst_bw) const
+    {
+        const double bw = src_bw < dst_bw ? src_bw : dst_bw;
+        return static_cast<Duration>(static_cast<double>(bytes) / bw * 1e9);
+    }
+
+    /** Baseline cache maintenance for @p bytes (non-coherent DMA only). */
+    Duration
+    cache_flush_time(std::uint64_t bytes) const
+    {
+        const Duration by_va = cache_flush_per_4k * ((bytes + 4095) / 4096);
+        return by_va < cache_flush_cap ? by_va : cache_flush_cap;
+    }
+};
+
+}  // namespace memif::sim

@@ -1,0 +1,47 @@
+#include "sim/cpu.h"
+
+namespace memif::sim {
+
+std::string_view
+to_string(ExecContext c)
+{
+    switch (c) {
+      case ExecContext::kUser: return "user";
+      case ExecContext::kSyscall: return "syscall";
+      case ExecContext::kIrq: return "irq";
+      case ExecContext::kKthread: return "kthread";
+      default: return "?";
+    }
+}
+
+std::string_view
+to_string(Op op)
+{
+    switch (op) {
+      case Op::kPrep: return "prep";
+      case Op::kRemap: return "remap";
+      case Op::kDmaConfig: return "dma-cfg";
+      case Op::kCopy: return "copy";
+      case Op::kRelease: return "release";
+      case Op::kNotify: return "notify";
+      case Op::kSyscall: return "syscall";
+      case Op::kQueue: return "queue";
+      case Op::kSched: return "sched";
+      case Op::kOther: return "other";
+      default: return "?";
+    }
+}
+
+CpuAccounting
+CpuAccounting::since(const CpuAccounting &earlier) const
+{
+    CpuAccounting d;
+    for (std::size_t i = 0; i < by_context.size(); ++i)
+        d.by_context[i] = by_context[i] - earlier.by_context[i];
+    for (std::size_t i = 0; i < by_op.size(); ++i)
+        d.by_op[i] = by_op[i] - earlier.by_op[i];
+    d.total = total - earlier.total;
+    return d;
+}
+
+}  // namespace memif::sim

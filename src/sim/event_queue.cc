@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace memif::sim {
+
+void
+EventQueue::schedule_at(SimTime when, Callback cb)
+{
+    MEMIF_ASSERT(cb != nullptr);
+    if (when < now_) when = now_;  // never schedule into the past
+    events_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void
+EventQueue::schedule_after(Duration delay, Callback cb)
+{
+    schedule_at(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty()) return false;
+    // Move the callback out before popping so the event may schedule
+    // new events (including at the same timestamp) safely.
+    Event ev = events_.top();
+    events_.pop();
+    MEMIF_ASSERT(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t n = 0;
+    while (step()) ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::run_until(SimTime deadline)
+{
+    std::uint64_t n = 0;
+    while (!events_.empty() && events_.top().when <= deadline) {
+        step();
+        ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+}  // namespace memif::sim

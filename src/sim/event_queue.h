@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The discrete-event core: a virtual clock plus a priority queue of
+ * timestamped callbacks.
+ *
+ * Events scheduled for the same instant fire in FIFO order (a monotonically
+ * increasing sequence number breaks ties), which makes simulations fully
+ * deterministic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace memif::sim {
+
+/**
+ * A deterministic discrete-event queue with a virtual clock.
+ *
+ * The queue is single-threaded by design: all simulated concurrency
+ * (kernel threads, interrupt handlers, DMA completions) is expressed as
+ * interleaved events on one host thread.
+ */
+class EventQueue {
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current virtual time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute virtual time @p when. */
+    void schedule_at(SimTime when, Callback cb);
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    void schedule_after(Duration delay, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Run the single earliest event, advancing the clock to its timestamp.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run events until the queue drains.
+     * @return the number of events executed.
+     */
+    std::uint64_t run();
+
+    /**
+     * Run events with timestamps <= @p deadline; the clock ends at
+     * min(deadline, time of last event) and never goes backwards.
+     * @return the number of events executed.
+     */
+    std::uint64_t run_until(SimTime deadline);
+
+    /** Total events executed since construction. */
+    std::uint64_t events_executed() const { return executed_; }
+
+  private:
+    struct Event {
+        SimTime when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace memif::sim

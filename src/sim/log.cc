@@ -1,0 +1,110 @@
+#include "sim/log.h"
+
+#include <atomic>
+
+namespace memif::sim {
+
+namespace {
+std::atomic<int> g_log_level{0};
+
+void
+vreport(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+}  // namespace
+
+int
+log_level()
+{
+    return g_log_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_level(int level)
+{
+    g_log_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panic_impl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+void
+fatal_impl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+void
+warn_impl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform_impl(const char *fmt, ...)
+{
+    if (log_level() < 1) return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug_impl(const char *fmt, ...)
+{
+    if (log_level() < 2) return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("debug", fmt, ap);
+    va_end(ap);
+}
+
+void
+assert_fail(const char *file, int line, const char *cond)
+{
+    std::fprintf(stderr, "panic: %s:%d: assertion failed: %s\n", file, line,
+                 cond);
+}
+
+void
+assert_abort()
+{
+    std::abort();
+}
+
+void
+assert_abort(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace memif::sim

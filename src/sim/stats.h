@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Small statistics helpers used by tests and benchmark harnesses:
+ * counters, min/max/mean accumulators, and fixed-bucket histograms.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace memif::sim {
+
+/** Streaming accumulator: count, sum, min, max, mean, stddev. */
+class Accumulator {
+  public:
+    void
+    add(double v)
+    {
+        ++n_;
+        sum_ += v;
+        sum_sq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (n_ < 2) return 0.0;
+        const double m = mean();
+        const double var =
+            (sum_sq_ - static_cast<double>(n_) * m * m) /
+            static_cast<double>(n_ - 1);
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    void reset() { *this = Accumulator{}; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Samples kept in full, for percentiles over modest populations. */
+class Samples {
+  public:
+    void add(double v) { values_.push_back(v); }
+    std::size_t count() const { return values_.size(); }
+
+    double
+    percentile(double p) const
+    {
+        if (values_.empty()) return 0.0;
+        std::vector<double> sorted(values_);
+        std::sort(sorted.begin(), sorted.end());
+        const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    }
+
+    double median() const { return percentile(50.0); }
+
+    double
+    mean() const
+    {
+        if (values_.empty()) return 0.0;
+        double s = 0.0;
+        for (double v : values_) s += v;
+        return s / static_cast<double>(values_.size());
+    }
+
+    double
+    max() const
+    {
+        double m = 0.0;
+        for (double v : values_) m = std::max(m, v);
+        return m;
+    }
+
+    const std::vector<double> &values() const { return values_; }
+    void reset() { values_.clear(); }
+
+  private:
+    std::vector<double> values_;
+};
+
+}  // namespace memif::sim

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * C++20 coroutine tasks for the discrete-event simulator.
+ *
+ * A simulated "thread of control" (an application thread, a kernel thread,
+ * an interrupt handler body) is written as a coroutine returning
+ * sim::Task. Inside, it awaits:
+ *
+ *   - sim::Delay{eq, ns}      advance virtual time (optionally charging CPU)
+ *   - sim::SimEvent::wait()   block until another task signals (sync.h)
+ *   - another sim::Task       join a child task
+ *
+ * Tasks start eagerly: the coroutine body runs synchronously until its
+ * first suspension point. Completion is observable through done() and by
+ * co_await-ing the Task. A Task object owns the coroutine frame; destroying
+ * a still-suspended Task destroys the frame (any event that would have
+ * resumed it is disarmed through a shared liveness token, so stray
+ * callbacks in the event queue are harmless).
+ */
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace memif::sim {
+
+/**
+ * An eagerly-started, joinable coroutine task with void result.
+ *
+ * Move-only. Exactly one awaiter may co_await a given task.
+ */
+class [[nodiscard]] Task {
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type {
+        /** Set once the coroutine runs to completion. */
+        bool done = false;
+        /** Coroutine waiting on us via co_await, if any. */
+        std::coroutine_handle<> continuation;
+        /** Captured exception, rethrown at the join point. */
+        std::exception_ptr error;
+        /**
+         * Liveness token shared with resume callbacks sitting in the event
+         * queue; reset when the frame is destroyed.
+         */
+        std::shared_ptr<bool> alive = std::make_shared<bool>(true);
+
+        Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter {
+            bool await_ready() noexcept { return false; }
+            std::coroutine_handle<>
+            await_suspend(Handle h) noexcept
+            {
+                promise_type &p = h.promise();
+                p.done = true;
+                if (p.continuation) return p.continuation;
+                return std::noop_coroutine();
+            }
+            void await_resume() noexcept {}
+        };
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void return_void() {}
+        void
+        unhandled_exception()
+        {
+            error = std::current_exception();
+        }
+    };
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+    Task(Task &&other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    /** True if no coroutine is attached (moved-from or default). */
+    bool empty() const { return !handle_; }
+
+    /** True once the coroutine body has run to completion. */
+    bool done() const { return handle_ && handle_.promise().done; }
+
+    /**
+     * Rethrow any exception the task captured. Call after done(); joining
+     * via co_await does this automatically.
+     */
+    void
+    rethrow_if_failed() const
+    {
+        if (handle_ && handle_.promise().error)
+            std::rethrow_exception(handle_.promise().error);
+    }
+
+    /** Awaiter: suspend the caller until this task completes. */
+    struct JoinAwaiter {
+        Handle handle;
+        bool await_ready() const noexcept { return handle.promise().done; }
+        void
+        await_suspend(std::coroutine_handle<> caller) noexcept
+        {
+            MEMIF_ASSERT(!handle.promise().continuation,
+                         "a Task may only be awaited once");
+            handle.promise().continuation = caller;
+        }
+        void
+        await_resume() const
+        {
+            if (handle.promise().error)
+                std::rethrow_exception(handle.promise().error);
+        }
+    };
+    JoinAwaiter
+    operator co_await() const
+    {
+        MEMIF_ASSERT(handle_, "awaiting an empty Task");
+        return JoinAwaiter{handle_};
+    }
+
+    /** Liveness token for resume callbacks (see Delay). */
+    std::weak_ptr<bool>
+    liveness() const
+    {
+        MEMIF_ASSERT(handle_, "liveness of an empty Task");
+        return handle_.promise().alive;
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.promise().alive.reset();  // disarm pending resumes
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_;
+};
+
+namespace detail {
+
+/**
+ * Fetch the liveness token of the coroutine identified by @p h, assuming it
+ * is a Task coroutine. Awaitables use this so a resume scheduled in the
+ * event queue becomes a no-op if the frame has been destroyed meanwhile.
+ */
+inline std::weak_ptr<bool>
+liveness_of(std::coroutine_handle<> h)
+{
+    auto typed = Task::Handle::from_address(h.address());
+    return typed.promise().alive;
+}
+
+/** Schedule a liveness-guarded resume of @p h after @p delay. */
+inline void
+schedule_resume(EventQueue &eq, Duration delay, std::coroutine_handle<> h)
+{
+    std::weak_ptr<bool> alive = liveness_of(h);
+    eq.schedule_after(delay, [h, alive = std::move(alive)] {
+        if (alive.lock()) h.resume();
+    });
+}
+
+}  // namespace detail
+
+/**
+ * Awaitable that advances virtual time by a fixed duration.
+ *
+ * `co_await Delay{eq, microseconds(3)};`
+ */
+struct Delay {
+    EventQueue &eq;
+    Duration amount;
+
+    bool await_ready() const noexcept { return false; }
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        detail::schedule_resume(eq, amount, h);
+    }
+    void await_resume() const noexcept {}
+};
+
+/**
+ * Awaitable that reschedules the current task at the current time, letting
+ * all other runnable events at this instant execute first.
+ */
+struct Yield {
+    EventQueue &eq;
+
+    bool await_ready() const noexcept { return false; }
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        detail::schedule_resume(eq, 0, h);
+    }
+    void await_resume() const noexcept {}
+};
+
+}  // namespace memif::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Basic simulation types: virtual time and duration helpers.
+ *
+ * The simulator measures time in integer nanoseconds of *virtual* time.
+ * All modelled costs (CPU work, DMA transfers, interrupt latencies) advance
+ * this clock; host wall-clock time is never consulted, which keeps every
+ * experiment deterministic.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace memif::sim {
+
+/** Virtual time, in nanoseconds since simulation start. */
+using SimTime = std::uint64_t;
+
+/** Duration in virtual nanoseconds. */
+using Duration = std::uint64_t;
+
+/** Sentinel for "no deadline". */
+inline constexpr SimTime kTimeNever = ~SimTime{0};
+
+/** @name Duration literals (plain constexpr helpers, not UDLs). */
+///@{
+constexpr Duration nanoseconds(std::uint64_t n) { return n; }
+constexpr Duration microseconds(std::uint64_t n) { return n * 1000; }
+constexpr Duration milliseconds(std::uint64_t n) { return n * 1000 * 1000; }
+constexpr Duration seconds(std::uint64_t n) { return n * 1000 * 1000 * 1000; }
+///@}
+
+/** Convert a virtual duration to floating-point microseconds. */
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/** Convert a virtual duration to floating-point milliseconds. */
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/** Convert a virtual duration to floating-point seconds. */
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / 1e9; }
+
+/**
+ * Throughput in GB/s for @p bytes moved over duration @p d.
+ * Returns 0 for a zero duration.
+ */
+constexpr double gb_per_sec(std::uint64_t bytes, Duration d)
+{
+    if (d == 0) return 0.0;
+    return static_cast<double>(bytes) / static_cast<double>(d);
+}
+
+}  // namespace memif::sim

@@ -1,0 +1,273 @@
+#include "vm/addr_space.h"
+
+#include <cstring>
+
+#include "sim/log.h"
+
+namespace memif::vm {
+
+AddressSpace::~AddressSpace()
+{
+    for (auto &vma : vmas_) release_vma(*vma);
+}
+
+VAddr
+AddressSpace::mmap(std::uint64_t bytes, PageSize psize, mem::NodeId node)
+{
+    return mmap_policy(bytes, psize, [node](std::uint64_t) {
+        return std::vector<mem::NodeId>{node};
+    });
+}
+
+VAddr
+AddressSpace::mmap_policy(std::uint64_t bytes, PageSize psize,
+                          const NodeCandidatesFn &candidates_of)
+{
+    const std::uint64_t pb = page_bytes(psize);
+    const std::uint64_t num_pages = (bytes + pb - 1) / pb;
+    if (num_pages == 0) return 0;
+
+    // Align the base to the page size so large pages are natural.
+    const VAddr base = (next_base_ + pb - 1) & ~(pb - 1);
+
+    const std::vector<mem::NodeId> first_candidates = candidates_of(0);
+    const mem::NodeId home = first_candidates.empty()
+                                 ? mem::kInvalidNode
+                                 : first_candidates.front();
+    auto vma = std::make_unique<Vma>(this, base, num_pages, psize, home,
+                                     table_);
+    const unsigned order = page_order(psize);
+
+    // Eager population, freeing everything on mid-way exhaustion.
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        mem::Pfn pfn = mem::kInvalidPfn;
+        for (const mem::NodeId node : candidates_of(i)) {
+            pfn = pm_.allocate(node, order);
+            if (pfn != mem::kInvalidPfn) break;
+        }
+        if (pfn == mem::kInvalidPfn) {
+            for (std::uint64_t j = 0; j < i; ++j) {
+                const mem::Pfn mapped = vma->pte(j).pfn;
+                pm_.frame(mapped).remove_rmap(this, vma->page_vaddr(j));
+                pm_.free(mapped, order);
+            }
+            return 0;
+        }
+        pm_.frame(pfn).add_rmap(this, vma->page_vaddr(i));
+        vma->pte_slot(i).store(Pte::make(pfn).pack(),
+                               std::memory_order_release);
+        ++stats_.mapped_pages;
+    }
+
+    next_base_ = base + num_pages * pb;
+    vmas_.push_back(std::move(vma));
+    return base;
+}
+
+void
+AddressSpace::munmap(VAddr base)
+{
+    for (auto it = vmas_.begin(); it != vmas_.end(); ++it) {
+        if ((*it)->base() == base) {
+            release_vma(**it);
+            vmas_.erase(it);
+            return;
+        }
+    }
+    MEMIF_WARN("munmap: no vma at 0x%llx",
+               static_cast<unsigned long long>(base));
+}
+
+void
+AddressSpace::release_vma(Vma &vma)
+{
+    const unsigned order = page_order(vma.page_size());
+    for (std::uint64_t i = 0; i < vma.num_pages(); ++i) {
+        const Pte pte = vma.pte(i);
+        if (!pte.present) continue;
+        mem::PageFrame &frame = pm_.frame(pte.pfn);
+        frame.remove_rmap(this, vma.page_vaddr(i));
+        // Shared frames survive until their last mapping goes away.
+        if (frame.rmaps.empty()) pm_.free(pte.pfn, order);
+        vma.pte_slot(i).store(0, std::memory_order_release);
+        ++stats_.unmapped_pages;
+    }
+}
+
+VAddr
+AddressSpace::mmap_file(FileBacking &backing,
+                        std::uint64_t file_page_offset,
+                        std::uint64_t num_pages)
+{
+    const PageSize psize = PageSize::k4K;  // page caches are 4 KB-granular
+    const std::uint64_t pb = page_bytes(psize);
+    const VAddr base = (next_base_ + pb - 1) & ~(pb - 1);
+
+    auto vma = std::make_unique<Vma>(this, base, num_pages, psize,
+                                     mem::kInvalidNode, table_);
+    vma->set_backing(&backing, file_page_offset);
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        const mem::Pfn pfn = backing.cached_pfn(file_page_offset + i);
+        if (pfn == mem::kInvalidPfn) return 0;  // hole / beyond EOF
+        pm_.frame(pfn).add_rmap(this, vma->page_vaddr(i));
+        vma->pte_slot(i).store(Pte::make(pfn).pack(),
+                               std::memory_order_release);
+        ++stats_.mapped_pages;
+    }
+    next_base_ = base + num_pages * pb;
+    vmas_.push_back(std::move(vma));
+    return base;
+}
+
+VAddr
+AddressSpace::mmap_shared(const Vma &source)
+{
+    const PageSize psize = source.page_size();
+    const std::uint64_t pb = page_bytes(psize);
+    const VAddr base = (next_base_ + pb - 1) & ~(pb - 1);
+
+    auto vma = std::make_unique<Vma>(this, base, source.num_pages(), psize,
+                                     source.home_node(), table_);
+    for (std::uint64_t i = 0; i < source.num_pages(); ++i) {
+        const Pte src_pte = source.pte(i);
+        if (!src_pte.present) return 0;
+        pm_.frame(src_pte.pfn).add_rmap(this, vma->page_vaddr(i));
+        vma->pte_slot(i).store(Pte::make(src_pte.pfn).pack(),
+                               std::memory_order_release);
+        ++stats_.mapped_pages;
+    }
+    next_base_ = base + source.num_pages() * pb;
+    vmas_.push_back(std::move(vma));
+    return base;
+}
+
+Vma *
+AddressSpace::find_vma(VAddr va)
+{
+    for (auto &vma : vmas_)
+        if (vma->contains(va)) return vma.get();
+    return nullptr;
+}
+
+const Vma *
+AddressSpace::find_vma(VAddr va) const
+{
+    for (const auto &vma : vmas_)
+        if (vma->contains(va)) return vma.get();
+    return nullptr;
+}
+
+std::byte *
+AddressSpace::translate(VAddr va)
+{
+    Vma *vma = find_vma(va);
+    if (!vma) return nullptr;
+    const std::uint64_t idx = vma->page_index(va);
+    const Pte pte = vma->pte(idx);
+    if (!pte.present) return nullptr;
+    const std::uint64_t offset = va - vma->page_vaddr(idx);
+    return pm_.span(pte.pfn, page_bytes(vma->page_size())) + offset;
+}
+
+AccessResult
+AddressSpace::touch(VAddr va, bool write)
+{
+    Vma *vma = find_vma(va);
+    if (!vma) {
+        ++stats_.hard_faults;
+        return AccessResult::kNotPresent;
+    }
+    const std::uint64_t idx = vma->page_index(va);
+    PteSlot &slot = vma->pte_slot(idx);
+
+    for (;;) {
+        const std::uint64_t raw = slot.load(std::memory_order_acquire);
+        const Pte pte = Pte::unpack(raw);
+        if (!pte.present) {
+            ++stats_.hard_faults;
+            return AccessResult::kNotPresent;
+        }
+        if (pte.migration) {
+            // Baseline race prevention: the accessor is parked until the
+            // migration completes (caller loops / sleeps).
+            ++stats_.migration_blocks;
+            return AccessResult::kBlockedOnMigration;
+        }
+        if (pte.lazy) {
+            // Lazy migration (paper §7): the fault handler migrates
+            // the page before the access proceeds (os layer does it).
+            return AccessResult::kLazyFault;
+        }
+        if (pte.young) {
+            // A registered custom fault handler gets first shot (§5.2
+            // proceed-and-recover); if it resolves the fault, retry.
+            if (young_fault_hook_ && young_fault_hook_(*vma, idx)) continue;
+            // Software access-flag emulation: the first access traps and
+            // the kernel clears young (paper 5.2 relies on this).
+            Pte cleared = pte;
+            cleared.young = false;
+            cleared.dirty = pte.dirty || write;
+            std::uint64_t expected = raw;
+            if (!slot.compare_exchange_strong(expected, cleared.pack(),
+                                              std::memory_order_acq_rel))
+                continue;  // raced with the driver or another accessor
+            ++stats_.young_clears;
+            // The finalized translation may now be cached.
+            tlb_.lookup(va, vma->page_size());
+            tlb_.fill(va, vma->page_size());
+            return AccessResult::kClearedYoung;
+        }
+        if (write && !pte.dirty) {
+            Pte dirtied = pte;
+            dirtied.dirty = true;
+            std::uint64_t expected = raw;
+            slot.compare_exchange_strong(expected, dirtied.pack(),
+                                         std::memory_order_acq_rel);
+        }
+        if (!tlb_.lookup(va, vma->page_size()))
+            tlb_.fill(va, vma->page_size());
+        return AccessResult::kOk;
+    }
+}
+
+bool
+AddressSpace::read(VAddr va, void *out, std::uint64_t len)
+{
+    std::byte *dst = static_cast<std::byte *>(out);
+    while (len > 0) {
+        const Vma *vma = find_vma(va);
+        if (!vma) return false;
+        const std::uint64_t pb = page_bytes(vma->page_size());
+        const std::uint64_t in_page = pb - (va & (pb - 1));
+        const std::uint64_t chunk = len < in_page ? len : in_page;
+        const std::byte *src = translate(va);
+        if (!src) return false;
+        std::memcpy(dst, src, chunk);
+        va += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+    return true;
+}
+
+bool
+AddressSpace::write(VAddr va, const void *in, std::uint64_t len)
+{
+    const std::byte *src = static_cast<const std::byte *>(in);
+    while (len > 0) {
+        const Vma *vma = find_vma(va);
+        if (!vma) return false;
+        const std::uint64_t pb = page_bytes(vma->page_size());
+        const std::uint64_t in_page = pb - (va & (pb - 1));
+        const std::uint64_t chunk = len < in_page ? len : in_page;
+        std::byte *dst = translate(va);
+        if (!dst) return false;
+        std::memcpy(dst, src, chunk);
+        va += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+    return true;
+}
+
+}  // namespace memif::vm

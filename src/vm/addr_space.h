@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Per-process address spaces: anonymous mmap/munmap, functional byte
+ * access through the page tables, and the CPU-access semantics
+ * (young-bit clearing, migration-PTE blocking) that the paper's race
+ * handling builds on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/phys.h"
+#include "vm/page_table.h"
+#include "vm/pte.h"
+#include "vm/tlb.h"
+#include "vm/vma.h"
+
+namespace memif::vm {
+
+/** Outcome of one simulated CPU access (touch()). */
+enum class AccessResult {
+    kOk,                  ///< mapped, no trap
+    kClearedYoung,        ///< trapped once to emulate the access flag
+    kBlockedOnMigration,  ///< hit a baseline migration PTE; must wait
+    kNotPresent,          ///< no mapping (hard fault)
+    kLazyFault,           ///< lazy-migration marker: caller migrates
+};
+
+/** Counters for the vm events the evaluation reasons about. */
+struct VmStats {
+    std::uint64_t young_clears = 0;
+    std::uint64_t migration_blocks = 0;
+    std::uint64_t hard_faults = 0;
+    std::uint64_t tlb_page_flushes = 0;
+    std::uint64_t mapped_pages = 0;
+    std::uint64_t unmapped_pages = 0;
+};
+
+/**
+ * One process's virtual address space.
+ *
+ * Owns its Vmas and the physical frames they map; frames return to the
+ * buddy allocator on munmap and on destruction.
+ */
+class AddressSpace {
+  public:
+    explicit AddressSpace(mem::PhysicalMemory &pm) : pm_(pm) {}
+    ~AddressSpace();
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    mem::PhysicalMemory &phys() { return pm_; }
+
+    /** The process's radix page table (drivers walk it directly). */
+    PageTable &page_table() { return table_; }
+
+    /**
+     * Map @p bytes of anonymous memory with @p psize pages backed by
+     * @p node. Pages are populated eagerly (the paper moves anonymous
+     * pages that already exist).
+     *
+     * @return the base address, or 0 if physical memory is exhausted.
+     */
+    VAddr mmap(std::uint64_t bytes, PageSize psize, mem::NodeId node);
+
+    /**
+     * mmap with per-page placement: @p candidates_of returns, for each
+     * page index, the node candidates to try in order (NUMA policies
+     * build on this). Fails (returns 0) when any page cannot be backed
+     * by any of its candidates.
+     */
+    using NodeCandidatesFn =
+        std::function<std::vector<mem::NodeId>(std::uint64_t)>;
+    VAddr mmap_policy(std::uint64_t bytes, PageSize psize,
+                      const NodeCandidatesFn &candidates_of);
+
+    /**
+     * Attach another address space's mapping into this one (shared
+     * anonymous memory): the new Vma maps the same physical frames,
+     * and every frame's reverse-map chain gains this mapping. Frames
+     * are freed only when the last mapping goes away.
+     *
+     * @return the base address here, or 0 on failure.
+     */
+    VAddr mmap_shared(const Vma &source);
+
+    /**
+     * Map @p num_pages 4 KB pages of a file, starting at file page
+     * @p file_page_offset, through its page cache (MAP_SHARED file
+     * mapping). The backing's cached frames must exist.
+     *
+     * @return the base address, or 0 on failure.
+     */
+    VAddr mmap_file(FileBacking &backing, std::uint64_t file_page_offset,
+                    std::uint64_t num_pages);
+
+    /** Unmap the Vma starting exactly at @p base. */
+    void munmap(VAddr base);
+
+    /** The Vma containing @p va, or nullptr. */
+    Vma *find_vma(VAddr va);
+    const Vma *find_vma(VAddr va) const;
+
+    std::size_t vma_count() const { return vmas_.size(); }
+
+    /**
+     * Host pointer to the byte at @p va, valid for the rest of the
+     * containing page. Pure translation: no access-flag side effects.
+     * @return nullptr if unmapped / not present.
+     */
+    std::byte *translate(VAddr va);
+
+    /**
+     * Simulate one CPU access: applies the software access-flag model
+     * (clears young via CAS, as the kernel's emulation does) and detects
+     * migration PTEs (the accessor must block).
+     */
+    AccessResult touch(VAddr va, bool write);
+
+    /** Copy @p len bytes out of the address space (functional). */
+    bool read(VAddr va, void *out, std::uint64_t len);
+
+    /** Copy @p len bytes into the address space (functional). */
+    bool write(VAddr va, const void *in, std::uint64_t len);
+
+    /** The CPU-side TLB model. */
+    Tlb &tlb() { return tlb_; }
+    const Tlb &tlb() const { return tlb_; }
+
+    /**
+     * Invalidate one page's TLB entry after a PTE rewrite (the time
+     * cost is charged by the caller from the CostModel).
+     */
+    void
+    flush_tlb_page(VAddr va, PageSize psize)
+    {
+        tlb_.flush_page(va, psize);
+        ++stats_.tlb_page_flushes;
+    }
+
+    /**
+     * Custom young-bit fault handler (paper §5.2 "proceed and recover"):
+     * consulted *before* the default access-flag emulation when a touch
+     * traps on a young PTE. Returning true means the handler resolved
+     * the fault (e.g. rolled back an in-flight migration and restored
+     * the old mapping); the access then retries.
+     */
+    using YoungFaultHook = std::function<bool(Vma &, std::uint64_t)>;
+    void set_young_fault_hook(YoungFaultHook hook)
+    {
+        young_fault_hook_ = std::move(hook);
+    }
+
+    VmStats &stats() { return stats_; }
+    const VmStats &stats() const { return stats_; }
+
+  private:
+    void release_vma(Vma &vma);
+
+    mem::PhysicalMemory &pm_;
+    PageTable table_;
+    Tlb tlb_;
+    std::vector<std::unique_ptr<Vma>> vmas_;
+    VAddr next_base_ = 0x0000'1000'0000ull;
+    VmStats stats_;
+    YoungFaultHook young_fault_hook_;
+};
+
+}  // namespace memif::vm

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The contract between file-backed Vmas and whatever owns the file's
+ * page cache (os::TmpFs here). The vm layer stays filesystem-agnostic:
+ * it only needs to tell the backing when a cached frame was relocated
+ * by a migration.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "mem/phys.h"
+
+namespace memif::vm {
+
+class FileBacking {
+  public:
+    virtual ~FileBacking() = default;
+
+    /** Replace the cached frame of file page @p page_index. */
+    virtual void relocate(std::uint64_t page_index, mem::Pfn new_pfn) = 0;
+
+    /** Frame currently caching file page @p page_index (or invalid). */
+    virtual mem::Pfn cached_pfn(std::uint64_t page_index) const = 0;
+};
+
+}  // namespace memif::vm

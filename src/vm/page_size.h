@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Page granularities and geometry helpers, shared by Vmas and the
+ * radix page table.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "mem/phys.h"
+
+namespace memif::vm {
+
+/** Virtual address. */
+using VAddr = std::uint64_t;
+
+/** Page granularities evaluated in the paper (Fig. 6/8). */
+enum class PageSize : unsigned {
+    k4K = 12,
+    k64K = 16,
+    k2M = 21,
+};
+
+/** Page size in bytes. */
+constexpr std::uint64_t
+page_bytes(PageSize ps)
+{
+    return std::uint64_t{1} << static_cast<unsigned>(ps);
+}
+
+/** Buddy order of one page of this size (in 4 KB frames). */
+constexpr unsigned
+page_order(PageSize ps)
+{
+    return static_cast<unsigned>(ps) - mem::kPageShift;
+}
+
+/** Number of 4 KB frames per page of this size. */
+constexpr std::uint64_t
+frames_per_page(PageSize ps)
+{
+    return std::uint64_t{1} << page_order(ps);
+}
+
+}  // namespace memif::vm

@@ -1,0 +1,77 @@
+#include "vm/page_table.h"
+
+#include "sim/log.h"
+
+namespace memif::vm {
+
+PageTable::Table *
+PageTable::descend(Table &parent, unsigned index, bool create)
+{
+    MEMIF_ASSERT(index < kEntries);
+    if (!parent.children[index]) {
+        if (!create) return nullptr;
+        parent.children[index] = std::make_unique<Table>();
+        ++table_count_;
+    }
+    return parent.children[index].get();
+}
+
+PteSlot *
+PageTable::slot(VAddr va, PageSize psize, bool create)
+{
+    MEMIF_ASSERT(va < kVaLimit, "address beyond the 39-bit space");
+    MEMIF_ASSERT(va % page_bytes(psize) == 0, "unaligned page address");
+
+    const auto l1 = static_cast<unsigned>((va >> kL1Shift) & (kEntries - 1));
+    Table *l2 = descend(root_, l1, create);
+    if (!l2) return nullptr;
+
+    const auto l2i = static_cast<unsigned>((va >> kL2Shift) & (kEntries - 1));
+    if (psize == PageSize::k2M) {
+        // 2 MB block entry directly in the L2 table.
+        return &l2->slots[l2i];
+    }
+    Table *l3 = descend(*l2, l2i, create);
+    if (!l3) return nullptr;
+    // 4 KB pages use their own slot; a 64 KB page owns the head slot of
+    // its aligned 16-entry group.
+    return &l3->slots[leaf_index(va, psize)];
+}
+
+PageTable::Gang
+PageTable::gang_lookup(VAddr va, std::uint64_t num_pages, PageSize psize)
+{
+    Gang gang;
+    if (num_pages == 0) return gang;
+    gang.slots.reserve(num_pages);
+
+    const std::uint64_t pb = page_bytes(psize);
+    const unsigned step =
+        psize == PageSize::k64K ? 16u : 1u;  // leaf slots per page
+
+    VAddr cursor = va;
+    unsigned index = 0;
+    PteSlot *base = nullptr;  // first slot of the current leaf table
+    for (std::uint64_t i = 0; i < num_pages; ++i, cursor += pb) {
+        const unsigned li = leaf_index(cursor, psize);
+        if (base != nullptr && i != 0 && li == index + step) {
+            // Horizontal move to the adjacent entry in the same table.
+            index = li;
+            ++gang.cost.adjacent_steps;
+        } else {
+            // First page, or we crossed into the next leaf table:
+            // descend from the root again.
+            PteSlot *s = slot(cursor, psize, /*create=*/false);
+            MEMIF_ASSERT(s != nullptr, "gang lookup over unmapped range");
+            base = s - li;
+            index = li;
+            ++gang.cost.full_descents;
+            gang.slots.push_back(s);
+            continue;
+        }
+        gang.slots.push_back(base + index);
+    }
+    return gang;
+}
+
+}  // namespace memif::vm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A real three-level radix page table (ARM LPAE-like geometry), the
+ * structure the memif driver's gang lookup (§5.1) walks.
+ *
+ * Levels cover a 39-bit virtual space with 512-entry tables:
+ *
+ *   L1  bits [38:30]  1 GB per entry   (always a table pointer here)
+ *   L2  bits [29:21]  2 MB per entry   (table pointer or 2 MB block PTE)
+ *   L3  bits [20:12]  4 KB per entry   (4 KB page PTEs; a 64 KB page
+ *                                       occupies the first slot of its
+ *                                       16-entry naturally aligned group,
+ *                                       like ARM's contiguous-hint pages)
+ *
+ * The table hands out stable PteSlot pointers (Vmas resolve their slots
+ * once at mmap time), and its walks report *real* traversal counts —
+ * full descents vs. horizontal neighbour steps — which the driver
+ * converts to time. A gang walk re-descends exactly when it crosses a
+ * leaf-table boundary, so the §5.1 cost structure emerges from the
+ * structure itself rather than from a formula.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vm/page_size.h"
+#include "vm/pte.h"
+#include "vm/walk_cost.h"
+
+namespace memif::vm {
+
+class PageTable {
+  public:
+    static constexpr unsigned kEntries = 512;
+    static constexpr unsigned kL1Shift = 30;
+    static constexpr unsigned kL2Shift = 21;
+    static constexpr unsigned kL3Shift = 12;
+    /** Highest mappable address + 1 (39-bit space). */
+    static constexpr VAddr kVaLimit = 1ull << 39;
+
+    PageTable() = default;
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * The PTE slot for the page of size @p psize containing @p va,
+     * creating intermediate tables when @p create. @p va must be
+     * page-aligned for the given size.
+     * @return nullptr when not present and !create.
+     */
+    PteSlot *slot(VAddr va, PageSize psize, bool create);
+
+    /** A walk result with its real traversal cost. */
+    struct Walk {
+        PteSlot *slot = nullptr;
+        WalkCost cost;
+    };
+
+    /**
+     * Locate the slots of @p num_pages consecutive pages starting at
+     * @p va, walking horizontally within leaf tables and re-descending
+     * only at boundaries (gang lookup, §5.1). Slots must exist.
+     */
+    struct Gang {
+        std::vector<PteSlot *> slots;
+        WalkCost cost;
+    };
+    Gang gang_lookup(VAddr va, std::uint64_t num_pages, PageSize psize);
+
+    /**
+     * Per-page lookup cost of the baseline strategy (one full descent
+     * per page); slots identical to gang_lookup's.
+     */
+    static WalkCost
+    per_page_cost(std::uint64_t num_pages)
+    {
+        return per_page_walk(num_pages);
+    }
+
+    /** Number of allocated tables (root not counted). */
+    std::size_t table_count() const { return table_count_; }
+
+  private:
+    struct Table {
+        std::array<PteSlot, kEntries> slots{};
+        std::array<std::unique_ptr<Table>, kEntries> children{};
+    };
+
+    Table *descend(Table &parent, unsigned index, bool create);
+
+    /** Slot index within the leaf table for a page of @p psize. */
+    static unsigned
+    leaf_index(VAddr va, PageSize psize)
+    {
+        if (psize == PageSize::k2M)
+            return static_cast<unsigned>((va >> kL2Shift) & (kEntries - 1));
+        return static_cast<unsigned>((va >> kL3Shift) & (kEntries - 1));
+    }
+
+    Table root_;
+    std::size_t table_count_ = 0;
+};
+
+}  // namespace memif::vm

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Page table entries.
+ *
+ * PTEs are 64-bit words held in std::atomic so the paper's race-handling
+ * machinery is real: the baseline installs *migration PTEs* that block
+ * accessors (§5.2 Fig. 4a), while memif installs a *semi-final* PTE with
+ * the young bit set and later finalizes it with a genuine compare-and-
+ * swap — any intervening access clears young and makes the CAS fail
+ * (§5.2 Fig. 4b, "proceed and fail").
+ *
+ * Young-bit semantics follow the paper's ARM model: the kernel emulates
+ * the access flag, so a PTE with young *set* traps the first access,
+ * which clears the bit. memif exploits exactly this inversion.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "mem/phys.h"
+
+namespace memif::vm {
+
+/** Decoded PTE. */
+struct Pte {
+    mem::Pfn pfn = 0;
+    bool present = false;
+    bool writable = false;
+    /** Set = first access will trap (ARM SW access-flag emulation). */
+    bool young = false;
+    bool dirty = false;
+    /** Baseline race *prevention*: accessors must block (Linux-style). */
+    bool migration = false;
+    /** Lazy-migration marker (Goglin-style, paper §7): the first touch
+     *  migrates the page to lazy_target. */
+    bool lazy = false;
+    /** Destination node for a lazy migration (2 bits: up to 4 nodes). */
+    std::uint8_t lazy_target = 0;
+
+    static constexpr std::uint64_t kPresent = 1ull << 0;
+    static constexpr std::uint64_t kWrite = 1ull << 1;
+    static constexpr std::uint64_t kYoung = 1ull << 2;
+    static constexpr std::uint64_t kDirty = 1ull << 3;
+    static constexpr std::uint64_t kMigration = 1ull << 4;
+    static constexpr std::uint64_t kLazy = 1ull << 5;
+    static constexpr unsigned kLazyTargetShift = 6;  // bits [7:6]
+    static constexpr unsigned kPfnShift = 12;
+
+    constexpr std::uint64_t
+    pack() const
+    {
+        std::uint64_t v = pfn << kPfnShift;
+        if (present) v |= kPresent;
+        if (writable) v |= kWrite;
+        if (young) v |= kYoung;
+        if (dirty) v |= kDirty;
+        if (migration) v |= kMigration;
+        if (lazy) v |= kLazy;
+        v |= (std::uint64_t{lazy_target} & 0x3) << kLazyTargetShift;
+        return v;
+    }
+
+    static constexpr Pte
+    unpack(std::uint64_t v)
+    {
+        Pte p;
+        p.pfn = v >> kPfnShift;
+        p.present = v & kPresent;
+        p.writable = v & kWrite;
+        p.young = v & kYoung;
+        p.dirty = v & kDirty;
+        p.migration = v & kMigration;
+        p.lazy = v & kLazy;
+        p.lazy_target =
+            static_cast<std::uint8_t>((v >> kLazyTargetShift) & 0x3);
+        return p;
+    }
+
+    /** A normal, immediately usable mapping. */
+    static constexpr Pte
+    make(mem::Pfn pfn, bool writable = true)
+    {
+        Pte p;
+        p.pfn = pfn;
+        p.present = true;
+        p.writable = writable;
+        return p;
+    }
+
+    /** The empty (non-present) entry. */
+    static constexpr Pte none() { return Pte{}; }
+
+    friend constexpr bool
+    operator==(const Pte &a, const Pte &b)
+    {
+        return a.pack() == b.pack();
+    }
+};
+
+/** Storage slot for one PTE. */
+using PteSlot = std::atomic<std::uint64_t>;
+
+}  // namespace memif::vm

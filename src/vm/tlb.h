@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A TLB model: fully associative, LRU, like the Cortex-A15's unified
+ * main TLB (512 entries).
+ *
+ * The simulated CPU fills it on successful accesses and the kernel
+ * flushes entries when it rewrites PTEs. Its purpose in this
+ * reproduction is observability: the §5.2 argument is that memif's
+ * Release needs *no* TLB flush because the semi-final PTE (young set)
+ * always traps before it can be cached — the TLB stats let tests state
+ * that precisely, and the flush counters drive the CostModel charges.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "vm/page_size.h"
+
+namespace memif::vm {
+
+/** TLB event counters. */
+struct TlbStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t page_flushes = 0;      ///< flush requests issued
+    std::uint64_t flushed_entries = 0;   ///< entries actually removed
+    std::uint64_t evictions = 0;         ///< capacity replacement
+};
+
+class Tlb {
+  public:
+    explicit Tlb(unsigned capacity = 512) : capacity_(capacity) {}
+    Tlb(const Tlb &) = delete;
+    Tlb &operator=(const Tlb &) = delete;
+
+    unsigned capacity() const { return capacity_; }
+    std::size_t size() const { return map_.size(); }
+    const TlbStats &stats() const { return stats_; }
+
+    /**
+     * Look up the translation of @p va for a page of @p psize,
+     * promoting it to most recently used. @return hit?
+     */
+    bool
+    lookup(VAddr va, PageSize psize)
+    {
+        const std::uint64_t key = tag(va, psize);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++stats_.misses;
+            return false;
+        }
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        return true;
+    }
+
+    /** Insert the translation (after a table walk). */
+    void
+    fill(VAddr va, PageSize psize)
+    {
+        const std::uint64_t key = tag(va, psize);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return;
+        }
+        if (map_.size() >= capacity_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+            ++stats_.evictions;
+        }
+        lru_.push_front(key);
+        map_[key] = lru_.begin();
+        ++stats_.fills;
+    }
+
+    /** Invalidate one page's entry (TLBIMVA-style). */
+    void
+    flush_page(VAddr va, PageSize psize)
+    {
+        ++stats_.page_flushes;
+        auto it = map_.find(tag(va, psize));
+        if (it == map_.end()) return;
+        lru_.erase(it->second);
+        map_.erase(it);
+        ++stats_.flushed_entries;
+    }
+
+    /** True if the page currently has an entry (no LRU side effect). */
+    bool
+    contains(VAddr va, PageSize psize) const
+    {
+        return map_.count(tag(va, psize)) != 0;
+    }
+
+    /** Invalidate everything. */
+    void
+    flush_all()
+    {
+        stats_.flushed_entries += map_.size();
+        map_.clear();
+        lru_.clear();
+    }
+
+  private:
+    static std::uint64_t
+    tag(VAddr va, PageSize psize)
+    {
+        // Tag by virtual page number; the size bits keep a 2 MB entry
+        // distinct from a 4 KB entry at the same address.
+        return (va >> static_cast<unsigned>(psize)) << 6 |
+               static_cast<unsigned>(psize);
+    }
+
+    unsigned capacity_;
+    std::list<std::uint64_t> lru_;  ///< MRU at front
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        map_;
+    TlbStats stats_;
+};
+
+}  // namespace memif::vm

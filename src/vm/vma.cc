@@ -1,0 +1,23 @@
+#include "vm/vma.h"
+
+#include "sim/log.h"
+#include "vm/page_table.h"
+
+namespace memif::vm {
+
+Vma::Vma(AddressSpace *owner, VAddr base, std::uint64_t num_pages,
+         PageSize psize, mem::NodeId node, PageTable &table)
+    : owner_(owner), base_(base), psize_(psize), node_(node)
+{
+    MEMIF_ASSERT(base % page_bytes(psize) == 0, "unaligned vma base");
+    slots_.reserve(num_pages);
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        PteSlot *slot =
+            table.slot(base + i * page_bytes(psize), psize, /*create=*/true);
+        MEMIF_ASSERT(slot != nullptr);
+        slot->store(0, std::memory_order_relaxed);
+        slots_.push_back(slot);
+    }
+}
+
+}  // namespace memif::vm

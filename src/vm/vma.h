@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Virtual memory areas.
+ *
+ * A Vma is an anonymous mapping with a fixed *page granularity* — 4 KB,
+ * 64 KB or 2 MB, the three sizes the paper evaluates (Fig. 6/8). Its
+ * PTEs live in the owning address space's radix page table; the Vma
+ * resolves and caches the (stable) slot pointers at construction so
+ * hot paths touch the atomic words directly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/phys.h"
+#include "vm/file_backing.h"
+#include "vm/page_size.h"
+#include "vm/pte.h"
+
+namespace memif::vm {
+
+class AddressSpace;
+class PageTable;
+
+/** One anonymous mapping. */
+class Vma {
+  public:
+    /**
+     * Create a mapping over [base, base + num_pages * page_bytes),
+     * resolving (and creating) its PTE slots in @p table.
+     */
+    Vma(AddressSpace *owner, VAddr base, std::uint64_t num_pages,
+        PageSize psize, mem::NodeId node, PageTable &table);
+
+    Vma(const Vma &) = delete;
+    Vma &operator=(const Vma &) = delete;
+
+    VAddr base() const { return base_; }
+    std::uint64_t num_pages() const { return slots_.size(); }
+    PageSize page_size() const { return psize_; }
+    std::uint64_t bytes() const { return num_pages() * page_bytes(psize_); }
+    VAddr end() const { return base_ + bytes(); }
+    mem::NodeId home_node() const { return node_; }
+    AddressSpace *owner() const { return owner_; }
+
+    bool
+    contains(VAddr va) const
+    {
+        return va >= base_ && va < end();
+    }
+
+    /** Index of the page containing @p va. */
+    std::uint64_t
+    page_index(VAddr va) const
+    {
+        return (va - base_) >> static_cast<unsigned>(psize_);
+    }
+
+    /** Virtual address of page @p idx. */
+    VAddr
+    page_vaddr(std::uint64_t idx) const
+    {
+        return base_ + idx * page_bytes(psize_);
+    }
+
+    /** The atomic PTE slot of page @p idx (lives in the page table). */
+    PteSlot &pte_slot(std::uint64_t idx) { return *slots_.at(idx); }
+    const PteSlot &pte_slot(std::uint64_t idx) const
+    {
+        return *slots_.at(idx);
+    }
+
+    /** Decoded PTE of page @p idx. */
+    Pte
+    pte(std::uint64_t idx) const
+    {
+        return Pte::unpack(slots_.at(idx)->load(std::memory_order_acquire));
+    }
+
+    /** True for file-backed mappings (paper §6.7). */
+    bool is_file_backed() const { return backing_ != nullptr; }
+    FileBacking *backing() const { return backing_; }
+    /** First file page this Vma maps (file-backed only). */
+    std::uint64_t file_page_offset() const { return file_page_offset_; }
+
+    /** Attach file backing (set once, by AddressSpace::mmap_file). */
+    void
+    set_backing(FileBacking *backing, std::uint64_t file_page_offset)
+    {
+        backing_ = backing;
+        file_page_offset_ = file_page_offset;
+    }
+
+  private:
+    AddressSpace *owner_;
+    VAddr base_;
+    PageSize psize_;
+    mem::NodeId node_;
+    std::vector<PteSlot *> slots_;
+    FileBacking *backing_ = nullptr;
+    std::uint64_t file_page_offset_ = 0;
+};
+
+}  // namespace memif::vm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Page-table walk cost structure for gang lookup (paper §5.1).
+ *
+ * The driver locates PTEs for a virtually contiguous range. A naive
+ * walk descends from the table root for every page; gang lookup
+ * descends once and then steps horizontally through adjacent PTEs,
+ * re-descending only when it crosses into the next leaf table.
+ *
+ * This helper computes, for a given range, how many full descents and
+ * how many adjacent steps each strategy performs. The OS layer converts
+ * these counts into time via the CostModel.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "vm/page_size.h"
+
+namespace memif::vm {
+
+/** Entries per leaf page table (512 x 8-byte entries in one 4 KB page). */
+inline constexpr std::uint64_t kPtesPerLeaf = 512;
+
+/** Counted walk operations for one PTE-range lookup. */
+struct WalkCost {
+    std::uint64_t full_descents = 0;   ///< root-to-leaf walks
+    std::uint64_t adjacent_steps = 0;  ///< horizontal neighbour steps
+};
+
+/**
+ * Cost of the baseline strategy: one full descent per page.
+ */
+constexpr WalkCost
+per_page_walk(std::uint64_t num_pages)
+{
+    return WalkCost{num_pages, 0};
+}
+
+/**
+ * Cost of gang lookup over @p num_pages pages starting at @p va.
+ *
+ * PTEs of @p page_size pages sit @p page_size / 4 KB... no: each page of
+ * any granularity consumes one leaf entry at its own level, so for large
+ * pages the leaf span is wider and boundary crossings rarer. We model
+ * the leaf index as (va / page_bytes) % kPtesPerLeaf.
+ */
+constexpr WalkCost
+gang_walk(VAddr va, std::uint64_t num_pages, PageSize page_size)
+{
+    if (num_pages == 0) return WalkCost{};
+    WalkCost c{1, 0};
+    std::uint64_t leaf_index =
+        (va >> static_cast<unsigned>(page_size)) % kPtesPerLeaf;
+    for (std::uint64_t i = 1; i < num_pages; ++i) {
+        if (++leaf_index == kPtesPerLeaf) {
+            // Crossed into the next leaf table: re-descend.
+            leaf_index = 0;
+            ++c.full_descents;
+        } else {
+            ++c.adjacent_steps;
+        }
+    }
+    return c;
+}
+
+}  // namespace memif::vm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The §6.7 limitation workloads: data-intensive applications the paper
+ * tried — wordcount [BigDataBench] and psearchy [Boyd-Wickizer et al.]
+ * — that see *little* gain from memif on KeyStone II, because working
+ * sets that fit the 6 MB fast memory also tend to fit the 4 MB of
+ * last-level cache ("applications whose working sets fit in the fast
+ * memory are also likely cache-friendly").
+ *
+ * Both kernels do real work over the stream bytes and carry a high
+ * cache_hit_fraction in their models, which is exactly why the mini
+ * runtime cannot help them much — the negative result this module
+ * exists to reproduce.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "runtime/stream_kernel.h"
+
+namespace memif::workloads {
+
+/**
+ * wordcount: tokenize the stream on whitespace/punctuation and count
+ * words into a small (cache-resident) hash of counters.
+ */
+class WordCount : public runtime::StreamKernel {
+  public:
+    static constexpr std::size_t kBuckets = 1024;
+
+    WordCount();
+    void process(const std::byte *data, std::uint64_t bytes) override;
+    std::uint64_t result() const override;
+    void reset() override;
+
+    std::uint64_t words() const { return words_; }
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t words_ = 0;
+};
+
+/**
+ * psearchy-style indexing: scan for a small set of patterns (first
+ * bytes hashed against needles), index structures staying in cache.
+ */
+class PSearchy : public runtime::StreamKernel {
+  public:
+    PSearchy();
+    void process(const std::byte *data, std::uint64_t bytes) override;
+    std::uint64_t result() const override { return matches_ * 31 + probes_; }
+    void reset() override
+    {
+        matches_ = 0;
+        probes_ = 0;
+    }
+
+    std::uint64_t matches() const { return matches_; }
+
+  private:
+    std::uint64_t matches_ = 0;
+    std::uint64_t probes_ = 0;
+};
+
+}  // namespace memif::workloads

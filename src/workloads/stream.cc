@@ -1,0 +1,94 @@
+#include "workloads/stream.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace memif::workloads {
+
+namespace {
+
+/** Order-independent digest fold (addition commutes). */
+std::uint64_t
+fold(double v)
+{
+    return std::bit_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ull;
+}
+
+// Calibration (see file header of stream.h): slow_bw on the platform is
+// 6.2 GB/s.
+//  - triad/add from slow: 6.2 / 2.62 ~ 2.37 GB/s  (paper 2.38/2.39)
+//  - triad/add ceiling:   3.20 GB/s compute-bound in fast memory
+//    (roughly the DMA fill bound of 6.2 / 2 GB/s)   (paper 3.18)
+//  - pgain from slow:     6.2 / 4.30 ~ 1.44 GB/s  (paper 1.44)
+//  - pgain ceiling:       1.80 GB/s compute-bound  (paper 1.78)
+runtime::KernelModel
+triad_model(const char *name)
+{
+    return runtime::KernelModel{.name = name,
+                                .compute_rate_fast = 3.2e9,
+                                .slow_traffic_factor = 2.62,
+                                .fill_factor = 2.0};
+}
+
+}  // namespace
+
+StreamTriad::StreamTriad() : StreamKernel(triad_model("STREAM.triad")) {}
+
+void
+StreamTriad::process(const std::byte *data, std::uint64_t bytes)
+{
+    const std::uint64_t pairs = bytes / (2 * sizeof(double));
+    const double *d = reinterpret_cast<const double *>(data);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+        const double a = d[2 * i] + kScalar * d[2 * i + 1];
+        acc += a;
+    }
+    digest_ += fold(acc) + pairs;
+}
+
+StreamAdd::StreamAdd() : StreamKernel(triad_model("STREAM.add")) {}
+
+void
+StreamAdd::process(const std::byte *data, std::uint64_t bytes)
+{
+    const std::uint64_t pairs = bytes / (2 * sizeof(double));
+    const double *d = reinterpret_cast<const double *>(data);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < pairs; ++i)
+        acc += d[2 * i] + d[2 * i + 1];
+    digest_ += fold(acc) + pairs;
+}
+
+StreamClusterPgain::StreamClusterPgain()
+    : StreamKernel(runtime::KernelModel{
+          .name = "StreamCluster.pgain",
+          .compute_rate_fast = 1.80e9,
+          .slow_traffic_factor = 4.30,
+          .fill_factor = 1.0})
+{
+}
+
+void
+StreamClusterPgain::process(const std::byte *data, std::uint64_t bytes)
+{
+    // Candidate center at the origin-ish point; each streamed point
+    // contributes min(distance^2, assignment_cost).
+    static constexpr float kAssignCost = 4.0f;
+    const std::uint64_t points = bytes / (kDim * sizeof(float));
+    const float *f = reinterpret_cast<const float *>(data);
+    double acc = 0.0;
+    for (std::uint64_t p = 0; p < points; ++p) {
+        float dist = 0.0f;
+        for (unsigned d = 0; d < kDim; ++d) {
+            const float x = f[p * kDim + d] - 0.5f;
+            dist += x * x;
+        }
+        acc += dist < kAssignCost ? dist : kAssignCost;
+    }
+    gain_ += acc;
+    digest_ += fold(acc) + points;
+}
+
+}  // namespace memif::workloads

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for descriptor-chain reuse (§5.3): reuse accounting, splits,
+ * evictions, and the disabled (baseline) mode.
+ */
+#include "dma/chain_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dma/descriptor.h"
+
+namespace memif::dma {
+namespace {
+
+TEST(ChainCache, FirstAcquisitionIsAllFresh)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    const ChainLease lease = cache.acquire(16, 4096);
+    EXPECT_EQ(lease.size(), 16u);
+    EXPECT_EQ(lease.reused, 0u);
+    EXPECT_EQ(lease.fresh(), 16u);
+    EXPECT_EQ(lease.chunk_bytes, 4096u);
+    // All indices distinct and in range.
+    std::set<DescIndex> uniq(lease.descs.begin(), lease.descs.end());
+    EXPECT_EQ(uniq.size(), 16u);
+    for (DescIndex d : lease.descs) EXPECT_LT(d, ram.size());
+}
+
+TEST(ChainCache, ReleasedChainIsReusedForSameSize)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    ChainLease a = cache.acquire(32, 4096);
+    const std::vector<DescIndex> descs = a.descs;
+    cache.release(std::move(a));
+    const ChainLease b = cache.acquire(32, 4096);
+    EXPECT_EQ(b.reused, 32u);
+    EXPECT_EQ(b.descs, descs);
+    EXPECT_EQ(cache.stats().descs_reused, 32u);
+}
+
+TEST(ChainCache, PartialReuseSplitsChain)
+{
+    // "it can reuse part of or the whole chain in the next transfer"
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    ChainLease a = cache.acquire(32, 4096);
+    cache.release(std::move(a));
+    const ChainLease b = cache.acquire(8, 4096);
+    EXPECT_EQ(b.reused, 8u);
+    // The remaining 24 stay cached for the next lease.
+    const ChainLease c = cache.acquire(24, 4096);
+    EXPECT_EQ(c.reused, 24u);
+}
+
+TEST(ChainCache, GrowingLeaseMixesReusedAndFresh)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    ChainLease a = cache.acquire(8, 4096);
+    cache.release(std::move(a));
+    const ChainLease b = cache.acquire(12, 4096);
+    EXPECT_EQ(b.reused, 8u);
+    EXPECT_EQ(b.fresh(), 4u);
+}
+
+TEST(ChainCache, DifferentChunkSizesDoNotReuse)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    ChainLease a = cache.acquire(8, 4096);
+    cache.release(std::move(a));
+    const ChainLease b = cache.acquire(8, 65536);
+    EXPECT_EQ(b.reused, 0u);
+}
+
+TEST(ChainCache, EvictsOtherSizesWhenRamFull)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    // Fill the whole PaRAM with cached 4 KB chains (hold them all
+    // simultaneously so each acquisition is forced to be fresh).
+    std::vector<ChainLease> held;
+    for (int i = 0; i < 4; ++i) held.push_back(cache.acquire(128, 4096));
+    for (ChainLease &l : held) cache.release(std::move(l));
+    // A 64 KB lease finds no free entries: eviction must kick in.
+    const ChainLease big = cache.acquire(256, 65536);
+    EXPECT_EQ(big.size(), 256u);
+    EXPECT_EQ(big.reused, 0u);
+    EXPECT_GE(cache.stats().evictions, 2u);
+}
+
+TEST(ChainCache, DisabledModeNeverReuses)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram, /*enabled=*/false);
+    for (int round = 0; round < 10; ++round) {
+        ChainLease l = cache.acquire(64, 4096);
+        EXPECT_EQ(l.reused, 0u);
+        cache.release(std::move(l));
+    }
+    EXPECT_EQ(cache.stats().descs_reused, 0u);
+    EXPECT_EQ(cache.stats().descs_fresh, 640u);
+}
+
+TEST(ChainCacheDeath, OversizedLeasePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    EXPECT_DEATH(cache.acquire(ram.size() + 1, 4096), "out of range");
+}
+
+TEST(ChainCacheDeath, ExhaustionByOutstandingLeasesPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    ChainLease held = cache.acquire(ram.size(), 4096);  // hold everything
+    EXPECT_EQ(cache.available(), 0u);
+    EXPECT_DEATH(cache.acquire(1, 4096), "capacity");
+    cache.release(std::move(held));
+    EXPECT_EQ(cache.available(), ram.size());
+}
+
+}  // namespace
+}  // namespace memif::dma

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * DMA edge cases: chain loops, capacity waiting at the driver level,
+ * abandon semantics, and descriptor traffic accounting under reuse.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dma/driver.h"
+#include "dma/engine.h"
+#include "mem/phys.h"
+#include "os/kernel.h"
+#include "sim/task.h"
+
+namespace memif::dma {
+namespace {
+
+struct Fixture {
+    sim::EventQueue eq;
+    mem::PhysicalMemory pm;
+    sim::CostModel cm;
+    mem::NodeId slow, fast;
+    Edma3Engine engine{eq, pm, cm};
+    DmaDriver driver{engine, cm};
+
+    Fixture()
+    {
+        auto ids = mem::KeystoneMemory::build(pm, 32ull << 20);
+        slow = ids.first;
+        fast = ids.second;
+    }
+
+    std::vector<SgEntry>
+    make_sg(unsigned pages)
+    {
+        std::vector<SgEntry> sg;
+        for (unsigned i = 0; i < pages; ++i) {
+            const mem::Pfn src = pm.allocate(slow, 0);
+            const mem::Pfn dst = pm.allocate(fast, 0);
+            sg.push_back(SgEntry{src << mem::kPageShift,
+                                 dst << mem::kPageShift, mem::kPageSize});
+        }
+        return sg;
+    }
+};
+
+TEST(DmaEdge, ChainLoopIsDetected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Fixture f;
+    TransferDescriptor d =
+        TransferDescriptor::contiguous(0, 4096, mem::kPageSize);
+    d.link = 0;  // points at itself
+    f.engine.param_ram().write_full(0, d);
+    EXPECT_DEATH((void)f.engine.chain_duration(0), "loops");
+}
+
+TEST(DmaEdge, AbandonReleasesCapacityAndWakesWaiters)
+{
+    Fixture f;
+    // Lease everything, then have a waiter blocked on capacity.
+    DmaDriver::Prepared big = f.driver.prepare(f.make_sg(512));
+    EXPECT_EQ(f.driver.available_descriptors(), 0u);
+
+    bool got_capacity = false;
+    auto waiter = [&]() -> sim::Task {
+        while (f.driver.available_descriptors() < 4)
+            co_await f.driver.capacity_wait();
+        got_capacity = true;
+    };
+    auto t = waiter();
+    f.eq.run();
+    EXPECT_FALSE(got_capacity);
+
+    f.driver.abandon(std::move(big));
+    f.eq.run();
+    EXPECT_TRUE(got_capacity);
+    EXPECT_EQ(f.driver.available_descriptors(), 512u);
+}
+
+TEST(DmaEdge, RetirementWakesCapacityWaiters)
+{
+    Fixture f;
+    auto sg = f.make_sg(512);
+    const TransferId id = f.driver.start(f.driver.prepare(sg), false,
+                                         nullptr);
+    EXPECT_EQ(f.driver.available_descriptors(), 0u);
+    bool got_capacity = false;
+    auto waiter = [&]() -> sim::Task {
+        while (f.driver.available_descriptors() < 512)
+            co_await f.driver.capacity_wait();
+        got_capacity = true;
+    };
+    auto t = waiter();
+    f.eq.run();  // transfer completes -> retire -> wake
+    EXPECT_TRUE(got_capacity);
+    EXPECT_TRUE(f.driver.is_complete(id));
+}
+
+TEST(DmaEdge, ReuseStatsAccumulateAcrossTransfers)
+{
+    Fixture f;
+    auto sg = f.make_sg(16);
+    for (int round = 0; round < 5; ++round) {
+        f.driver.start(f.driver.prepare(sg), false, nullptr);
+        f.eq.run();
+    }
+    const ChainCacheStats &cs = f.driver.cache().stats();
+    EXPECT_EQ(cs.descs_fresh, 16u);       // only the first round
+    EXPECT_EQ(cs.descs_reused, 4u * 16);  // all later rounds
+    const DescriptorRamStats &rs = f.engine.param_ram().stats();
+    EXPECT_EQ(rs.full_writes, 16u);
+    EXPECT_EQ(rs.partial_writes, 4u * 16);
+}
+
+TEST(DmaEdge, ZeroByteChunkRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Fixture f;
+    std::vector<SgEntry> sg{SgEntry{0, 4096, 0}};
+    // A zero-size contiguous() hits the descriptor geometry check via
+    // prepare's uniformity handling; the engine would move nothing.
+    DmaDriver::Prepared p = f.driver.prepare(sg);
+    EXPECT_EQ(p.bytes, 0u);
+    f.driver.abandon(std::move(p));
+}
+
+TEST(DmaEdge, ManySmallTransfersOnAllTcsComplete)
+{
+    Fixture f;
+    int completions = 0;
+    for (unsigned tc = 0; tc < Edma3Engine::kNumTcs; ++tc) {
+        auto sg = f.make_sg(2);
+        f.driver.start(f.driver.prepare(sg), true,
+                       [&](TransferId) { ++completions; }, tc);
+    }
+    f.eq.run();
+    EXPECT_EQ(completions, static_cast<int>(Edma3Engine::kNumTcs));
+    // All six ran concurrently: total time ~ one transfer, not six.
+    const sim::Duration one =
+        f.cm.dma_latency + 2 * (f.cm.dma_per_desc +
+                                f.cm.dma_stream_time(mem::kPageSize,
+                                                     6.2e9, 24.0e9));
+    EXPECT_LE(f.eq.now(), one + sim::microseconds(2));
+}
+
+}  // namespace
+}  // namespace memif::dma

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Regression guards for the paper's headline evaluation claims: these
+ * run miniature versions of the Figure 6/7/8 experiments through the
+ * bench harness and assert the qualitative results, so a regression in
+ * any subsystem that would flip a paper claim fails CI.
+ */
+#include <gtest/gtest.h>
+
+#include "harness.h"
+#include "sim/cpu.h"
+
+namespace memif::bench {
+namespace {
+
+double
+mean_latency_us(const StreamOutcome &out)
+{
+    double sum = 0;
+    for (const RequestTiming &t : out.timings)
+        sum += sim::to_us(t.latency());
+    return sum / static_cast<double>(out.timings.size());
+}
+
+TEST(Claims, Fig7MemifBeatsEveryLinuxBatchOnLatency)
+{
+    const RequestPlan plan{.op = core::MovOp::kMigrate,
+                           .page_size = vm::PageSize::k4K,
+                           .pages_per_request = 16,
+                           .num_requests = 8};
+    double memif_mean;
+    std::uint64_t kicks;
+    {
+        TestBed bed;
+        const StreamOutcome out = run_memif_stream(bed, plan);
+        memif_mean = mean_latency_us(out);
+        kicks = bed.user.stats().kicks;
+    }
+    EXPECT_EQ(kicks, 1u);  // "the application only makes one syscall"
+    for (const std::uint32_t batch : {1u, 4u, 8u}) {
+        TestBed bed;
+        const StreamOutcome out = run_linux_stream(bed, plan, batch);
+        EXPECT_LT(memif_mean, mean_latency_us(out)) << "batch " << batch;
+    }
+}
+
+TEST(Claims, Fig7LatencyReductionIsSubstantial)
+{
+    const RequestPlan plan{.op = core::MovOp::kMigrate,
+                           .page_size = vm::PageSize::k4K,
+                           .pages_per_request = 16,
+                           .num_requests = 8};
+    TestBed memif_bed, linux_bed;
+    const double memif_mean =
+        mean_latency_us(run_memif_stream(memif_bed, plan));
+    const double linux_mean =
+        mean_latency_us(run_linux_stream(linux_bed, plan, 1));
+    // Paper: up to 63% reduction. Guard a solid band.
+    const double reduction = 1.0 - memif_mean / linux_mean;
+    EXPECT_GT(reduction, 0.40);
+    EXPECT_LT(reduction, 0.75);
+}
+
+TEST(Claims, Fig8MemifThroughputBeatsMigspeedExceptOnePage)
+{
+    for (const std::uint32_t pages : {1u, 16u, 64u}) {
+        RequestPlan plan{.op = core::MovOp::kMigrate,
+                         .page_size = vm::PageSize::k4K,
+                         .pages_per_request = pages,
+                         .num_requests = 64};
+        TestBed memif_bed, linux_bed;
+        const double memif_gbps =
+            run_memif_stream(memif_bed, plan).gb_per_sec();
+        const double linux_gbps =
+            run_linux_stream(linux_bed, plan, 1).gb_per_sec();
+        if (pages == 1) {
+            // The extreme case: no >=40% claim.
+            EXPECT_GT(memif_gbps, 0.8 * linux_gbps);
+        } else {
+            EXPECT_GT(memif_gbps, 1.4 * linux_gbps) << pages << " pages";
+        }
+    }
+}
+
+TEST(Claims, Fig8LargePagesApproachThreeX)
+{
+    RequestPlan plan{.op = core::MovOp::kMigrate,
+                     .page_size = vm::PageSize::k2M,
+                     .pages_per_request = 1,
+                     .num_requests = 24};
+    TestBed memif_bed, linux_bed;
+    const double memif_gbps = run_memif_stream(memif_bed, plan).gb_per_sec();
+    const double linux_gbps =
+        run_linux_stream(linux_bed, plan, 1).gb_per_sec();
+    EXPECT_GT(memif_gbps / linux_gbps, 2.5);
+    EXPECT_LT(memif_gbps / linux_gbps, 4.0);
+}
+
+TEST(Claims, Fig8ReplicationOutrunsMigration)
+{
+    for (const std::uint32_t pages : {4u, 64u}) {
+        RequestPlan mig{.op = core::MovOp::kMigrate,
+                        .page_size = vm::PageSize::k4K,
+                        .pages_per_request = pages,
+                        .num_requests = 32};
+        RequestPlan rep = mig;
+        rep.op = core::MovOp::kReplicate;
+        TestBed mig_bed, rep_bed;
+        EXPECT_GT(run_memif_stream(rep_bed, rep).gb_per_sec(),
+                  run_memif_stream(mig_bed, mig).gb_per_sec())
+            << pages << " pages";
+    }
+}
+
+TEST(Claims, Fig6MemifLosesOnlyAtOneSmallPage)
+{
+    auto memif_latency = [](std::uint32_t pages) {
+        TestBed bed;
+        RequestPlan plan{.op = core::MovOp::kMigrate,
+                         .page_size = vm::PageSize::k4K,
+                         .pages_per_request = pages,
+                         .num_requests = 1};
+        (void)run_memif_stream(bed, plan);  // warm the chain cache
+        return sim::to_us(run_memif_stream(bed, plan).timings[0].latency());
+    };
+    auto linux_latency = [](std::uint32_t pages) {
+        TestBed bed;
+        RequestPlan plan{.op = core::MovOp::kMigrate,
+                         .page_size = vm::PageSize::k4K,
+                         .pages_per_request = pages,
+                         .num_requests = 1};
+        (void)run_linux_stream(bed, plan, 1);
+        return sim::to_us(run_linux_stream(bed, plan, 1).timings[0].latency());
+    };
+    EXPECT_GT(memif_latency(1), linux_latency(1));   // the extreme case
+    EXPECT_LT(memif_latency(4), linux_latency(4));   // memif wins beyond
+    EXPECT_LT(memif_latency(16), linux_latency(16));
+    EXPECT_LT(memif_latency(64), linux_latency(64));
+}
+
+TEST(Claims, Fig6LargePageCpuReductionIsTensOfX)
+{
+    // Paper: up to 38x lower CPU usage for 2 MB pages.
+    TestBed linux_bed, memif_bed;
+    RequestPlan plan{.op = core::MovOp::kMigrate,
+                     .page_size = vm::PageSize::k2M,
+                     .pages_per_request = 2,
+                     .num_requests = 1};
+    (void)run_linux_stream(linux_bed, plan, 1);
+    const StreamOutcome lin = run_linux_stream(linux_bed, plan, 1);
+    (void)run_memif_stream(memif_bed, plan);
+    const StreamOutcome mem = run_memif_stream(memif_bed, plan);
+    const double ratio = static_cast<double>(lin.cpu.total) /
+                         static_cast<double>(mem.cpu.total);
+    EXPECT_GT(ratio, 25.0);
+    EXPECT_LT(ratio, 50.0);  // paper: 38x
+}
+
+TEST(Claims, Sec22LinuxMigrationBelowTenPercentOfBandwidth)
+{
+    TestBed bed;
+    RequestPlan plan{.op = core::MovOp::kMigrate,
+                     .page_size = vm::PageSize::k4K,
+                     .pages_per_request = 500,
+                     .num_requests = 3};  // 1500 pages
+    const StreamOutcome out = run_linux_stream(bed, plan, 1);
+    EXPECT_LT(out.gb_per_sec(), 0.62);  // < 10% of 6.2 GB/s
+    EXPECT_NEAR(out.gb_per_sec(), 0.30, 0.06);  // paper: 0.30
+}
+
+}  // namespace
+}  // namespace memif::bench

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Randomized whole-system fuzz: two processes, shared and private
+ * regions, a mapped file, and a stream of random memif operations
+ * (valid moves, invalid requests, racing touches) under every race
+ * policy. After each run the entire machine is checked for
+ * consistency: every request accounted for, no frame leaked, every
+ * mapping's reverse map intact, all data readable.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "memif/device.h"
+#include "memif/user_api.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "os/tmpfs.h"
+#include "sim/random.h"
+
+namespace memif::core {
+namespace {
+
+/** Frame accounting + rmap + PTE coherence across the whole machine. */
+void
+check_machine_consistency(os::Kernel &kernel,
+                          std::vector<os::Process *> &procs)
+{
+    mem::PhysicalMemory &pm = kernel.phys();
+    // 1. Buddy accounting matches the allocated flags.
+    for (mem::NodeId n = 0; n < pm.node_count(); ++n) {
+        std::uint64_t allocated = 0;
+        for (mem::Pfn p = pm.node(n).base_pfn();
+             p < pm.node(n).base_pfn() + pm.node(n).num_frames(); ++p)
+            if (pm.node(n).frame(p).allocated) ++allocated;
+        ASSERT_EQ(allocated,
+                  pm.node(n).num_frames() - pm.node(n).free_frames())
+            << "node " << n;
+    }
+    // 2. Every present PTE points at an allocated frame whose rmap
+    //    chain contains exactly that mapping.
+    for (os::Process *proc : procs) {
+        vm::AddressSpace &as = proc->as();
+        for (vm::VAddr probe = 0x1000'0000ull; probe < 0x2000'0000ull;
+             probe += 4096) {
+            vm::Vma *vma = as.find_vma(probe);
+            if (!vma) continue;
+            probe = vma->end() - 4096;  // skip to vma end after checking
+            for (std::uint64_t i = 0; i < vma->num_pages(); ++i) {
+                const vm::Pte pte = vma->pte(i);
+                if (!pte.present) continue;
+                const mem::PageFrame &frame = pm.frame(pte.pfn);
+                ASSERT_TRUE(frame.allocated);
+                bool found = false;
+                for (const mem::RmapEntry &re : frame.rmaps)
+                    if (re.owner == &as &&
+                        re.vaddr == vma->page_vaddr(i) &&
+                        re.kind == mem::RmapKind::kAddressSpace)
+                        found = true;
+                ASSERT_TRUE(found) << "missing rmap";
+            }
+        }
+    }
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, RandomOperationMixStaysConsistent)
+{
+    sim::Rng rng(GetParam());
+    os::Kernel kernel;
+    os::Process &a = kernel.create_process();
+    os::Process &b = kernel.create_process();
+    std::vector<os::Process *> procs{&a, &b};
+
+    const RacePolicy policy = static_cast<RacePolicy>(rng.next_below(3));
+    MemifConfig cfg;
+    cfg.race_policy = policy;
+    cfg.allow_file_backed = rng.next_below(2) == 1;
+    MemifDevice dev(kernel, a, cfg);
+    MemifUser user(dev);
+
+    os::TmpFs fs(kernel);
+    os::TmpFs::File *file = fs.create("/tmp/fuzz", 16);
+
+    // Regions: private anon (2 sizes), a shared anon region, the file.
+    struct Region {
+        vm::VAddr base;
+        std::uint32_t pages;
+        bool file_backed;
+    };
+    std::vector<Region> regions;
+    regions.push_back({a.mmap(32 * 4096, vm::PageSize::k4K), 32, false});
+    regions.push_back({a.mmap(8 * 65536, vm::PageSize::k64K), 8, false});
+    {
+        const vm::VAddr shared = a.mmap(16 * 4096, vm::PageSize::k4K);
+        b.as().mmap_shared(*a.as().find_vma(shared));
+        regions.push_back({shared, 16, false});
+    }
+    regions.push_back({a.as().mmap_file(*file, 0, 16), 16, true});
+    for (const Region &r : regions) ASSERT_NE(r.base, 0u);
+
+    std::uint32_t submitted = 0, completed = 0;
+    std::map<MovError, int> errors;
+
+    auto driver = [&]() -> sim::Task {
+        for (int step = 0; step < 160; ++step) {
+            const std::uint64_t dice = rng.next_below(100);
+            if (dice < 45) {
+                // Submit a migration of a random sub-range.
+                const Region &r = regions[rng.next_below(regions.size())];
+                const std::uint32_t idx = user.alloc_request();
+                if (idx == kNoRequest) continue;
+                MovReq &req = user.request(idx);
+                req.op = MovOp::kMigrate;
+                const std::uint32_t n = 1 + static_cast<std::uint32_t>(
+                                                rng.next_below(r.pages));
+                const std::uint32_t off = static_cast<std::uint32_t>(
+                    rng.next_below(r.pages - n + 1));
+                const vm::Vma *vma = a.as().find_vma(r.base);
+                req.src_base =
+                    r.base + off * vm::page_bytes(vma->page_size());
+                req.num_pages = n;
+                req.dst_node = rng.next_below(2) == 0
+                                   ? kernel.fast_node()
+                                   : kernel.slow_node();
+                ++submitted;
+                co_await user.submit(idx);
+            } else if (dice < 60) {
+                // Submit a replication between two private regions.
+                const std::uint32_t idx = user.alloc_request();
+                if (idx == kNoRequest) continue;
+                MovReq &req = user.request(idx);
+                req.op = MovOp::kReplicate;
+                req.src_base = regions[0].base;
+                req.dst_base = regions[2].base;
+                req.num_pages = static_cast<std::uint32_t>(
+                    1 + rng.next_below(16));
+                ++submitted;
+                co_await user.submit(idx);
+            } else if (dice < 70) {
+                // Deliberately malformed request.
+                const std::uint32_t idx = user.alloc_request();
+                if (idx == kNoRequest) continue;
+                MovReq &req = user.request(idx);
+                req.op = MovOp::kMigrate;
+                req.src_base = 0xDEAD0000 + rng.next_below(1 << 20);
+                req.num_pages = static_cast<std::uint32_t>(
+                    rng.next_below(600));
+                req.dst_node = static_cast<std::uint32_t>(
+                    rng.next_below(4));
+                ++submitted;
+                co_await user.submit(idx);
+            } else if (dice < 85) {
+                // Touch memory, possibly racing an in-flight move.
+                const Region &r = regions[rng.next_below(regions.size())];
+                const vm::Vma *vma = a.as().find_vma(r.base);
+                const vm::VAddr va =
+                    r.base + rng.next_below(r.pages) *
+                                 vm::page_bytes(vma->page_size());
+                os::TouchOutcome out;
+                co_await a.touch(va, rng.next_below(2) == 1, &out);
+            } else {
+                // Drain completions.
+                for (;;) {
+                    const std::uint32_t idx = user.retrieve_completed();
+                    if (idx == kNoRequest) break;
+                    ++errors[user.request(idx).error];
+                    user.free_request(idx);
+                    ++completed;
+                }
+            }
+            co_await sim::Delay{kernel.eq(),
+                                sim::microseconds(rng.next_below(60))};
+        }
+        // Final drain.
+        while (completed < submitted) {
+            const std::uint32_t idx = user.retrieve_completed();
+            if (idx == kNoRequest) {
+                co_await user.poll();
+                continue;
+            }
+            ++errors[user.request(idx).error];
+            user.free_request(idx);
+            ++completed;
+        }
+    };
+    auto task = driver();
+    kernel.run();
+    ASSERT_TRUE(task.done());
+    task.rethrow_if_failed();
+
+    // Every submitted request was answered; the device quiesced.
+    EXPECT_EQ(completed, submitted);
+    EXPECT_TRUE(dev.idle());
+    // Only explainable errors occurred.
+    for (const auto &[err, count] : errors) {
+        const bool expected =
+            err == MovError::kNone || err == MovError::kBadAddress ||
+            err == MovError::kBadRequest || err == MovError::kBadNode ||
+            err == MovError::kNoMemory || err == MovError::kRace ||
+            err == MovError::kAborted || err == MovError::kBusy ||
+            err == MovError::kFileBacked;
+        EXPECT_TRUE(expected) << "error " << static_cast<int>(err);
+    }
+    // The whole machine is still coherent.
+    check_machine_consistency(kernel, procs);
+    // All data still readable through every region.
+    std::vector<std::uint8_t> buf;
+    for (const Region &r : regions) {
+        const vm::Vma *vma = a.as().find_vma(r.base);
+        buf.resize(r.pages * vm::page_bytes(vma->page_size()));
+        EXPECT_TRUE(a.as().read(r.base, buf.data(), buf.size()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace memif::core

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Parameterized end-to-end property sweep: for every (operation x page
+ * size x request size) combination, a stream of memif requests must
+ * preserve data byte-for-byte, place pages on the right node, leak no
+ * physical frames, and leave the instance idle.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "memif/device.h"
+#include "memif/user_api.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/random.h"
+
+namespace memif::core {
+namespace {
+
+using Param = std::tuple<MovOp, vm::PageSize, std::uint32_t /*pages*/,
+                         std::uint32_t /*requests*/>;
+
+class MoveSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MoveSweep, StreamPreservesEverything)
+{
+    const auto [op, psize, pages, requests] = GetParam();
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    MemifDevice dev(kernel, proc);
+    MemifUser user(dev);
+
+    const std::uint64_t pb = vm::page_bytes(psize);
+    const std::uint64_t req_bytes = pb * pages;
+
+    // Region(s): sources in slow memory with a per-request pattern.
+    const vm::VAddr src = proc.mmap(req_bytes * requests, psize);
+    ASSERT_NE(src, 0u);
+    sim::Rng rng(static_cast<std::uint64_t>(pages) * 1315423911u + requests);
+    std::vector<std::uint8_t> pattern(req_bytes);
+    std::vector<std::vector<std::uint8_t>> patterns;
+    for (std::uint32_t r = 0; r < requests; ++r) {
+        for (auto &b : pattern)
+            b = static_cast<std::uint8_t>(rng.next());
+        proc.as().write(src + r * req_bytes, pattern.data(), req_bytes);
+        patterns.push_back(pattern);
+    }
+
+    vm::VAddr dst = 0;
+    if (op == MovOp::kReplicate) {
+        dst = proc.mmap(req_bytes * requests, psize, kernel.fast_node());
+        ASSERT_NE(dst, 0u);
+    }
+
+    const std::uint64_t slow_free0 =
+        kernel.phys().node(kernel.slow_node()).free_frames();
+    const std::uint64_t fast_free0 =
+        kernel.phys().node(kernel.fast_node()).free_frames();
+
+    auto app = [&]() -> sim::Task {
+        for (std::uint32_t r = 0; r < requests; ++r) {
+            const std::uint32_t idx = user.alloc_request();
+            EXPECT_NE(idx, kNoRequest);
+            MovReq &req = user.request(idx);
+            req.op = op;
+            req.src_base = src + r * req_bytes;
+            req.num_pages = pages;
+            if (op == MovOp::kReplicate)
+                req.dst_base = dst + r * req_bytes;
+            else
+                req.dst_node = kernel.fast_node();
+            req.user_tag = r;
+            co_await user.submit(idx);
+        }
+        std::uint32_t completed = 0;
+        while (completed < requests) {
+            const std::uint32_t idx = user.retrieve_completed();
+            if (idx == kNoRequest) {
+                co_await user.poll();
+                continue;
+            }
+            EXPECT_TRUE(user.request(idx).succeeded())
+                << "request " << user.request(idx).user_tag << " error "
+                << static_cast<unsigned>(user.request(idx).error);
+            user.free_request(idx);
+            ++completed;
+        }
+    };
+    auto task = app();
+    kernel.run();
+    ASSERT_TRUE(task.done());
+
+    // Data integrity on the moved side.
+    std::vector<std::uint8_t> got(req_bytes);
+    for (std::uint32_t r = 0; r < requests; ++r) {
+        const vm::VAddr base =
+            (op == MovOp::kReplicate ? dst : src) + r * req_bytes;
+        ASSERT_TRUE(proc.as().read(base, got.data(), req_bytes));
+        ASSERT_EQ(got, patterns[r]) << "request " << r;
+    }
+
+    // Placement + frame accounting.
+    if (op == MovOp::kMigrate) {
+        vm::Vma *vma = proc.as().find_vma(src);
+        for (std::uint64_t p = 0; p < vma->num_pages(); ++p) {
+            const vm::Pte pte = vma->pte(p);
+            EXPECT_TRUE(pte.present);
+            EXPECT_FALSE(pte.young);
+            EXPECT_EQ(kernel.phys().node_of(pte.pfn), kernel.fast_node());
+        }
+        // Every source frame was freed; every destination frame came
+        // from the fast node.
+        EXPECT_EQ(kernel.phys().node(kernel.slow_node()).free_frames(),
+                  slow_free0 + requests * pages * vm::frames_per_page(psize));
+        EXPECT_EQ(kernel.phys().node(kernel.fast_node()).free_frames(),
+                  fast_free0 - requests * pages * vm::frames_per_page(psize));
+    } else {
+        EXPECT_EQ(kernel.phys().node(kernel.slow_node()).free_frames(),
+                  slow_free0);
+        EXPECT_EQ(kernel.phys().node(kernel.fast_node()).free_frames(),
+                  fast_free0);
+    }
+    EXPECT_TRUE(dev.idle());
+    EXPECT_EQ(dev.stats().requests_completed, requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallPages, MoveSweep,
+    ::testing::Combine(::testing::Values(MovOp::kReplicate, MovOp::kMigrate),
+                       ::testing::Values(vm::PageSize::k4K),
+                       ::testing::Values(1u, 3u, 16u, 64u),
+                       ::testing::Values(1u, 7u)));
+
+INSTANTIATE_TEST_SUITE_P(
+    MediumPages, MoveSweep,
+    ::testing::Combine(::testing::Values(MovOp::kReplicate, MovOp::kMigrate),
+                       ::testing::Values(vm::PageSize::k64K),
+                       ::testing::Values(1u, 8u, 16u),
+                       ::testing::Values(1u, 4u)));
+
+INSTANTIATE_TEST_SUITE_P(
+    LargePages, MoveSweep,
+    ::testing::Combine(::testing::Values(MovOp::kReplicate, MovOp::kMigrate),
+                       ::testing::Values(vm::PageSize::k2M),
+                       ::testing::Values(1u, 2u),
+                       ::testing::Values(1u)));
+
+}  // namespace
+}  // namespace memif::core

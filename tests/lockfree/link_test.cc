@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the shared-region link encodings.
+ */
+#include "lockfree/link.h"
+
+#include <gtest/gtest.h>
+
+namespace memif::lockfree {
+namespace {
+
+TEST(Link, PackUnpackRoundTrip)
+{
+    for (std::uint32_t idx : {0u, 1u, 12345u, 0x7FFF'FFFEu, kNil}) {
+        for (Color c : {Color::kRed, Color::kBlue}) {
+            for (std::uint32_t tag : {0u, 1u, 0xFFFF'FFFFu}) {
+                const Link l{idx, c, tag};
+                const Link r = Link::unpack(l.pack());
+                EXPECT_EQ(r.index, idx);
+                EXPECT_EQ(r.color, c);
+                EXPECT_EQ(r.tag, tag);
+            }
+        }
+    }
+}
+
+TEST(Link, ColorOccupiesBit31)
+{
+    const Link red{5, Color::kRed, 0};
+    const Link blue{5, Color::kBlue, 0};
+    EXPECT_EQ(red.pack() ^ blue.pack(), Link::kColorBit);
+}
+
+TEST(Link, NilDetection)
+{
+    EXPECT_TRUE((Link{kNil, Color::kBlue, 7}.is_nil()));
+    EXPECT_FALSE((Link{0, Color::kBlue, 7}.is_nil()));
+}
+
+TEST(Link, TagDifferenceBreaksEquality)
+{
+    // The whole point of the tag: the "same" link after a reuse cycle
+    // must not compare equal, so a stale CAS fails.
+    const Link a{42, Color::kRed, 1};
+    const Link b{42, Color::kRed, 2};
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(a.pack(), b.pack());
+}
+
+TEST(HeadPtr, PackUnpackRoundTrip)
+{
+    for (std::uint32_t idx : {0u, 77u, 0xFFFF'FFFFu}) {
+        for (std::uint32_t tag : {0u, 3u, 0xFFFF'FFFFu}) {
+            const HeadPtr h{idx, tag};
+            const HeadPtr r = HeadPtr::unpack(h.pack());
+            EXPECT_EQ(r.index, idx);
+            EXPECT_EQ(r.tag, tag);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace memif::lockfree

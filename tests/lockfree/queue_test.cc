@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Single-threaded semantic tests for the red-blue lock-free queue:
+ * FIFO order, color propagation, set_color preconditions, cell recycling.
+ */
+#include "lockfree/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lockfree/cell.h"
+#include "lockfree/link.h"
+
+namespace memif::lockfree {
+namespace {
+
+/** A self-contained region: one pool, up to four queues. */
+struct Region {
+    static constexpr std::uint32_t kCells = 64;
+    StackHeader stack_header;
+    std::vector<Cell> cells;
+    QueueHeader q_header;
+
+    Region() : cells(kCells)
+    {
+        CellPool::initialize(&stack_header, cells.data(), kCells);
+    }
+
+    CellPool pool() { return CellPool(&stack_header, cells.data(), kCells); }
+
+    RedBlueQueue
+    make_queue(Color initial = Color::kBlue)
+    {
+        CellPool p = pool();
+        RedBlueQueue::initialize(&q_header, p, initial);
+        return RedBlueQueue(&q_header, pool());
+    }
+};
+
+TEST(CellPool, PopAllThenExhausted)
+{
+    Region r;
+    CellPool p = r.pool();
+    std::vector<std::uint32_t> got;
+    for (std::uint32_t i = 0; i < Region::kCells; ++i) {
+        const std::uint32_t idx = p.pop();
+        ASSERT_NE(idx, kNil);
+        got.push_back(idx);
+    }
+    EXPECT_EQ(p.pop(), kNil);
+    for (std::uint32_t idx : got) p.push(idx);
+    EXPECT_NE(p.pop(), kNil);
+}
+
+TEST(CellPool, LifoRecycling)
+{
+    Region r;
+    CellPool p = r.pool();
+    const std::uint32_t a = p.pop();
+    p.push(a);
+    EXPECT_EQ(p.pop(), a);
+}
+
+TEST(RedBlueQueue, StartsEmptyWithInitialColor)
+{
+    Region r;
+    RedBlueQueue q = r.make_queue(Color::kBlue);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.color(), Color::kBlue);
+    const DequeueResult d = q.dequeue();
+    EXPECT_FALSE(d.ok);
+    EXPECT_EQ(d.color, Color::kBlue);
+}
+
+TEST(RedBlueQueue, FifoOrder)
+{
+    Region r;
+    RedBlueQueue q = r.make_queue();
+    for (std::uint32_t v = 100; v < 110; ++v) q.enqueue(v);
+    EXPECT_EQ(q.size_unsafe(), 10u);
+    for (std::uint32_t v = 100; v < 110; ++v) {
+        const DequeueResult d = q.dequeue();
+        ASSERT_TRUE(d.ok);
+        EXPECT_EQ(d.value, v);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RedBlueQueue, EnqueueReturnsObservedColor)
+{
+    Region r;
+    RedBlueQueue q = r.make_queue(Color::kBlue);
+    EXPECT_EQ(q.enqueue(1), Color::kBlue);
+    EXPECT_EQ(q.enqueue(2), Color::kBlue);
+    // Color sticks to links: still blue for later enqueues.
+    EXPECT_EQ(q.enqueue(3), Color::kBlue);
+}
+
+TEST(RedBlueQueue, SetColorFailsOnNonEmptyQueue)
+{
+    Region r;
+    RedBlueQueue q = r.make_queue(Color::kBlue);
+    q.enqueue(1);
+    EXPECT_EQ(q.set_color(Color::kRed), kColorBusy);
+    q.dequeue();
+    EXPECT_EQ(q.set_color(Color::kRed), static_cast<int>(Color::kBlue));
+    EXPECT_EQ(q.color(), Color::kRed);
+}
+
+TEST(RedBlueQueue, SetColorIsIdempotent)
+{
+    Region r;
+    RedBlueQueue q = r.make_queue(Color::kRed);
+    EXPECT_EQ(q.set_color(Color::kRed), static_cast<int>(Color::kRed));
+    EXPECT_EQ(q.color(), Color::kRed);
+}
+
+TEST(RedBlueQueue, ColorPropagatesThroughEnqueues)
+{
+    Region r;
+    RedBlueQueue q = r.make_queue(Color::kBlue);
+    ASSERT_EQ(q.set_color(Color::kRed), static_cast<int>(Color::kBlue));
+    // Everything enqueued now observes red.
+    EXPECT_EQ(q.enqueue(7), Color::kRed);
+    EXPECT_EQ(q.enqueue(8), Color::kRed);
+    const DequeueResult a = q.dequeue();
+    EXPECT_TRUE(a.ok);
+    EXPECT_EQ(a.color, Color::kRed);
+    const DequeueResult b = q.dequeue();
+    EXPECT_TRUE(b.ok);
+    EXPECT_EQ(b.color, Color::kRed);
+    // Empty again: color survives draining.
+    EXPECT_EQ(q.color(), Color::kRed);
+}
+
+TEST(RedBlueQueue, SubmitFlushCycleMatchesPaperProtocol)
+{
+    // The §4.4 state machine on one thread: enqueue on blue -> flush ->
+    // set red -> subsequent enqueues see red (no flush responsibility).
+    Region r;
+    RedBlueQueue q = r.make_queue(Color::kBlue);
+    EXPECT_EQ(q.enqueue(1), Color::kBlue);  // caller must flush
+    DequeueResult d = q.dequeue();
+    EXPECT_TRUE(d.ok);
+    EXPECT_EQ(q.set_color(Color::kRed), static_cast<int>(Color::kBlue));
+    EXPECT_EQ(q.enqueue(2), Color::kRed);  // kernel's job now
+    // Kernel drains and recolors blue.
+    EXPECT_TRUE(q.dequeue().ok);
+    EXPECT_EQ(q.set_color(Color::kBlue), static_cast<int>(Color::kRed));
+    EXPECT_EQ(q.enqueue(3), Color::kBlue);
+}
+
+TEST(RedBlueQueue, ManyCyclesDoNotLeakCells)
+{
+    Region r;
+    RedBlueQueue q = r.make_queue();
+    // Far more operations than cells exist: recycling must work.
+    for (int round = 0; round < 1000; ++round) {
+        for (std::uint32_t v = 0; v < 32; ++v) q.enqueue(v);
+        for (std::uint32_t v = 0; v < 32; ++v) {
+            const DequeueResult d = q.dequeue();
+            ASSERT_TRUE(d.ok);
+            ASSERT_EQ(d.value, v);
+        }
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RedBlueQueue, InterleavedEnqueueDequeue)
+{
+    // Two enqueues per dequeue: population grows to ~170, so this also
+    // checks behaviour near a deliberately roomy capacity.
+    constexpr std::uint32_t kBigCells = 512;
+    struct BigRegion {
+        StackHeader stack_header;
+        std::vector<Cell> cells;
+        QueueHeader q_header;
+    } r{.stack_header = {}, .cells = std::vector<Cell>(kBigCells), .q_header = {}};
+    CellPool::initialize(&r.stack_header, r.cells.data(), kBigCells);
+    CellPool pool(&r.stack_header, r.cells.data(), kBigCells);
+    RedBlueQueue::initialize(&r.q_header, pool, Color::kBlue);
+    RedBlueQueue q(&r.q_header, pool);
+    std::uint32_t next_in = 0, next_out = 0;
+    for (int step = 0; step < 500; ++step) {
+        if (step % 3 != 2) {
+            q.enqueue(next_in++);
+        } else {
+            const DequeueResult d = q.dequeue();
+            if (d.ok) { EXPECT_EQ(d.value, next_out++); }
+        }
+    }
+    while (true) {
+        const DequeueResult d = q.dequeue();
+        if (!d.ok) break;
+        EXPECT_EQ(d.value, next_out++);
+    }
+    EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RedBlueQueue, TwoQueuesShareOnePool)
+{
+    Region r;
+    CellPool p = r.pool();
+    QueueHeader h2;
+    RedBlueQueue::initialize(&r.q_header, p, Color::kBlue);
+    RedBlueQueue::initialize(&h2, p, Color::kRed);
+    RedBlueQueue a(&r.q_header, r.pool());
+    RedBlueQueue b(&h2, r.pool());
+    for (std::uint32_t v = 0; v < 10; ++v) {
+        a.enqueue(v);
+        b.enqueue(100 + v);
+    }
+    for (std::uint32_t v = 0; v < 10; ++v) {
+        EXPECT_EQ(a.dequeue().value, v);
+        EXPECT_EQ(b.dequeue().value, 100 + v);
+    }
+}
+
+}  // namespace
+}  // namespace memif::lockfree

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Property tests of the red-blue *protocol* (paper §4.4): with many
+ * threads racing SubmitRequest-style flushes against a kernel-style
+ * drainer, exactly one party holds flush responsibility at a time, no
+ * request is lost, and the "kick" syscall happens exactly when the color
+ * flips blue->red.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "lockfree/cell.h"
+#include "lockfree/link.h"
+#include "lockfree/queue.h"
+
+namespace memif::lockfree {
+namespace {
+
+/** staging + submission queues over one pool, as in a memif instance. */
+struct Instance {
+    std::uint32_t capacity;
+    StackHeader stack_header;
+    std::vector<Cell> cells;
+    QueueHeader staging_header;
+    QueueHeader submission_header;
+
+    explicit Instance(std::uint32_t ncells)
+        : capacity(ncells), cells(ncells)
+    {
+        CellPool::initialize(&stack_header, cells.data(), capacity);
+        CellPool pool(&stack_header, cells.data(), capacity);
+        RedBlueQueue::initialize(&staging_header, pool, Color::kBlue);
+        RedBlueQueue::initialize(&submission_header, pool, Color::kRed);
+    }
+
+    CellPool pool() { return CellPool(&stack_header, cells.data(), capacity); }
+    RedBlueQueue staging() { return RedBlueQueue(&staging_header, pool()); }
+    RedBlueQueue submission() { return RedBlueQueue(&submission_header, pool()); }
+};
+
+/**
+ * The SubmitRequest flush protocol, verbatim from the paper's pseudo
+ * code (§4.4). @return true if this call made the "kick" ioctl.
+ */
+bool
+submit_request(RedBlueQueue &staging, RedBlueQueue &submission,
+               std::uint32_t req)
+{
+    const Color color = staging.enqueue(req);
+    if (color != Color::kBlue) return false;  // kernel will flush
+flush:
+    for (;;) {
+        const DequeueResult d = staging.dequeue();
+        if (!d.ok) break;
+        submission.enqueue(d.value);
+    }
+    const int old_color = staging.set_color(Color::kRed);
+    if (old_color == kColorBusy) goto flush;  // raced with a new submit
+    if (old_color == static_cast<int>(Color::kRed))
+        return false;  // another thread won the flip and kicked
+    return true;       // we flipped blue->red: issue ioctl(MOV_ONE)
+}
+
+TEST(RedBlueProtocol, SingleThreadKicksExactlyOncePerDrainCycle)
+{
+    Instance inst(64);
+    RedBlueQueue staging = inst.staging();
+    RedBlueQueue submission = inst.submission();
+
+    EXPECT_TRUE(submit_request(staging, submission, 1));  // blue -> kick
+    EXPECT_FALSE(submit_request(staging, submission, 2)); // red -> no kick
+    EXPECT_FALSE(submit_request(staging, submission, 3));
+
+    // "Kernel" drains: requests 2 and 3 still sit in staging (red).
+    std::vector<std::uint32_t> served;
+    for (;;) {
+        DequeueResult d = submission.dequeue();
+        if (!d.ok) d = staging.dequeue();
+        if (!d.ok) break;
+        served.push_back(d.value);
+    }
+    EXPECT_EQ(served, (std::vector<std::uint32_t>{1, 2, 3}));
+    EXPECT_EQ(staging.set_color(Color::kBlue),
+              static_cast<int>(Color::kRed));
+    EXPECT_TRUE(submit_request(staging, submission, 4));  // kicks again
+}
+
+TEST(RedBlueProtocol, ConcurrentSubmittersLoseNoRequests)
+{
+    constexpr std::uint32_t kPerThread = 5000;
+    const unsigned nthreads = 4;
+    const std::uint32_t total = kPerThread * nthreads;
+    Instance inst(total + 16);
+
+    std::atomic<std::uint64_t> kicks{0};
+    std::atomic<bool> stop_kernel{false};
+    std::vector<std::atomic<std::uint32_t>> seen(total);
+    for (auto &s : seen) s.store(0);
+    std::atomic<std::uint32_t> served{0};
+
+    // Kernel thread: whenever requests exist, drain submission+staging,
+    // then try to hand flush duty back (red->blue), exactly like the
+    // memif kernel worker.
+    std::thread kernel([&] {
+        RedBlueQueue staging = inst.staging();
+        RedBlueQueue submission = inst.submission();
+        for (;;) {
+            bool any = false;
+            for (;;) {
+                DequeueResult d = submission.dequeue();
+                if (!d.ok) d = staging.dequeue();
+                if (!d.ok) break;
+                any = true;
+                ASSERT_LT(d.value, total);
+                seen[d.value].fetch_add(1);
+                served.fetch_add(1);
+            }
+            if (!any) {
+                // Queues look empty: recolor blue so apps kick again.
+                staging.set_color(Color::kBlue);
+                if (stop_kernel.load() && served.load() >= total) break;
+            }
+        }
+    });
+
+    std::vector<std::thread> apps;
+    for (unsigned t = 0; t < nthreads; ++t) {
+        apps.emplace_back([&, t] {
+            RedBlueQueue staging = inst.staging();
+            RedBlueQueue submission = inst.submission();
+            std::uint64_t my_kicks = 0;
+            for (std::uint32_t i = 0; i < kPerThread; ++i) {
+                if (submit_request(staging, submission,
+                                   t * kPerThread + i))
+                    ++my_kicks;
+            }
+            kicks.fetch_add(my_kicks);
+        });
+    }
+    for (auto &th : apps) th.join();
+    stop_kernel.store(true);
+    kernel.join();
+
+    EXPECT_EQ(served.load(), total);
+    for (std::uint32_t v = 0; v < total; ++v)
+        ASSERT_EQ(seen[v].load(), 1u) << "request " << v;
+    // At least one kick must have happened; far fewer than one per
+    // request (that is the whole point of the protocol).
+    EXPECT_GE(kicks.load(), 1u);
+    EXPECT_LT(kicks.load(), total);
+}
+
+TEST(RedBlueProtocol, OnlyOneThreadWinsTheBlueToRedFlip)
+{
+    // Many threads race set_color(RED) on an empty blue queue: exactly
+    // one observes BLUE (the winner), the rest observe RED or busy.
+    for (int round = 0; round < 200; ++round) {
+        Instance inst(32);
+        std::atomic<int> winners{0};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 4; ++t) {
+            threads.emplace_back([&] {
+                RedBlueQueue staging = inst.staging();
+                const int old_color = staging.set_color(Color::kRed);
+                if (old_color == static_cast<int>(Color::kBlue))
+                    winners.fetch_add(1);
+            });
+        }
+        for (auto &th : threads) th.join();
+        ASSERT_EQ(winners.load(), 1);
+    }
+}
+
+}  // namespace
+}  // namespace memif::lockfree

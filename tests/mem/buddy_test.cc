@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit and property tests for the buddy allocator.
+ */
+#include "mem/buddy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace memif::mem {
+namespace {
+
+TEST(Buddy, FreshAllocatorHasAllFramesFree)
+{
+    BuddyAllocator b(1024);
+    EXPECT_EQ(b.free_frames(), 1024u);
+    EXPECT_TRUE(b.can_allocate(BuddyAllocator::kMaxOrder));
+}
+
+TEST(Buddy, AllocatedBlocksAreAlignedAndDisjoint)
+{
+    BuddyAllocator b(1024);
+    std::set<std::uint64_t> used;
+    for (unsigned order = 0; order <= 4; ++order) {
+        const std::uint64_t head = b.allocate(order);
+        ASSERT_NE(head, BuddyAllocator::kInvalidFrame);
+        EXPECT_EQ(head % (1u << order), 0u) << "order " << order;
+        for (std::uint64_t f = head; f < head + (1u << order); ++f) {
+            EXPECT_TRUE(used.insert(f).second) << "frame " << f;
+        }
+    }
+}
+
+TEST(Buddy, ExhaustionReturnsInvalid)
+{
+    BuddyAllocator b(16);
+    std::vector<std::uint64_t> heads;
+    for (int i = 0; i < 16; ++i) {
+        const std::uint64_t h = b.allocate(0);
+        ASSERT_NE(h, BuddyAllocator::kInvalidFrame);
+        heads.push_back(h);
+    }
+    EXPECT_EQ(b.free_frames(), 0u);
+    EXPECT_EQ(b.allocate(0), BuddyAllocator::kInvalidFrame);
+    for (auto h : heads) b.free(h, 0);
+    EXPECT_EQ(b.free_frames(), 16u);
+}
+
+TEST(Buddy, FreeCoalescesBackToMaxOrder)
+{
+    BuddyAllocator b(1u << BuddyAllocator::kMaxOrder);
+    std::vector<std::uint64_t> heads;
+    for (unsigned i = 0; i < (1u << BuddyAllocator::kMaxOrder); ++i)
+        heads.push_back(b.allocate(0));
+    EXPECT_FALSE(b.can_allocate(1));
+    for (auto h : heads) b.free(h, 0);
+    // Everything must have merged into one max-order block again.
+    EXPECT_EQ(b.free_blocks(BuddyAllocator::kMaxOrder), 1u);
+    EXPECT_NE(b.allocate(BuddyAllocator::kMaxOrder),
+              BuddyAllocator::kInvalidFrame);
+}
+
+TEST(Buddy, SplitsLargerBlocksOnDemand)
+{
+    BuddyAllocator b(1u << 6);
+    const std::uint64_t a = b.allocate(0);
+    EXPECT_EQ(a, 0u);
+    // The rest of the initial order-6 block must still be allocatable.
+    EXPECT_NE(b.allocate(5), BuddyAllocator::kInvalidFrame);
+    EXPECT_NE(b.allocate(4), BuddyAllocator::kInvalidFrame);
+    EXPECT_EQ(b.free_frames(), 64u - 1 - 32 - 16);
+}
+
+TEST(Buddy, NonPowerOfTwoCapacityIsFullyUsable)
+{
+    BuddyAllocator b(1000);  // not a power of two
+    EXPECT_EQ(b.free_frames(), 1000u);
+    std::uint64_t got = 0;
+    while (b.allocate(0) != BuddyAllocator::kInvalidFrame) ++got;
+    EXPECT_EQ(got, 1000u);
+}
+
+TEST(BuddyDeath, DoubleFreePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    BuddyAllocator b(64);
+    const std::uint64_t h = b.allocate(2);
+    b.free(h, 2);
+    EXPECT_DEATH(b.free(h, 2), "double free");
+}
+
+TEST(BuddyDeath, WrongOrderFreePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    BuddyAllocator b(64);
+    const std::uint64_t h = b.allocate(2);
+    EXPECT_DEATH(b.free(h, 3), "mismatch");
+}
+
+/** Property: random alloc/free churn never corrupts accounting. */
+class BuddyChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuddyChurn, RandomChurnPreservesInvariants)
+{
+    sim::Rng rng(GetParam());
+    constexpr std::uint64_t kFrames = 2048;
+    BuddyAllocator b(kFrames);
+    struct Block { std::uint64_t head; unsigned order; };
+    std::vector<Block> held;
+    std::uint64_t held_frames = 0;
+
+    for (int step = 0; step < 4000; ++step) {
+        const bool do_alloc = held.empty() || rng.next_below(100) < 55;
+        if (do_alloc) {
+            const unsigned order =
+                static_cast<unsigned>(rng.next_below(6));
+            const std::uint64_t head = b.allocate(order);
+            if (head != BuddyAllocator::kInvalidFrame) {
+                ASSERT_EQ(head % (1u << order), 0u);
+                ASSERT_LE(head + (1u << order), kFrames);
+                held.push_back({head, order});
+                held_frames += 1u << order;
+            }
+        } else {
+            const std::size_t pick = rng.next_below(held.size());
+            std::swap(held[pick], held.back());
+            b.free(held.back().head, held.back().order);
+            held_frames -= 1u << held.back().order;
+            held.pop_back();
+        }
+        ASSERT_EQ(b.free_frames(), kFrames - held_frames);
+    }
+    for (const auto &blk : held) b.free(blk.head, blk.order);
+    EXPECT_EQ(b.free_frames(), kFrames);
+    EXPECT_TRUE(b.can_allocate(BuddyAllocator::kMaxOrder));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyChurn,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace memif::mem

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for physical memory nodes: PFN resolution, allocation
+ * bookkeeping, real byte movement, and the KeyStone II default layout.
+ */
+#include "mem/phys.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace memif::mem {
+namespace {
+
+void
+add_two_nodes(PhysicalMemory &pm)
+{
+    pm.add_node(NodeConfig{
+        .name = "slow", .bytes = 8ull << 20, .bandwidth_bps = 6.2e9,
+        .is_fast = false});
+    pm.add_node(NodeConfig{
+        .name = "fast", .bytes = 2ull << 20, .bandwidth_bps = 24.0e9,
+        .is_fast = true});
+}
+
+TEST(Phys, NodesGetDisjointPfnRanges)
+{
+    PhysicalMemory pm;
+    add_two_nodes(pm);
+    ASSERT_EQ(pm.node_count(), 2u);
+    const MemoryNode &a = pm.node(0);
+    const MemoryNode &b = pm.node(1);
+    EXPECT_EQ(a.base_pfn(), 0u);
+    EXPECT_EQ(b.base_pfn(), a.num_frames());
+    EXPECT_EQ(pm.node_of(0), 0u);
+    EXPECT_EQ(pm.node_of(a.num_frames()), 1u);
+    EXPECT_EQ(pm.node_of(a.num_frames() + b.num_frames()), kInvalidNode);
+}
+
+TEST(Phys, AllocateMarksFramesAndFreeClears)
+{
+    PhysicalMemory pm;
+    add_two_nodes(pm);
+    const Pfn head = pm.allocate(1, 2);  // 4 frames on the fast node
+    ASSERT_NE(head, kInvalidPfn);
+    EXPECT_EQ(pm.node_of(head), 1u);
+    for (Pfn p = head; p < head + 4; ++p) {
+        EXPECT_TRUE(pm.frame(p).allocated);
+        EXPECT_EQ(pm.frame(p).is_block_head, p == head);
+        EXPECT_EQ(pm.frame(p).order, 2);
+    }
+    pm.free(head, 2);
+    for (Pfn p = head; p < head + 4; ++p)
+        EXPECT_FALSE(pm.frame(p).allocated);
+}
+
+TEST(Phys, ExhaustionReturnsInvalidPfn)
+{
+    PhysicalMemory pm;
+    pm.add_node(NodeConfig{.name = "tiny", .bytes = 4 * kPageSize,
+                           .bandwidth_bps = 1e9, .is_fast = true});
+    EXPECT_NE(pm.allocate(0, 2), kInvalidPfn);
+    EXPECT_EQ(pm.allocate(0, 0), kInvalidPfn);
+}
+
+TEST(Phys, CopyMovesRealBytes)
+{
+    PhysicalMemory pm;
+    add_two_nodes(pm);
+    const Pfn src = pm.allocate(0, 0);
+    const Pfn dst = pm.allocate(1, 0);
+    std::byte *s = pm.span(src, kPageSize);
+    for (std::uint64_t i = 0; i < kPageSize; ++i)
+        s[i] = static_cast<std::byte>(i * 7 + 3);
+    pm.copy(dst, src, kPageSize);
+    EXPECT_EQ(std::memcmp(pm.span(dst, kPageSize), s, kPageSize), 0);
+}
+
+TEST(Phys, SpanCoversMultiFrameBlocks)
+{
+    PhysicalMemory pm;
+    add_two_nodes(pm);
+    const Pfn head = pm.allocate(0, 4);  // 64 KB block
+    std::byte *p = pm.span(head, 16 * kPageSize);
+    ASSERT_NE(p, nullptr);
+    p[16 * kPageSize - 1] = std::byte{0xAB};
+    EXPECT_EQ(pm.span(head + 15, kPageSize)[kPageSize - 1], std::byte{0xAB});
+}
+
+TEST(Phys, FreshMemoryIsZeroed)
+{
+    PhysicalMemory pm;
+    add_two_nodes(pm);
+    const Pfn p = pm.allocate(0, 0);
+    const std::byte *d = pm.span(p, kPageSize);
+    for (std::uint64_t i = 0; i < kPageSize; ++i)
+        ASSERT_EQ(d[i], std::byte{0});
+}
+
+TEST(Phys, KeystoneLayoutMatchesTable2)
+{
+    PhysicalMemory pm;
+    const auto [slow, fast] = KeystoneMemory::build(pm);
+    EXPECT_EQ(pm.node(slow).name(), "ddr3-slow");
+    EXPECT_EQ(pm.node(fast).name(), "sram-fast");
+    EXPECT_FALSE(pm.node(slow).is_fast());
+    EXPECT_TRUE(pm.node(fast).is_fast());
+    EXPECT_EQ(pm.node(fast).bytes(), 6ull << 20);   // 6 MB SRAM
+    EXPECT_DOUBLE_EQ(pm.node(slow).bandwidth_bps(), 6.2e9);
+    EXPECT_DOUBLE_EQ(pm.node(fast).bandwidth_bps(), 24.0e9);
+}
+
+TEST(Phys, FastNodeCapacityIsScarce)
+{
+    // The 6 MB SRAM only holds 1536 4 KB frames: allocating three
+    // 2 MB blocks exhausts it, mirroring the paper's §6.7 observation.
+    PhysicalMemory pm;
+    const auto [slow, fast] = KeystoneMemory::build(pm);
+    (void)slow;
+    EXPECT_NE(pm.allocate(fast, 9), kInvalidPfn);
+    EXPECT_NE(pm.allocate(fast, 9), kInvalidPfn);
+    EXPECT_NE(pm.allocate(fast, 9), kInvalidPfn);
+    EXPECT_EQ(pm.allocate(fast, 9), kInvalidPfn);
+}
+
+}  // namespace
+}  // namespace memif::mem

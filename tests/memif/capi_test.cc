@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the paper-verbatim C-style API (§4.1, Fig. 2).
+ */
+#include "memif/memif.h"
+
+#include <gtest/gtest.h>
+
+#include "os/kernel.h"
+#include "os/process.h"
+
+namespace memif::core {
+namespace {
+
+class CApi : public ::testing::Test {
+  protected:
+    void TearDown() override { ResetDeviceFiles(); }
+};
+
+TEST_F(CApi, OpenCloseLifecycle)
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    MemifDevice dev(kernel, proc);
+    RegisterDeviceFile("/dev/memif0", dev);
+
+    EXPECT_EQ(MemifOpen("/dev/none"), kErrNoEntry);
+    const int fd = MemifOpen("/dev/memif0");
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(MemifClose(fd), kOk);
+    EXPECT_EQ(MemifClose(fd), kErrBadFd);
+    EXPECT_EQ(MemifClose(1234), kErrBadFd);
+    // Slot reuse.
+    const int fd2 = MemifOpen("/dev/memif0");
+    EXPECT_EQ(fd2, fd);
+    MemifClose(fd2);
+}
+
+TEST_F(CApi, Figure2EndToEnd)
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    MemifDevice dev(kernel, proc);
+    RegisterDeviceFile("/dev/memif0", dev);
+    const vm::VAddr region = proc.mmap(10 * 16 * 4096, vm::PageSize::k4K);
+
+    int completed = 0;
+    auto app = [&]() -> sim::Task {
+        const int memfd = MemifOpen("/dev/memif0");
+        EXPECT_GE(memfd, 0);
+
+        // "Request to move memory regions" — ten of them, Fig. 2 style.
+        for (int i = 0; i < 10; ++i) {
+            mov_req *req = AllocRequest(memfd);
+            EXPECT_NE(req, nullptr);
+            req->op = MovOp::kMigrate;
+            req->src_base = region + static_cast<vm::VAddr>(i) * 16 * 4096;
+            req->num_pages = 16;
+            req->dst_node = kernel.fast_node();
+            int rc = -1;
+            co_await SubmitRequest(memfd, req, &rc);  // non-blocking
+            EXPECT_EQ(rc, kOk);
+        }
+
+        // "Do computation"
+        co_await sim::Delay{kernel.eq(), sim::microseconds(100)};
+
+        // "Is any move completed?"
+        while (completed < 10) {
+            mov_req *req = RetrieveCompleted(memfd);
+            if (!req) {
+                // "No other work, sleep until any move is completed."
+                co_await Poll(memfd);
+                continue;
+            }
+            EXPECT_TRUE(req->succeeded());
+            FreeRequest(memfd, req);
+            ++completed;
+        }
+        EXPECT_EQ(MemifClose(memfd), kOk);
+    };
+    auto t = app();
+    kernel.run();
+    EXPECT_EQ(completed, 10);
+}
+
+TEST_F(CApi, BadDescriptorsAreHarmless)
+{
+    EXPECT_EQ(AllocRequest(7), nullptr);
+    EXPECT_EQ(RetrieveCompleted(7), nullptr);
+    FreeRequest(7, nullptr);  // no crash
+    int rc = 12345;
+    auto t = SubmitRequest(7, nullptr, &rc);
+    EXPECT_EQ(rc, kErrBadFd);
+    auto p = Poll(7);  // completes immediately
+    EXPECT_TRUE(p.done());
+}
+
+TEST_F(CApi, UnregisterInvalidatesOpenDescriptors)
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    MemifDevice dev(kernel, proc);
+    RegisterDeviceFile("/dev/memif0", dev);
+    const int fd = MemifOpen("/dev/memif0");
+    ASSERT_GE(fd, 0);
+    UnregisterDeviceFile("/dev/memif0");
+    EXPECT_EQ(AllocRequest(fd), nullptr);
+    EXPECT_EQ(MemifClose(fd), kErrBadFd);
+}
+
+TEST_F(CApi, TwoDevicesTwoDescriptors)
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    MemifDevice dev0(kernel, proc);
+    MemifDevice dev1(kernel, proc,
+                     MemifConfig{.capacity = 4,
+                                 .gang_lookup = true,
+                                 .race_policy = RacePolicy::kDetect,
+                                 .poll_threshold_bytes = 512 * 1024});
+    RegisterDeviceFile("/dev/memif0", dev0);
+    RegisterDeviceFile("/dev/memif1", dev1);
+    const int a = MemifOpen("/dev/memif0");
+    const int b = MemifOpen("/dev/memif1");
+    ASSERT_NE(a, b);
+    // Instance isolation through the C API: exhaust b's free list.
+    for (int i = 0; i < 4; ++i) EXPECT_NE(AllocRequest(b), nullptr);
+    EXPECT_EQ(AllocRequest(b), nullptr);
+    EXPECT_NE(AllocRequest(a), nullptr);
+}
+
+TEST_F(CApi, PollFdsWakesOnWhicheverDeviceCompletesFirst)
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    MemifDevice dev0(kernel, proc);
+    MemifDevice dev1(kernel, proc);
+    RegisterDeviceFile("/dev/memif0", dev0);
+    RegisterDeviceFile("/dev/memif1", dev1);
+    const vm::VAddr small = proc.mmap(4 * 4096, vm::PageSize::k4K);
+    const vm::VAddr big = proc.mmap(512 * 4096, vm::PageSize::k4K);
+
+    int ready = -99;
+    auto app = [&]() -> sim::Task {
+        const int fd0 = MemifOpen("/dev/memif0");
+        const int fd1 = MemifOpen("/dev/memif1");
+        // A long request on fd0, a short one on fd1.
+        mov_req *slow_req = AllocRequest(fd0);
+        slow_req->op = MovOp::kMigrate;
+        slow_req->src_base = big;
+        slow_req->num_pages = 512;
+        slow_req->dst_node = kernel.fast_node();
+        co_await SubmitRequest(fd0, slow_req);
+        mov_req *fast_req = AllocRequest(fd1);
+        fast_req->op = MovOp::kMigrate;
+        fast_req->src_base = small;
+        fast_req->num_pages = 4;
+        fast_req->dst_node = kernel.fast_node();
+        co_await SubmitRequest(fd1, fast_req);
+
+        std::vector<int> fds{fd0, fd1, 1234 /*bogus: ignored*/};
+        co_await PollFds(fds, &ready);
+    };
+    auto t = app();
+    kernel.run();
+    EXPECT_EQ(ready, 1);  // the short request's device woke us
+}
+
+TEST_F(CApi, PollFdsOnNothingReturnsImmediately)
+{
+    int ready = -99;
+    auto t = PollFds({7, 8}, &ready);
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(ready, -1);
+}
+
+}  // namespace
+}  // namespace memif::core

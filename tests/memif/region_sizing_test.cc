@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Property tests for shared-region sizing: the cell pool must never
+ * run dry under any legal queue population, at any capacity.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "memif/shared_region.h"
+
+namespace memif::core {
+namespace {
+
+class RegionSizing : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RegionSizing, AllRequestsCanSitInAnyOneQueue)
+{
+    const std::uint32_t capacity = GetParam();
+    SharedRegion region(capacity);
+
+    // Drain the free list entirely into each queue in turn and back.
+    lockfree::RedBlueQueue queues[] = {
+        region.staging_queue(), region.submission_queue(),
+        region.completion_ok_queue(), region.completion_err_queue()};
+    for (lockfree::RedBlueQueue &q : queues) {
+        std::uint32_t moved = 0;
+        for (;;) {
+            const lockfree::DequeueResult d = region.free_queue().dequeue();
+            if (!d.ok) break;
+            q.enqueue(d.value);  // would panic if the pool ran dry
+            ++moved;
+        }
+        EXPECT_EQ(moved, capacity);
+        for (;;) {
+            const lockfree::DequeueResult d = q.dequeue();
+            if (!d.ok) break;
+            region.free_queue().enqueue(d.value);
+        }
+    }
+}
+
+TEST_P(RegionSizing, SpreadAcrossAllQueuesSimultaneously)
+{
+    const std::uint32_t capacity = GetParam();
+    SharedRegion region(capacity);
+    lockfree::RedBlueQueue queues[] = {
+        region.staging_queue(), region.submission_queue(),
+        region.completion_ok_queue(), region.completion_err_queue()};
+    // Round-robin every request across the four queues at once.
+    unsigned qi = 0;
+    std::uint32_t moved = 0;
+    for (;;) {
+        const lockfree::DequeueResult d = region.free_queue().dequeue();
+        if (!d.ok) break;
+        queues[qi++ % 4].enqueue(d.value);
+        ++moved;
+    }
+    EXPECT_EQ(moved, capacity);
+    // Everything is retrievable exactly once.
+    std::vector<bool> seen(capacity, false);
+    for (lockfree::RedBlueQueue &q : queues) {
+        for (;;) {
+            const lockfree::DequeueResult d = q.dequeue();
+            if (!d.ok) break;
+            ASSERT_LT(d.value, capacity);
+            ASSERT_FALSE(seen[d.value]);
+            seen[d.value] = true;
+        }
+    }
+    for (std::uint32_t i = 0; i < capacity; ++i) EXPECT_TRUE(seen[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RegionSizing,
+                         ::testing::Values(1u, 2u, 8u, 256u, 1024u));
+
+}  // namespace
+}  // namespace memif::core

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the shared region layout and queue plumbing.
+ */
+#include "memif/shared_region.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace memif::core {
+namespace {
+
+TEST(SharedRegion, FreeListStartsFullyLoaded)
+{
+    SharedRegion r(32);
+    EXPECT_EQ(r.capacity(), 32u);
+    std::set<std::uint32_t> got;
+    lockfree::RedBlueQueue freeq = r.free_queue();
+    for (;;) {
+        const lockfree::DequeueResult d = freeq.dequeue();
+        if (!d.ok) break;
+        EXPECT_TRUE(r.valid_index(d.value));
+        EXPECT_TRUE(got.insert(d.value).second);
+    }
+    EXPECT_EQ(got.size(), 32u);
+}
+
+TEST(SharedRegion, StagingStartsBlueOthersRed)
+{
+    SharedRegion r(8);
+    EXPECT_EQ(r.staging_queue().color(), lockfree::Color::kBlue);
+    EXPECT_EQ(r.submission_queue().color(), lockfree::Color::kRed);
+    EXPECT_TRUE(r.staging_queue().empty());
+    EXPECT_TRUE(r.completion_ok_queue().empty());
+    EXPECT_TRUE(r.completion_err_queue().empty());
+}
+
+TEST(SharedRegion, RequestsStartFree)
+{
+    SharedRegion r(8);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(r.request(i).load_status(), MovStatus::kFree);
+}
+
+TEST(SharedRegion, IndexOfRoundTrips)
+{
+    SharedRegion r(16);
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(r.index_of(r.request(i)), i);
+}
+
+TEST(SharedRegion, QueuesMoveRequestsWithoutLoss)
+{
+    SharedRegion r(64);
+    lockfree::RedBlueQueue freeq = r.free_queue();
+    lockfree::RedBlueQueue staging = r.staging_queue();
+    lockfree::RedBlueQueue ok = r.completion_ok_queue();
+
+    // Cycle every request through the full path several times.
+    for (int round = 0; round < 10; ++round) {
+        std::uint32_t n = 0;
+        for (;;) {
+            const lockfree::DequeueResult d = freeq.dequeue();
+            if (!d.ok) break;
+            staging.enqueue(d.value);
+            ++n;
+        }
+        EXPECT_EQ(n, 64u);
+        for (;;) {
+            const lockfree::DequeueResult d = staging.dequeue();
+            if (!d.ok) break;
+            ok.enqueue(d.value);
+        }
+        for (;;) {
+            const lockfree::DequeueResult d = ok.dequeue();
+            if (!d.ok) break;
+            freeq.enqueue(d.value);
+        }
+    }
+    std::set<std::uint32_t> all;
+    for (;;) {
+        const lockfree::DequeueResult d = freeq.dequeue();
+        if (!d.ok) break;
+        all.insert(d.value);
+    }
+    EXPECT_EQ(all.size(), 64u);
+}
+
+TEST(SharedRegionDeath, OutOfRangeIndexPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SharedRegion r(8);
+    EXPECT_DEATH(r.request(8), "out of range");
+}
+
+TEST(SharedRegion, ReportsPinnedFootprint)
+{
+    SharedRegion small(8);
+    SharedRegion big(256);
+    EXPECT_GT(big.bytes(), small.bytes());
+    // Sanity: 256 requests fit in a few pinned pages, as on the real
+    // system.
+    EXPECT_LT(big.bytes(), 64u * 1024);
+}
+
+}  // namespace
+}  // namespace memif::core

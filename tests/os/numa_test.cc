@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the NUMA policy layer: mbind-style placement, move_pages
+ * per-page statuses, and numastat accounting.
+ */
+#include "os/numa.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/process.h"
+
+namespace memif::os {
+namespace {
+
+mem::NodeId
+node_of_page(Process &p, vm::VAddr base, std::uint64_t page)
+{
+    const vm::Vma *vma = p.as().find_vma(base);
+    return p.kernel().phys().node_of(vma->pte(page).pfn);
+}
+
+TEST(Numa, DefaultPolicyUsesTheCpuLocalSlowNode)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const vm::VAddr base =
+        numa_mmap(p, 8 * 4096, vm::PageSize::k4K, MemPolicy{});
+    ASSERT_NE(base, 0u);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(node_of_page(p, base, i), k.slow_node());
+}
+
+TEST(Numa, BindToFastNodeHonoursAndFails)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const MemPolicy fast_bind{NumaPolicy::kBind, {k.fast_node()}};
+    const vm::VAddr base =
+        numa_mmap(p, 1 << 20, vm::PageSize::k4K, fast_bind);
+    ASSERT_NE(base, 0u);
+    EXPECT_EQ(node_of_page(p, base, 0), k.fast_node());
+    // Binding 8 MB to the 6 MB SRAM must fail (and not leak).
+    const std::uint64_t free_before =
+        k.phys().node(k.fast_node()).free_frames();
+    EXPECT_EQ(numa_mmap(p, 8ull << 20, vm::PageSize::k4K, fast_bind), 0u);
+    EXPECT_EQ(k.phys().node(k.fast_node()).free_frames(), free_before);
+}
+
+TEST(Numa, PreferredFallsBackWhenExhausted)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const MemPolicy prefer_fast{NumaPolicy::kPreferred, {k.fast_node()}};
+    // 8 MB preferred-fast: the first ~6 MB land on SRAM, the rest
+    // falls back to DDR instead of failing.
+    const vm::VAddr base =
+        numa_mmap(p, 8ull << 20, vm::PageSize::k4K, prefer_fast);
+    ASSERT_NE(base, 0u);
+    EXPECT_EQ(node_of_page(p, base, 0), k.fast_node());
+    EXPECT_EQ(node_of_page(p, base, (8ull << 20) / 4096 - 1),
+              k.slow_node());
+}
+
+TEST(Numa, InterleaveAlternatesNodes)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const MemPolicy inter{NumaPolicy::kInterleave,
+                          {k.slow_node(), k.fast_node()}};
+    const vm::VAddr base = numa_mmap(p, 8 * 4096, vm::PageSize::k4K, inter);
+    ASSERT_NE(base, 0u);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(node_of_page(p, base, i),
+                  i % 2 == 0 ? k.slow_node() : k.fast_node());
+}
+
+TEST(Numa, RejectsBadPolicies)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    EXPECT_EQ(numa_mmap(p, 4096, vm::PageSize::k4K,
+                        MemPolicy{NumaPolicy::kBind, {}}),
+              0u);
+    EXPECT_EQ(numa_mmap(p, 4096, vm::PageSize::k4K,
+                        MemPolicy{NumaPolicy::kBind, {99}}),
+              0u);
+}
+
+TEST(Numa, MovePagesReportsPerPageStatus)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const vm::VAddr base = p.mmap(4 * 4096, vm::PageSize::k4K);
+    const vm::VAddr fast_base =
+        p.mmap(4096, vm::PageSize::k4K, k.fast_node());
+
+    // A shared page (to trigger kPageBusy).
+    Process &q = k.create_process();
+    const vm::VAddr shared = p.mmap(4096, vm::PageSize::k4K);
+    q.as().mmap_shared(*p.as().find_vma(shared));
+
+    const std::vector<vm::VAddr> pages{
+        base,                // movable
+        base + 4096,         // movable
+        fast_base,           // already on target
+        0xDEAD0000,          // not mapped
+        shared,              // shared -> busy
+    };
+    const std::vector<mem::NodeId> targets(pages.size(), k.fast_node());
+    std::vector<int> status;
+    k.spawn(move_pages(p, pages, targets, &status));
+    k.run();
+
+    ASSERT_EQ(status.size(), pages.size());
+    EXPECT_EQ(status[0], kPageMoved);
+    EXPECT_EQ(status[1], kPageMoved);
+    EXPECT_EQ(status[2], kPageAlready);
+    EXPECT_EQ(status[3], kPageNoEnt);
+    EXPECT_EQ(status[4], kPageBusy);
+    EXPECT_EQ(node_of_page(p, base, 0), k.fast_node());
+    EXPECT_EQ(node_of_page(p, base, 1), k.fast_node());
+    EXPECT_EQ(node_of_page(p, base, 2), k.slow_node());  // untouched
+}
+
+TEST(Numa, MovePagesReportsExhaustion)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    // Fill the fast node completely, then ask for one more page.
+    const vm::VAddr hog = p.mmap(6ull << 20, vm::PageSize::k4K,
+                                 k.fast_node());
+    ASSERT_NE(hog, 0u);
+    const vm::VAddr base = p.mmap(4096, vm::PageSize::k4K);
+    std::vector<int> status;
+    k.spawn(move_pages(p, {base}, {k.fast_node()}, &status));
+    k.run();
+    ASSERT_EQ(status.size(), 1u);
+    EXPECT_EQ(status[0], kPageNoMem);
+}
+
+TEST(Numa, NumaStatTracksUsage)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const std::vector<NumaNodeStat> before = numa_stat(k);
+    ASSERT_EQ(before.size(), 2u);
+    EXPECT_EQ(before[k.fast_node()].used_bytes, 0u);
+    EXPECT_TRUE(before[k.fast_node()].is_fast);
+    EXPECT_EQ(before[k.fast_node()].total_bytes, 6ull << 20);
+
+    p.mmap(1 << 20, vm::PageSize::k4K, k.fast_node());
+    const std::vector<NumaNodeStat> after = numa_stat(k);
+    EXPECT_EQ(after[k.fast_node()].used_bytes, 1u << 20);
+    EXPECT_EQ(after[k.fast_node()].free_bytes, 5u << 20);
+}
+
+}  // namespace
+}  // namespace memif::os

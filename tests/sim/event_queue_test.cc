@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, determinism, clock
+ * behaviour, and run_until semantics.
+ */
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memif::sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule_at(30, [&] { order.push_back(3); });
+    eq.schedule_at(10, [&] { order.push_back(1); });
+    eq.schedule_at(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTimestampIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule_at(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    SimTime fired_at = 0;
+    eq.schedule_at(50, [&] {
+        eq.schedule_after(25, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(EventQueue, PastScheduleClampsToNow)
+{
+    EventQueue eq;
+    SimTime fired_at = 0;
+    eq.schedule_at(100, [&] {
+        eq.schedule_at(10, [&] { fired_at = eq.now(); });  // "in the past"
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5) eq.schedule_after(10, chain);
+    };
+    eq.schedule_at(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule_at(10, [&] { ++fired; });
+    eq.schedule_at(20, [&] { ++fired; });
+    eq.schedule_at(30, [&] { ++fired; });
+    EXPECT_EQ(eq.run_until(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.run_until(500), 0u);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i) eq.schedule_at(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.events_executed(), 10u);
+}
+
+}  // namespace
+}  // namespace memif::sim

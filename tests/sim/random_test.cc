@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG used by workload generation.
+ */
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace memif::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversTheRange)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(16));
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Rng, DoubleIsInUnitInterval)
+{
+    Rng rng(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.next_double();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U(0,1) samples is ~0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, RoughlyUniformBuckets)
+{
+    Rng rng(1234);
+    std::vector<int> buckets(8, 0);
+    constexpr int kDraws = 80000;
+    for (int i = 0; i < kDraws; ++i)
+        ++buckets[rng.next_below(8)];
+    for (const int b : buckets) {
+        EXPECT_GT(b, kDraws / 8 * 0.9);
+        EXPECT_LT(b, kDraws / 8 * 1.1);
+    }
+}
+
+}  // namespace
+}  // namespace memif::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers and CPU accounting.
+ */
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu.h"
+#include "sim/event_queue.h"
+
+namespace memif::sim {
+namespace {
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double v : {1.0, 2.0, 3.0, 4.0}) a.add(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_NEAR(a.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Samples, Percentiles)
+{
+    Samples s;
+    for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.median(), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+}
+
+TEST(CpuAccounting, ChargesByContextAndOp)
+{
+    CpuAccounting acct;
+    acct.charge(ExecContext::kSyscall, Op::kRemap, 100);
+    acct.charge(ExecContext::kSyscall, Op::kCopy, 50);
+    acct.charge(ExecContext::kIrq, Op::kRelease, 25);
+    EXPECT_EQ(acct.total, 175u);
+    EXPECT_EQ(acct.context(ExecContext::kSyscall), 150u);
+    EXPECT_EQ(acct.context(ExecContext::kIrq), 25u);
+    EXPECT_EQ(acct.op(Op::kRemap), 100u);
+    EXPECT_EQ(acct.op(Op::kCopy), 50u);
+}
+
+TEST(CpuAccounting, SinceSubtractsSnapshots)
+{
+    CpuAccounting a;
+    a.charge(ExecContext::kUser, Op::kQueue, 10);
+    CpuAccounting snap = a;
+    a.charge(ExecContext::kUser, Op::kQueue, 7);
+    CpuAccounting d = a.since(snap);
+    EXPECT_EQ(d.total, 7u);
+    EXPECT_EQ(d.op(Op::kQueue), 7u);
+}
+
+TEST(Cpu, BusyAdvancesTimeAndCharges)
+{
+    EventQueue eq;
+    Cpu cpu(eq);
+    auto coro = [&]() -> Task {
+        co_await cpu.busy(ExecContext::kKthread, Op::kPrep, 500);
+    };
+    Task t = coro();
+    eq.run();
+    EXPECT_EQ(eq.now(), 500u);
+    EXPECT_EQ(cpu.accounting().op(Op::kPrep), 500u);
+    EXPECT_EQ(cpu.accounting().context(ExecContext::kKthread), 500u);
+}
+
+TEST(Cpu, OpAndContextNames)
+{
+    EXPECT_EQ(to_string(Op::kDmaConfig), "dma-cfg");
+    EXPECT_EQ(to_string(ExecContext::kIrq), "irq");
+}
+
+}  // namespace
+}  // namespace memif::sim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for address spaces: mmap/munmap, translation, functional
+ * read/write across pages, and the access semantics (young clearing,
+ * migration blocking) underpinning §5.2.
+ */
+#include "vm/addr_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/phys.h"
+#include "vm/pte.h"
+#include "vm/vma.h"
+
+namespace memif::vm {
+namespace {
+
+struct Fixture {
+    mem::PhysicalMemory pm;
+    mem::NodeId slow, fast;
+    Fixture()
+    {
+        auto ids = mem::KeystoneMemory::build(pm, 32ull << 20);
+        slow = ids.first;
+        fast = ids.second;
+    }
+};
+
+TEST(AddressSpace, MmapPopulatesPtesAndRmap)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    const VAddr base = as.mmap(8 * 4096, PageSize::k4K, f.slow);
+    ASSERT_NE(base, 0u);
+    Vma *vma = as.find_vma(base);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->num_pages(), 8u);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const Pte pte = vma->pte(i);
+        EXPECT_TRUE(pte.present);
+        EXPECT_FALSE(pte.young);
+        EXPECT_EQ(f.pm.node_of(pte.pfn), f.slow);
+        const mem::PageFrame &frame = f.pm.frame(pte.pfn);
+        ASSERT_EQ(frame.mapcount(), 1u);
+        EXPECT_EQ(frame.rmaps[0].owner, &as);
+        EXPECT_EQ(frame.rmaps[0].vaddr, vma->page_vaddr(i));
+    }
+}
+
+TEST(AddressSpace, MmapAlignsLargePages)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    const VAddr a = as.mmap(100, PageSize::k4K, f.slow);
+    const VAddr b = as.mmap(3 << 20, PageSize::k2M, f.slow);
+    EXPECT_EQ(b % (2ull << 20), 0u);
+    Vma *vma = as.find_vma(b);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->num_pages(), 2u);  // 3 MB rounds up to two 2 MB pages
+    EXPECT_NE(a, b);
+}
+
+TEST(AddressSpace, MunmapReturnsFramesToBuddy)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    const std::uint64_t before = f.pm.node(f.fast).free_frames();
+    const VAddr base = as.mmap(64 * 4096, PageSize::k4K, f.fast);
+    ASSERT_NE(base, 0u);
+    EXPECT_EQ(f.pm.node(f.fast).free_frames(), before - 64);
+    as.munmap(base);
+    EXPECT_EQ(f.pm.node(f.fast).free_frames(), before);
+    EXPECT_EQ(as.find_vma(base), nullptr);
+}
+
+TEST(AddressSpace, MmapFailsGracefullyWhenNodeExhausted)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    // The 6 MB fast node cannot back 8 MB.
+    const VAddr base = as.mmap(8ull << 20, PageSize::k4K, f.fast);
+    EXPECT_EQ(base, 0u);
+    // And the failed mapping must not leak frames.
+    const std::uint64_t frames = f.pm.node(f.fast).free_frames();
+    EXPECT_EQ(frames, (6ull << 20) / 4096);
+}
+
+TEST(AddressSpace, ReadWriteRoundTripAcrossPages)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    const VAddr base = as.mmap(4 * 4096, PageSize::k4K, f.slow);
+    std::vector<std::uint8_t> out(3 * 4096 + 123);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(i * 13 + 1);
+    // Start mid-page so the copy straddles boundaries.
+    ASSERT_TRUE(as.write(base + 100, out.data(), out.size()));
+    std::vector<std::uint8_t> in(out.size());
+    ASSERT_TRUE(as.read(base + 100, in.data(), in.size()));
+    EXPECT_EQ(in, out);
+}
+
+TEST(AddressSpace, TranslateReturnsStablePointers)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    const VAddr base = as.mmap(4096, PageSize::k4K, f.slow);
+    std::byte *p = as.translate(base + 5);
+    ASSERT_NE(p, nullptr);
+    *p = std::byte{0x5A};
+    std::uint8_t v = 0;
+    as.read(base + 5, &v, 1);
+    EXPECT_EQ(v, 0x5A);
+    EXPECT_EQ(as.translate(base - 1), nullptr);
+}
+
+TEST(AddressSpace, TouchClearsYoungExactlyOnce)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    const VAddr base = as.mmap(4096, PageSize::k4K, f.slow);
+    Vma *vma = as.find_vma(base);
+    // Install a semi-final PTE (young set), as the memif Remap does.
+    Pte pte = vma->pte(0);
+    pte.young = true;
+    vma->pte_slot(0).store(pte.pack(), std::memory_order_release);
+
+    EXPECT_EQ(as.touch(base, false), AccessResult::kClearedYoung);
+    EXPECT_EQ(as.stats().young_clears, 1u);
+    EXPECT_FALSE(vma->pte(0).young);
+    EXPECT_EQ(as.touch(base, false), AccessResult::kOk);
+    EXPECT_EQ(as.stats().young_clears, 1u);
+}
+
+TEST(AddressSpace, TouchBlocksOnMigrationPte)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    const VAddr base = as.mmap(4096, PageSize::k4K, f.slow);
+    Vma *vma = as.find_vma(base);
+    Pte pte = vma->pte(0);
+    pte.migration = true;
+    vma->pte_slot(0).store(pte.pack(), std::memory_order_release);
+
+    EXPECT_EQ(as.touch(base, true), AccessResult::kBlockedOnMigration);
+    EXPECT_EQ(as.stats().migration_blocks, 1u);
+
+    pte.migration = false;
+    vma->pte_slot(0).store(pte.pack(), std::memory_order_release);
+    EXPECT_EQ(as.touch(base, true), AccessResult::kOk);
+}
+
+TEST(AddressSpace, TouchMarksDirtyOnWrite)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    const VAddr base = as.mmap(4096, PageSize::k4K, f.slow);
+    Vma *vma = as.find_vma(base);
+    EXPECT_FALSE(vma->pte(0).dirty);
+    as.touch(base, false);
+    EXPECT_FALSE(vma->pte(0).dirty);
+    as.touch(base, true);
+    EXPECT_TRUE(vma->pte(0).dirty);
+}
+
+TEST(AddressSpace, TouchUnmappedIsHardFault)
+{
+    Fixture f;
+    AddressSpace as(f.pm);
+    EXPECT_EQ(as.touch(0xDEAD000, false), AccessResult::kNotPresent);
+    EXPECT_EQ(as.stats().hard_faults, 1u);
+}
+
+TEST(AddressSpace, DestructorReleasesEverything)
+{
+    Fixture f;
+    const std::uint64_t before = f.pm.node(f.slow).free_frames();
+    {
+        AddressSpace as(f.pm);
+        as.mmap(1 << 20, PageSize::k4K, f.slow);
+        as.mmap(2 << 20, PageSize::k2M, f.slow);
+        as.mmap(1 << 20, PageSize::k64K, f.slow);
+    }
+    EXPECT_EQ(f.pm.node(f.slow).free_frames(), before);
+}
+
+TEST(Vma, GeometryHelpers)
+{
+    EXPECT_EQ(page_bytes(PageSize::k4K), 4096u);
+    EXPECT_EQ(page_bytes(PageSize::k64K), 65536u);
+    EXPECT_EQ(page_bytes(PageSize::k2M), 2u << 20);
+    EXPECT_EQ(page_order(PageSize::k4K), 0u);
+    EXPECT_EQ(page_order(PageSize::k64K), 4u);
+    EXPECT_EQ(page_order(PageSize::k2M), 9u);
+    EXPECT_EQ(frames_per_page(PageSize::k2M), 512u);
+}
+
+TEST(Pte, PackUnpackRoundTrip)
+{
+    Pte p;
+    p.pfn = 0x12345;
+    p.present = true;
+    p.writable = true;
+    p.young = true;
+    p.dirty = false;
+    p.migration = true;
+    const Pte q = Pte::unpack(p.pack());
+    EXPECT_EQ(q, p);
+    EXPECT_EQ(q.pfn, 0x12345u);
+    EXPECT_TRUE(q.young);
+    EXPECT_TRUE(q.migration);
+    EXPECT_FALSE(q.dirty);
+}
+
+}  // namespace
+}  // namespace memif::vm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the radix page table: slot placement per page size, table
+ * growth, stable pointers, and the real gang-lookup traversal counts
+ * that back §5.1.
+ */
+#include "vm/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace memif::vm {
+namespace {
+
+TEST(PageTable, StartsEmpty)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.table_count(), 0u);
+    EXPECT_EQ(pt.slot(0x1000, PageSize::k4K, /*create=*/false), nullptr);
+}
+
+TEST(PageTable, CreatesTwoLevelsForA4kPage)
+{
+    PageTable pt;
+    PteSlot *s = pt.slot(0x1000, PageSize::k4K, true);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(pt.table_count(), 2u);  // one L2 + one L3
+    // Re-lookup is stable and creates nothing new.
+    EXPECT_EQ(pt.slot(0x1000, PageSize::k4K, false), s);
+    EXPECT_EQ(pt.table_count(), 2u);
+}
+
+TEST(PageTable, TwoMegPagesAreL2BlockEntries)
+{
+    PageTable pt;
+    PteSlot *s = pt.slot(2ull << 20, PageSize::k2M, true);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(pt.table_count(), 1u);  // only the L2 table
+}
+
+TEST(PageTable, DistinctPagesGetDistinctSlots)
+{
+    PageTable pt;
+    std::set<PteSlot *> slots;
+    for (VAddr va = 0; va < 64 * 4096; va += 4096)
+        EXPECT_TRUE(slots.insert(pt.slot(va, PageSize::k4K, true)).second);
+    for (VAddr va = 1ull << 30; va < (1ull << 30) + (8ull << 21);
+         va += 2ull << 20)
+        EXPECT_TRUE(slots.insert(pt.slot(va, PageSize::k2M, true)).second);
+    for (VAddr va = 2ull << 30; va < (2ull << 30) + 8 * 65536; va += 65536)
+        EXPECT_TRUE(slots.insert(pt.slot(va, PageSize::k64K, true)).second);
+}
+
+TEST(PageTable, SlotsHoldValues)
+{
+    PageTable pt;
+    PteSlot *a = pt.slot(0x1000, PageSize::k4K, true);
+    PteSlot *b = pt.slot(0x2000, PageSize::k4K, true);
+    a->store(111, std::memory_order_relaxed);
+    b->store(222, std::memory_order_relaxed);
+    EXPECT_EQ(pt.slot(0x1000, PageSize::k4K, false)->load(), 111u);
+    EXPECT_EQ(pt.slot(0x2000, PageSize::k4K, false)->load(), 222u);
+}
+
+TEST(PageTable, SparseAddressesGrowSeparateSubtrees)
+{
+    PageTable pt;
+    pt.slot(0, PageSize::k4K, true);                 // first GB
+    EXPECT_EQ(pt.table_count(), 2u);
+    pt.slot(5ull << 30, PageSize::k4K, true);        // sixth GB
+    EXPECT_EQ(pt.table_count(), 4u);
+    pt.slot(4096, PageSize::k4K, true);              // same L3 as first
+    EXPECT_EQ(pt.table_count(), 4u);
+}
+
+TEST(PageTable, GangLookupWithinOneLeafDescendsOnce)
+{
+    PageTable pt;
+    for (VAddr va = 0; va < 64 * 4096; va += 4096)
+        pt.slot(va, PageSize::k4K, true);
+    const PageTable::Gang g = pt.gang_lookup(0, 64, PageSize::k4K);
+    ASSERT_EQ(g.slots.size(), 64u);
+    EXPECT_EQ(g.cost.full_descents, 1u);
+    EXPECT_EQ(g.cost.adjacent_steps, 63u);
+    // The slots are the very same atomic words slot() returns.
+    EXPECT_EQ(g.slots[13], pt.slot(13 * 4096, PageSize::k4K, false));
+}
+
+TEST(PageTable, GangLookupRedescendsAtLeafBoundary)
+{
+    PageTable pt;
+    const VAddr start = 508 * 4096;  // 4 entries before the boundary
+    for (VAddr va = start; va < start + 8 * 4096; va += 4096)
+        pt.slot(va, PageSize::k4K, true);
+    const PageTable::Gang g = pt.gang_lookup(start, 8, PageSize::k4K);
+    EXPECT_EQ(g.cost.full_descents, 2u);
+    EXPECT_EQ(g.cost.adjacent_steps, 6u);
+}
+
+TEST(PageTable, GangLookupOn64kPagesCrossesEverySixteenSlots)
+{
+    // A 64 KB page occupies the head of a 16-entry group: 32 such pages
+    // fill a 512-entry leaf, so 64 pages need exactly two descents.
+    PageTable pt;
+    for (VAddr va = 0; va < 64 * 65536; va += 65536)
+        pt.slot(va, PageSize::k64K, true);
+    const PageTable::Gang g = pt.gang_lookup(0, 64, PageSize::k64K);
+    EXPECT_EQ(g.cost.full_descents, 2u);
+    EXPECT_EQ(g.cost.adjacent_steps, 62u);
+}
+
+TEST(PageTable, GangLookupOn2MPagesWalksL2Horizontally)
+{
+    PageTable pt;
+    for (VAddr va = 0; va < 8ull * (2 << 20); va += 2 << 20)
+        pt.slot(va, PageSize::k2M, true);
+    const PageTable::Gang g = pt.gang_lookup(0, 8, PageSize::k2M);
+    EXPECT_EQ(g.cost.full_descents, 1u);
+    EXPECT_EQ(g.cost.adjacent_steps, 7u);
+}
+
+TEST(PageTable, GangMatchesArithmeticModelFor4k)
+{
+    PageTable pt;
+    const VAddr start = 300 * 4096;
+    const std::uint64_t n = 1000;
+    for (VAddr va = start; va < start + n * 4096; va += 4096)
+        pt.slot(va, PageSize::k4K, true);
+    const PageTable::Gang g = pt.gang_lookup(start, n, PageSize::k4K);
+    const WalkCost model = gang_walk(start, n, PageSize::k4K);
+    EXPECT_EQ(g.cost.full_descents, model.full_descents);
+    EXPECT_EQ(g.cost.adjacent_steps, model.adjacent_steps);
+}
+
+TEST(PageTableDeath, UnalignedAddressPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    PageTable pt;
+    EXPECT_DEATH(pt.slot(0x1001, PageSize::k4K, true), "unaligned");
+    EXPECT_DEATH(pt.slot(4096, PageSize::k2M, true), "unaligned");
+}
+
+TEST(PageTableDeath, GangOverUnmappedRangePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    PageTable pt;
+    pt.slot(0, PageSize::k4K, true);
+    EXPECT_DEATH(pt.gang_lookup(1ull << 32, 4, PageSize::k4K), "unmapped");
+}
+
+}  // namespace
+}  // namespace memif::vm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parameterized property sweeps for the vm layer: the page table's
+ * gang lookup agrees with single-slot lookup for every (page size,
+ * alignment, count) combination, and the TLB behaves like a true LRU
+ * at any capacity.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "vm/page_table.h"
+#include "vm/tlb.h"
+
+namespace memif::vm {
+namespace {
+
+using GangParam = std::tuple<PageSize, std::uint64_t /*start page*/,
+                             std::uint64_t /*count*/>;
+
+class GangSweep : public ::testing::TestWithParam<GangParam> {};
+
+TEST_P(GangSweep, GangAgreesWithSlotLookups)
+{
+    const auto [psize, start_page, count] = GetParam();
+    const std::uint64_t pb = page_bytes(psize);
+    const VAddr start = start_page * pb;
+
+    PageTable pt;
+    for (std::uint64_t i = 0; i < count; ++i)
+        pt.slot(start + i * pb, psize, /*create=*/true);
+
+    const PageTable::Gang g = pt.gang_lookup(start, count, psize);
+    ASSERT_EQ(g.slots.size(), count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        EXPECT_EQ(g.slots[i],
+                  pt.slot(start + i * pb, psize, /*create=*/false))
+            << "page " << i;
+    }
+    // Every page is reached exactly once, by descent or by stepping.
+    EXPECT_EQ(g.cost.full_descents + g.cost.adjacent_steps, count);
+    EXPECT_GE(g.cost.full_descents, 1u);
+    // Gang lookup never descends more often than the per-page baseline.
+    EXPECT_LE(g.cost.full_descents,
+              PageTable::per_page_cost(count).full_descents);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Small, GangSweep,
+    ::testing::Combine(::testing::Values(PageSize::k4K),
+                       ::testing::Values(0ull, 7ull, 500ull, 511ull,
+                                         1024ull),
+                       ::testing::Values(1ull, 13ull, 512ull, 600ull)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Medium, GangSweep,
+    ::testing::Combine(::testing::Values(PageSize::k64K),
+                       ::testing::Values(0ull, 31ull, 65ull),
+                       ::testing::Values(1ull, 32ull, 64ull)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Large, GangSweep,
+    ::testing::Combine(::testing::Values(PageSize::k2M),
+                       ::testing::Values(0ull, 511ull),
+                       ::testing::Values(1ull, 4ull, 16ull)));
+
+class TlbCapacity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TlbCapacity, BehavesAsTrueLru)
+{
+    const unsigned capacity = GetParam();
+    Tlb tlb(capacity);
+
+    // Fill to capacity, touch in a known order, then overflow by one:
+    // exactly the least recently used entry must be gone.
+    for (unsigned i = 0; i < capacity; ++i)
+        tlb.fill(i * 4096ull, PageSize::k4K);
+    EXPECT_EQ(tlb.size(), capacity);
+    // Touch everything except entry 0 so it becomes LRU.
+    for (unsigned i = 1; i < capacity; ++i)
+        EXPECT_TRUE(tlb.lookup(i * 4096ull, PageSize::k4K));
+    tlb.fill(0x9000'0000ull, PageSize::k4K);
+    EXPECT_FALSE(tlb.contains(0, PageSize::k4K));
+    for (unsigned i = 1; i < capacity; ++i)
+        EXPECT_TRUE(tlb.contains(i * 4096ull, PageSize::k4K)) << i;
+    EXPECT_TRUE(tlb.contains(0x9000'0000ull, PageSize::k4K));
+    EXPECT_EQ(tlb.size(), capacity);
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST_P(TlbCapacity, FlushAllThenRefill)
+{
+    const unsigned capacity = GetParam();
+    Tlb tlb(capacity);
+    for (unsigned round = 0; round < 3; ++round) {
+        for (unsigned i = 0; i < capacity; ++i)
+            tlb.fill(i * 4096ull, PageSize::k4K);
+        EXPECT_EQ(tlb.size(), capacity);
+        tlb.flush_all();
+        EXPECT_EQ(tlb.size(), 0u);
+    }
+    EXPECT_EQ(tlb.stats().fills, 3ull * capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlbCapacity,
+                         ::testing::Values(1u, 2u, 7u, 64u, 512u));
+
+}  // namespace
+}  // namespace memif::vm

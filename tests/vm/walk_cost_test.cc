@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the gang-lookup walk-cost model (paper §5.1).
+ */
+#include "vm/walk_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace memif::vm {
+namespace {
+
+TEST(WalkCost, PerPageWalkDescendsEveryTime)
+{
+    const WalkCost c = per_page_walk(64);
+    EXPECT_EQ(c.full_descents, 64u);
+    EXPECT_EQ(c.adjacent_steps, 0u);
+}
+
+TEST(WalkCost, GangWalkDescendsOnceWithinOneLeaf)
+{
+    // 64 pages starting leaf-aligned: one descent, 63 neighbour steps.
+    const WalkCost c = gang_walk(0, 64, PageSize::k4K);
+    EXPECT_EQ(c.full_descents, 1u);
+    EXPECT_EQ(c.adjacent_steps, 63u);
+}
+
+TEST(WalkCost, GangWalkRedescendsAtLeafBoundary)
+{
+    // Start at leaf entry 510 (of 512): pages 510,511 | 512... crossing
+    // after two pages.
+    const VAddr va = 510ull * 4096;
+    const WalkCost c = gang_walk(va, 4, PageSize::k4K);
+    EXPECT_EQ(c.full_descents, 2u);
+    EXPECT_EQ(c.adjacent_steps, 2u);
+}
+
+TEST(WalkCost, GangWalkOverManyLeaves)
+{
+    // 2048 leaf-aligned pages: 4 descents (one per 512-entry leaf).
+    const WalkCost c = gang_walk(0, 2048, PageSize::k4K);
+    EXPECT_EQ(c.full_descents, 4u);
+    EXPECT_EQ(c.adjacent_steps, 2044u);
+}
+
+TEST(WalkCost, ZeroAndOnePageEdges)
+{
+    EXPECT_EQ(gang_walk(0, 0, PageSize::k4K).full_descents, 0u);
+    const WalkCost one = gang_walk(4096, 1, PageSize::k4K);
+    EXPECT_EQ(one.full_descents, 1u);
+    EXPECT_EQ(one.adjacent_steps, 0u);
+}
+
+TEST(WalkCost, LargePagesCrossLeavesRarely)
+{
+    // 2 MB pages: 512 of them span a gigabyte yet only one leaf level.
+    const WalkCost c = gang_walk(0, 512, PageSize::k2M);
+    EXPECT_EQ(c.full_descents, 1u);
+    EXPECT_EQ(c.adjacent_steps, 511u);
+}
+
+TEST(WalkCost, GangNeverWorseThanPerPage)
+{
+    for (std::uint64_t n : {1ull, 5ull, 512ull, 513ull, 5000ull}) {
+        for (VAddr va : {0ull, 4096ull * 300, 4096ull * 511}) {
+            const WalkCost g = gang_walk(va, n, PageSize::k4K);
+            const WalkCost p = per_page_walk(n);
+            EXPECT_LE(g.full_descents, p.full_descents);
+            EXPECT_EQ(g.full_descents + g.adjacent_steps, n);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace memif::vm
