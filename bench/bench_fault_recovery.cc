@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation of the fault-injection framework and DMA error recovery:
+ *
+ *   1. Overhead proof: arming every fault site at probability zero must
+ *      leave the virtual timeline bit-identical to running with the
+ *      framework disabled — the recovery machinery (watchdogs, status
+ *      tracking) is free on the happy path.
+ *   2. TC-error rate sweep: as the per-chain error probability rises,
+ *      throughput degrades from full EDMA3 speed towards the CPU
+ *      byte-copy floor (p=1.0: every attempt fails, retries exhaust,
+ *      and the driver falls back to memcpy for every request).
+ */
+#include <cstdio>
+
+#include "dma/engine.h"
+#include "harness.h"
+
+namespace memif::bench {
+namespace {
+
+constexpr std::uint32_t kPages = 64;
+constexpr std::uint32_t kRequests = 64;
+
+StreamOutcome
+run(double tc_error_rate, bool arm_all_at_zero = false)
+{
+    TestBed bed;
+    sim::FaultInjector &faults = bed.kernel.faults();
+    if (arm_all_at_zero) {
+        faults.arm_probability(dma::kFaultTcError, 0.0);
+        faults.arm_probability(dma::kFaultLostIrq, 0.0);
+        faults.arm_probability(dma::kFaultStuck, 0.0);
+        faults.arm_probability(core::kFaultAllocFail, 0.0);
+    } else if (tc_error_rate > 0.0) {
+        faults.arm_probability(dma::kFaultTcError, tc_error_rate);
+    }
+    RequestPlan plan{.op = core::MovOp::kMigrate,
+                     .page_size = vm::PageSize::k4K,
+                     .pages_per_request = kPages,
+                     .num_requests = kRequests};
+    StreamOutcome out = run_memif_stream(bed, plan);
+    std::printf("%9llu %9llu %9llu",
+                static_cast<unsigned long long>(bed.dev.stats().dma_errors),
+                static_cast<unsigned long long>(bed.dev.stats().dma_retries),
+                static_cast<unsigned long long>(
+                    bed.dev.stats().fallback_copies));
+    return out;
+}
+
+}  // namespace
+}  // namespace memif::bench
+
+int
+main()
+{
+    using namespace memif::bench;
+    namespace sim = memif::sim;
+
+    header("Fault recovery: injection overhead and degradation to the "
+           "CPU-copy floor");
+    std::printf("workload: %u migration requests x %u x 4KB pages "
+                "(ping-pong slow<->fast)\n\n",
+                64u, 64u);
+
+    // 1. Zero-fault overhead: the armed-at-zero timeline must be
+    //    bit-identical to the unarmed one.
+    std::printf("%-22s %9s %9s %9s %12s %9s\n", "configuration", "errors",
+                "retries", "fallbacks", "elapsed_us", "GB/s");
+    rule();
+    sim::Duration base_elapsed = 0;
+    {
+        std::printf("%-22s ", "framework disabled");
+        const StreamOutcome out = run(0.0);
+        base_elapsed = out.elapsed;
+        std::printf(" %12.1f %9.2f\n", sim::to_us(out.elapsed),
+                    out.gb_per_sec());
+    }
+    {
+        std::printf("%-22s ", "all sites armed, p=0");
+        const StreamOutcome out = run(0.0, /*arm_all_at_zero=*/true);
+        std::printf(" %12.1f %9.2f\n", sim::to_us(out.elapsed),
+                    out.gb_per_sec());
+        std::printf("\nzero-fault overhead: %s\n",
+                    out.elapsed == base_elapsed
+                        ? "NONE (timelines bit-identical)"
+                        : "NON-ZERO (REGRESSION: recovery machinery is "
+                          "not free)");
+    }
+
+    // 2. Throughput vs injected TC-error rate.
+    std::printf("\n");
+    header("Throughput vs injected DMA TC-error rate");
+    std::printf("%-22s %9s %9s %9s %12s %9s\n", "tc_error rate", "errors",
+                "retries", "fallbacks", "elapsed_us", "GB/s");
+    rule();
+    const double rates[] = {0.0, 0.001, 0.01, 0.05, 0.1, 0.2, 1.0};
+    for (const double p : rates) {
+        char label[32];
+        std::snprintf(label, sizeof label, "p = %.3f%s", p,
+                      p >= 1.0 ? "  (floor)" : "");
+        std::printf("%-22s ", label);
+        const StreamOutcome out = run(p);
+        std::printf(" %12.1f %9.2f\n", sim::to_us(out.elapsed),
+                    out.gb_per_sec());
+    }
+    rule();
+    std::printf("\nexpected: GB/s falls monotonically with the error rate;"
+                " at p=1.0 every\nchain exhausts its retries and the driver"
+                " degrades to the CPU byte-copy\nfloor, which bounds the"
+                " worst case.\n");
+    return 0;
+}

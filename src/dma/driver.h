@@ -120,12 +120,22 @@ class DmaDriver {
 
     /** Forwarders for polled mode / cancellation. */
     bool is_complete(TransferId id) const { return engine_.is_complete(id); }
+    TransferStatus status(TransferId id) const { return engine_.status(id); }
     sim::SimTime
     completion_time(TransferId id) const
     {
         return engine_.completion_time(id);
     }
     bool cancel(TransferId id);
+
+    /**
+     * Return @p id's descriptor lease to the chain cache without a
+     * completion callback having run. Needed when the completion
+     * interrupt was lost: the engine finished the transfer but never
+     * invoked the retiring callback, so the watchdog reclaims the
+     * chain here. Harmless if the transfer already retired.
+     */
+    void reclaim(TransferId id) { retire(id); }
 
     Edma3Engine &engine() { return engine_; }
     const ChainCache &cache() const { return cache_; }

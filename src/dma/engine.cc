@@ -44,6 +44,10 @@ Edma3Engine::start_chain(DescIndex head, unsigned tc, bool raise_irq,
                          CompletionFn on_complete)
 {
     MEMIF_ASSERT(tc < kNumTcs, "bad transfer controller");
+    // Housekeeping: keep the flight table bounded even when no driver
+    // ever calls purge_finished() explicitly.
+    if (flights_.size() >= kPurgeThreshold) purge_finished();
+
     const sim::Duration duration = chain_duration(head);
     const sim::SimTime begin =
         tc_busy_until_[tc] > eq_.now() ? tc_busy_until_[tc] : eq_.now();
@@ -51,8 +55,22 @@ Edma3Engine::start_chain(DescIndex head, unsigned tc, bool raise_irq,
     tc_busy_until_[tc] = done_at;
 
     const TransferId id = next_id_++;
-    flights_.emplace(id, Flight{head, raise_irq, false, false, done_at,
-                                std::move(on_complete)});
+    Flight flight{head, raise_irq};
+    flight.completes_at = done_at;
+    flight.on_complete = std::move(on_complete);
+    // The error model decides each transfer's fate up front so one
+    // seeded plan replays identically. Sites are only consulted while
+    // armed (the common case costs one integer compare).
+    if (faults_ && faults_->enabled()) {
+        flight.stuck = faults_->should_fire(kFaultStuck);
+        flight.error =
+            faults_->should_fire(kFaultTcError) && !flight.stuck;
+        // A lost completion only makes sense in interrupt mode; polled
+        // completions are observed via the pollable flag.
+        flight.lose_irq =
+            faults_->should_fire(kFaultLostIrq) && raise_irq;
+    }
+    flights_.emplace(id, std::move(flight));
     ++stats_.transfers_started;
     stats_.busy_time += duration;
 
@@ -61,9 +79,21 @@ Edma3Engine::start_chain(DescIndex head, unsigned tc, bool raise_irq,
         if (it == flights_.end()) return;  // cancelled and purged
         Flight &fl = it->second;
         if (fl.cancelled) return;
-        execute_copies(fl.head);
+        if (fl.stuck) return;  // hangs until the driver cancels it
+        if (fl.error) {
+            // TC bus error: the chain terminates without moving a
+            // byte; the CC dispatches the error interrupt instead of
+            // the completion interrupt.
+            ++stats_.transfers_failed;
+        } else {
+            execute_copies(fl.head);
+            ++stats_.transfers_completed;
+        }
         fl.completed = true;
-        ++stats_.transfers_completed;
+        if (fl.lose_irq) {
+            ++stats_.interrupts_lost;
+            return;  // nobody learns of the completion
+        }
         if (fl.raise_irq) ++stats_.interrupts_raised;
         if (fl.on_complete) fl.on_complete(id);
     });
@@ -106,6 +136,17 @@ Edma3Engine::is_complete(TransferId id) const
     auto it = flights_.find(id);
     if (it == flights_.end()) return true;  // purged => finished
     return it->second.completed;
+}
+
+TransferStatus
+Edma3Engine::status(TransferId id) const
+{
+    auto it = flights_.find(id);
+    if (it == flights_.end()) return TransferStatus::kOk;  // purged
+    if (it->second.cancelled) return TransferStatus::kCancelled;
+    if (it->second.completed && it->second.error)
+        return TransferStatus::kError;
+    return TransferStatus::kOk;
 }
 
 sim::SimTime

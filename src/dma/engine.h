@@ -10,6 +10,15 @@
  * be cancelled while in flight — no bytes move — which backs the
  * "proceed and recover" race policy of §5.2.
  *
+ * The engine also carries an EDMA3-style error model, driven entirely
+ * by the kernel's FaultInjector (sites below): a TC bus error completes
+ * the transfer with TransferStatus::kError and zero bytes moved but
+ * still dispatches the CC error interrupt (on_complete); a lost
+ * completion interrupt moves the bytes but never runs on_complete; a
+ * stuck transfer never completes at all until cancelled. The memif
+ * driver's watchdog / retry / fallback machinery turns all three into
+ * definite request outcomes.
+ *
  * The engine is cache-coherent with the CPU, as on KeyStone II (§2.3),
  * so no cache maintenance is modelled around transfers.
  */
@@ -24,6 +33,7 @@
 #include "mem/phys.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/types.h"
 
 namespace memif::dma {
@@ -35,11 +45,27 @@ inline constexpr TransferId kInvalidTransfer = 0;
 /** Completion callback; runs in simulated interrupt context. */
 using CompletionFn = std::function<void(TransferId)>;
 
+/** Terminal outcome of a transfer (EDMA3 TC error status model). */
+enum class TransferStatus : std::uint8_t {
+    kOk = 0,     ///< completed, bytes copied
+    kError,      ///< TC bus error: completed with no bytes moved
+    kCancelled,  ///< cancelled by the driver: no bytes moved
+};
+
+/** @name Engine fault-injection sites (see sim/fault.h catalog). */
+///@{
+inline constexpr std::string_view kFaultTcError = "dma.tc_error";
+inline constexpr std::string_view kFaultLostIrq = "dma.lost_irq";
+inline constexpr std::string_view kFaultStuck = "dma.stuck";
+///@}
+
 /** Aggregate engine statistics. */
 struct EngineStats {
     std::uint64_t transfers_started = 0;
     std::uint64_t transfers_completed = 0;
     std::uint64_t transfers_cancelled = 0;
+    std::uint64_t transfers_failed = 0;   ///< TC-error completions
+    std::uint64_t interrupts_lost = 0;    ///< injected lost completions
     std::uint64_t bytes_copied = 0;
     std::uint64_t interrupts_raised = 0;
     sim::Duration busy_time = 0;  ///< summed per-TC busy durations
@@ -55,10 +81,15 @@ struct EngineStats {
 class Edma3Engine {
   public:
     static constexpr unsigned kNumTcs = 6;  // Table 2
+    /** Finished-flight records are purged automatically once the table
+     *  grows past this, bounding memory in long-running simulations. */
+    static constexpr std::size_t kPurgeThreshold = 1024;
 
     Edma3Engine(sim::EventQueue &eq, mem::PhysicalMemory &pm,
-                const sim::CostModel &cm)
-        : eq_(eq), pm_(pm), cm_(cm), tc_busy_until_(kNumTcs, 0)
+                const sim::CostModel &cm,
+                sim::FaultInjector *faults = nullptr)
+        : eq_(eq), pm_(pm), cm_(cm), faults_(faults),
+          tc_busy_until_(kNumTcs, 0)
     {
     }
     Edma3Engine(const Edma3Engine &) = delete;
@@ -87,12 +118,21 @@ class Edma3Engine {
     /** Virtual-time cost of the chain at @p head (excl. queueing). */
     sim::Duration chain_duration(DescIndex head) const;
 
-    /** True once the transfer finished (bytes copied). A purged id is
-     *  reported complete (only finished transfers are purged). */
+    /** True once the transfer finished (with or without error). A
+     *  purged id is reported complete (only finished transfers are
+     *  purged). Stuck transfers stay incomplete until cancelled. */
     bool is_complete(TransferId id) const;
+
+    /** Terminal status of @p id; kOk while still in flight and for
+     *  purged ids (an error is always observed before purging). */
+    TransferStatus status(TransferId id) const;
 
     /** Earliest completion time of @p id (0 if purged). */
     sim::SimTime completion_time(TransferId id) const;
+
+    /** Flight records currently tracked (diagnostic; bounded by
+     *  kPurgeThreshold plus the genuinely in-flight population). */
+    std::size_t flight_count() const { return flights_.size(); }
 
     /**
      * Drop bookkeeping for finished (completed or cancelled) transfers
@@ -117,6 +157,9 @@ class Edma3Engine {
         bool raise_irq;
         bool cancelled = false;
         bool completed = false;
+        bool error = false;     ///< injected TC bus error
+        bool stuck = false;     ///< injected hang: never completes
+        bool lose_irq = false;  ///< injected lost completion interrupt
         sim::SimTime completes_at = 0;
         CompletionFn on_complete;
     };
@@ -126,6 +169,7 @@ class Edma3Engine {
     sim::EventQueue &eq_;
     mem::PhysicalMemory &pm_;
     const sim::CostModel &cm_;
+    sim::FaultInjector *faults_;
     DescriptorRam ram_;
     std::vector<sim::SimTime> tc_busy_until_;
     std::unordered_map<TransferId, Flight> flights_;

@@ -36,6 +36,14 @@ class BuddyAllocator {
     std::uint64_t num_frames() const { return num_frames_; }
     std::uint64_t free_frames() const { return free_frames_; }
 
+    /** Frames currently allocated and not yet freed. Leak check: at a
+     *  quiesced point this must equal the frames a test knowingly
+     *  holds — anything above that is a leaked block. */
+    std::uint64_t outstanding_pages() const
+    {
+        return num_frames_ - free_frames_;
+    }
+
     /** Free blocks currently held at @p order (diagnostic). */
     std::size_t free_blocks(unsigned order) const
     {

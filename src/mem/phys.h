@@ -186,6 +186,16 @@ class PhysicalMemory {
     /** Free a block previously returned by allocate(). */
     void free(Pfn head, unsigned order);
 
+    /** Machine-wide allocated-and-not-freed frame count (leak check:
+     *  sums every node's BuddyAllocator::outstanding_pages()). */
+    std::uint64_t
+    outstanding_pages() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &n : nodes_) total += n->buddy().outstanding_pages();
+        return total;
+    }
+
     PageFrame &frame(Pfn pfn);
 
     /**

@@ -37,8 +37,10 @@ MemifDevice::~MemifDevice()
 {
     stopping_ = true;
     // Cancel anything still in flight: the engine outlives us, and its
-    // completion callbacks capture this device.
+    // completion callbacks capture this device. Watchdog events capture
+    // it too, so disarm them all before the device goes away.
     for (const InFlightPtr &fl : in_flight_) {
+        disarm_watchdog(fl);
         if (fl->tid != dma::kInvalidTransfer &&
             !kernel_.dma().is_complete(fl->tid))
             kernel_.dma().cancel(fl->tid);
@@ -209,7 +211,10 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         bool exhausted = false;
         for (std::uint32_t i = 0; i < req.num_pages; ++i) {
             remap_cost += cm.page_alloc_time(fl->order);
-            const mem::Pfn new_pfn = pm.allocate(req.dst_node, fl->order);
+            const mem::Pfn new_pfn =
+                kernel_.faults().should_fire(kFaultAllocFail)
+                    ? mem::kInvalidPfn
+                    : pm.allocate(req.dst_node, fl->order);
             if (new_pfn == mem::kInvalidPfn) {
                 exhausted = true;
                 break;
@@ -320,13 +325,17 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     }
 
     // ---- 3. DMA config + trigger -------------------------------------
+    // The SG list is kept on the in-flight record: retries and the CPU
+    // fallback replay it after a transfer failure.
+    fl->sg = std::move(sg);
+    fl->irq_mode = irq_mode;
     // The PaRAM has 512 entries (Table 2); with several instances (or a
     // deep pipeline) in flight, wait until enough descriptors retire.
-    while (kernel_.dma().available_descriptors() < sg.size()) {
+    while (kernel_.dma().available_descriptors() < fl->sg.size()) {
         if (fl->aborted) co_return;  // rolled back while waiting
         co_await kernel_.dma().capacity_wait();
     }
-    dma::DmaDriver::Prepared prepared = kernel_.dma().prepare(sg);
+    dma::DmaDriver::Prepared prepared = kernel_.dma().prepare(fl->sg);
     co_await cpu.busy(ctx, Op::kDmaConfig, prepared.cpu_time);
     tr.record(kernel_.eq().now(), TracePoint::kDmaConfigDone, ctx, idx);
 
@@ -337,21 +346,237 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         co_return;
     }
     if (out) *out = fl;
-    if (irq_mode) {
+    trigger_dma(fl, std::move(prepared), ctx);
+    tr.record(kernel_.eq().now(), TracePoint::kDmaStart, ctx, idx);
+}
+
+// --------------------------------------------------------------------
+// DMA trigger + error recovery.
+// --------------------------------------------------------------------
+
+void
+MemifDevice::trigger_dma(const InFlightPtr &fl, dma::DmaDriver::Prepared p,
+                         ExecContext ctx)
+{
+    (void)ctx;
+    ++fl->dma_attempts;
+    if (fl->irq_mode) {
         fl->tid = kernel_.dma().start(
-            std::move(prepared), /*irq_mode=*/true,
+            std::move(p), /*irq_mode=*/true,
             [this, fl](dma::TransferId) {
-                kernel_.tracer().record(kernel_.eq().now(),
-                                        TracePoint::kDmaComplete,
-                                        ExecContext::kIrq, fl->req_idx);
-                kernel_.spawn(irq_complete(fl));
+                kernel_.spawn(on_dma_complete(fl));
             },
             tc_);
+        arm_watchdog(fl);
     } else {
-        fl->tid = kernel_.dma().start(std::move(prepared),
-                                      /*irq_mode=*/false, nullptr, tc_);
+        // Polled mode: the kernel thread supervises the transfer itself
+        // (its timed wait doubles as the watchdog).
+        fl->tid = kernel_.dma().start(std::move(p), /*irq_mode=*/false,
+                                      nullptr, tc_);
     }
-    tr.record(kernel_.eq().now(), TracePoint::kDmaStart, ctx, idx);
+}
+
+void
+MemifDevice::arm_watchdog(const InFlightPtr &fl)
+{
+    const sim::SimTime now = kernel_.eq().now();
+    const sim::SimTime done = kernel_.dma().completion_time(fl->tid);
+    const sim::Duration remaining = done > now ? done - now : 0;
+    const auto padded = static_cast<sim::Duration>(
+        static_cast<double>(remaining) * config_.watchdog_margin);
+    const sim::SimTime deadline = now + padded + config_.watchdog_slack;
+    // The event must not keep the device or the record alive, and the
+    // normal completion path cancels it before it can run — a cancelled
+    // event neither executes nor advances virtual time, so supervision
+    // is free on the fault-less path.
+    std::weak_ptr<InFlight> weak = fl;
+    fl->watchdog_id = kernel_.eq().schedule_at(deadline, [this, weak] {
+        InFlightPtr alive = weak.lock();
+        if (!alive) return;
+        alive->watchdog_id = sim::EventQueue::kInvalidEvent;
+        kernel_.spawn(watchdog_expired(std::move(alive)));
+    });
+}
+
+void
+MemifDevice::disarm_watchdog(const InFlightPtr &fl)
+{
+    if (fl->watchdog_id == sim::EventQueue::kInvalidEvent) return;
+    kernel_.eq().cancel(fl->watchdog_id);
+    fl->watchdog_id = sim::EventQueue::kInvalidEvent;
+}
+
+sim::Task
+MemifDevice::on_dma_complete(InFlightPtr fl)
+{
+    disarm_watchdog(fl);
+    if (fl->aborted || stopping_) co_return;
+    if (kernel_.dma().status(fl->tid) == dma::TransferStatus::kError) {
+        // CC error interrupt (EDMA3 EMR): no bytes moved; recover.
+        const sim::CostModel &cm = kernel_.costs();
+        ++stats_.dma_errors;
+        kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaError,
+                                ExecContext::kIrq, fl->req_idx);
+        co_await kernel_.cpu().busy(ExecContext::kIrq, Op::kSched,
+                                    cm.irq_overhead);
+        co_await handle_dma_failure(fl, ExecContext::kIrq,
+                                    MovError::kDmaError);
+        wake_kthread();
+        co_return;
+    }
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaComplete,
+                            ExecContext::kIrq, fl->req_idx);
+    co_await irq_complete(fl);
+}
+
+sim::Task
+MemifDevice::watchdog_expired(InFlightPtr fl)
+{
+    if (fl->aborted || stopping_) co_return;
+    if (region_.request(fl->req_idx).load_status() != MovStatus::kInFlight)
+        co_return;  // already resolved by some other path
+    const sim::CostModel &cm = kernel_.costs();
+    ++stats_.watchdog_timeouts;
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kWatchdogFire,
+                            ExecContext::kIrq, fl->req_idx);
+    co_await kernel_.cpu().busy(ExecContext::kIrq, Op::kSched,
+                                cm.irq_overhead);
+
+    if (kernel_.dma().is_complete(fl->tid)) {
+        // The transfer finished but its completion interrupt was lost:
+        // the engine never ran the retiring callback, so reclaim the
+        // descriptor chain, then dispatch the completion as usual.
+        const dma::TransferStatus st = kernel_.dma().status(fl->tid);
+        kernel_.dma().reclaim(fl->tid);
+        if (st == dma::TransferStatus::kError) {
+            ++stats_.dma_errors;
+            kernel_.tracer().record(kernel_.eq().now(),
+                                    TracePoint::kDmaError,
+                                    ExecContext::kIrq, fl->req_idx);
+            co_await handle_dma_failure(fl, ExecContext::kIrq,
+                                        MovError::kDmaError);
+            wake_kthread();
+        } else {
+            kernel_.tracer().record(kernel_.eq().now(),
+                                    TracePoint::kDmaComplete,
+                                    ExecContext::kIrq, fl->req_idx);
+            co_await irq_complete(fl);
+        }
+        co_return;
+    }
+    // Genuinely stuck: drop the hung transfer and recover.
+    kernel_.dma().cancel(fl->tid);
+    co_await handle_dma_failure(fl, ExecContext::kIrq, MovError::kTimeout);
+    wake_kthread();
+}
+
+sim::Task
+MemifDevice::handle_dma_failure(InFlightPtr fl, ExecContext ctx,
+                                MovError reason)
+{
+    if (fl->aborted) co_return;
+    if (fl->dma_attempts <= config_.dma_max_retries) {
+        ++stats_.dma_retries;
+        kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaRetry,
+                                ctx, fl->req_idx);
+        const sim::Duration backoff = config_.dma_retry_backoff
+                                      << (fl->dma_attempts - 1);
+        co_await sim::Delay{kernel_.eq(), backoff};
+        if (fl->aborted || stopping_) co_return;
+        co_await restart_dma(fl, ctx);
+        co_return;
+    }
+    if (config_.cpu_copy_fallback) {
+        co_await fallback_copy(fl, ctx);
+        co_return;
+    }
+    fail_unrecoverable(fl, ctx, reason);
+}
+
+sim::Task
+MemifDevice::restart_dma(InFlightPtr fl, ExecContext ctx)
+{
+    while (kernel_.dma().available_descriptors() < fl->sg.size()) {
+        if (fl->aborted) co_return;
+        co_await kernel_.dma().capacity_wait();
+    }
+    dma::DmaDriver::Prepared p = kernel_.dma().prepare(fl->sg);
+    co_await kernel_.cpu().busy(ctx, Op::kDmaConfig, p.cpu_time);
+    if (fl->aborted || stopping_) {
+        kernel_.dma().abandon(std::move(p));
+        co_return;
+    }
+    trigger_dma(fl, std::move(p), ctx);
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaStart, ctx,
+                            fl->req_idx);
+}
+
+sim::Task
+MemifDevice::fallback_copy(InFlightPtr fl, ExecContext ctx)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    mem::PhysicalMemory &pm = kernel_.phys();
+    ++stats_.fallback_copies;
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kFallbackCopy,
+                            ctx, fl->req_idx);
+    // The CPU replays the scatter-gather list byte-for-byte; correct
+    // but slow — this is the graceful-degradation floor.
+    for (const dma::SgEntry &e : fl->sg)
+        pm.copy(e.dst_addr >> mem::kPageShift,
+                e.src_addr >> mem::kPageShift, e.bytes);
+    co_await kernel_.cpu().busy(ctx, Op::kCopy,
+                                cm.cpu_copy_time(fl->total_bytes));
+    if (config_.race_policy == RacePolicy::kPrevent &&
+        fl->op == MovOp::kMigrate && ctx == ExecContext::kIrq) {
+        // Same constraint as irq_complete: Release needs sleepable
+        // locks under race prevention.
+        pending_release_.push_back(fl);
+        wake_kthread();
+        co_return;
+    }
+    co_await do_release(fl, ctx);
+}
+
+void
+MemifDevice::fail_unrecoverable(const InFlightPtr &fl, ExecContext ctx,
+                                MovError reason)
+{
+    if (fl->op == MovOp::kMigrate) {
+        // Put the region back exactly as it was: old PTEs restored, new
+        // frames freed. Error completions never touched the new frames,
+        // so the old copy is still authoritative.
+        rollback_remap(fl, ctx);
+        ++stats_.rollbacks;
+    }
+    fl->aborted = true;
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaFailed,
+                            ctx, fl->req_idx);
+    notify(fl->req_idx, MovStatus::kFailed, reason);
+    std::erase(in_flight_, fl);
+}
+
+void
+MemifDevice::rollback_remap(const InFlightPtr &fl, ExecContext ctx)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    mem::PhysicalMemory &pm = kernel_.phys();
+    sim::Duration cost = 0;
+    for (std::uint32_t i = 0; i < fl->num_pages; ++i) {
+        for (const Mapping &m : fl->mappings[i]) {
+            m.vma->pte_slot(m.page_idx)
+                .store(m.old_pte, std::memory_order_release);
+            m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
+                                 m.vma->page_size());
+            cost += cm.pte_update + cm.tlb_flush_page;
+        }
+        pm.free(fl->new_pfns[i], fl->order);
+        cost += cm.page_free;
+    }
+    kernel_.cpu().charge(ctx, Op::kRelease, cost);
+    // Under race prevention accessors may be blocked on the migration
+    // PTEs we just replaced; let them re-check.
+    if (config_.race_policy == RacePolicy::kPrevent)
+        kernel_.migration_waitq().notify_all();
 }
 
 // --------------------------------------------------------------------
@@ -538,29 +763,59 @@ MemifDevice::kthread_loop()
                                    /*irq_mode=*/!polled, &fl);
             if (polled && fl) {
                 // §5.4: small request — interrupt off, sleep until the
-                // predicted completion, then Release/Notify here.
-                const sim::SimTime done =
-                    k.dma().completion_time(fl->tid);
-                const sim::SimTime now = k.eq().now();
-                k.tracer().record(now, TracePoint::kPolledWait,
+                // predicted completion, then Release/Notify here. The
+                // timed wait doubles as the watchdog: waking with the
+                // transfer still incomplete means it is stuck, and the
+                // loop runs the recovery ladder until the request
+                // reaches a terminal status.
+                k.tracer().record(k.eq().now(), TracePoint::kPolledWait,
                                   ExecContext::kKthread, fl->req_idx);
-                if (done > now) {
-                    // Sleep in whole scheduler ticks: the worker cannot
-                    // wake at an arbitrary instant (§5.4 "sleeps
-                    // shortly").
-                    const sim::Duration tick = cm.kthread_poll_interval;
-                    const sim::Duration wait =
-                        (done - now + tick - 1) / tick * tick;
-                    co_await sim::Delay{k.eq(), wait};
-                } else {
-                    co_await sim::Yield{k.eq()};
-                }
-                if (!fl->aborted) {
+                while (!fl->aborted &&
+                       region_.request(fl->req_idx).load_status() ==
+                           MovStatus::kInFlight) {
+                    const sim::SimTime done =
+                        k.dma().completion_time(fl->tid);
+                    const sim::SimTime now = k.eq().now();
+                    if (done > now) {
+                        // Sleep in whole scheduler ticks: the worker
+                        // cannot wake at an arbitrary instant (§5.4
+                        // "sleeps shortly").
+                        const sim::Duration tick = cm.kthread_poll_interval;
+                        const sim::Duration wait =
+                            (done - now + tick - 1) / tick * tick;
+                        co_await sim::Delay{k.eq(), wait};
+                    } else {
+                        co_await sim::Yield{k.eq()};
+                    }
+                    if (fl->aborted) break;
+                    if (!k.dma().is_complete(fl->tid)) {
+                        // Stuck: the predicted completion time passed
+                        // with the transfer still running.
+                        ++stats_.watchdog_timeouts;
+                        k.tracer().record(k.eq().now(),
+                                          TracePoint::kWatchdogFire,
+                                          ExecContext::kKthread,
+                                          fl->req_idx);
+                        k.dma().cancel(fl->tid);
+                        co_await handle_dma_failure(
+                            fl, ExecContext::kKthread, MovError::kTimeout);
+                        continue;
+                    }
+                    if (k.dma().status(fl->tid) ==
+                        dma::TransferStatus::kError) {
+                        ++stats_.dma_errors;
+                        k.tracer().record(k.eq().now(),
+                                          TracePoint::kDmaError,
+                                          ExecContext::kKthread,
+                                          fl->req_idx);
+                        co_await handle_dma_failure(
+                            fl, ExecContext::kKthread,
+                            MovError::kDmaError);
+                        continue;
+                    }
                     k.tracer().record(k.eq().now(),
                                       TracePoint::kDmaComplete,
                                       ExecContext::kKthread, fl->req_idx);
-                    MEMIF_ASSERT(k.dma().is_complete(fl->tid),
-                                 "polled wakeup before DMA completion");
                     ++stats_.polled_completions;
                     co_await do_release(fl, ExecContext::kKthread);
                 }
@@ -657,27 +912,15 @@ MemifDevice::handle_young_fault(vm::Vma &vma, std::uint64_t page_idx)
 void
 MemifDevice::abort_migration(const InFlightPtr &fl)
 {
-    const sim::CostModel &cm = kernel_.costs();
-    mem::PhysicalMemory &pm = kernel_.phys();
-
     // Drop the outstanding DMA (if it was ever triggered), restore
     // every old mapping, release the new pages, and notify the
     // application of the abort. Runs synchronously in the faulting
     // thread's context.
-    if (fl->tid != dma::kInvalidTransfer) kernel_.dma().cancel(fl->tid);
-    sim::Duration cost = 0;
-    for (std::uint32_t i = 0; i < fl->num_pages; ++i) {
-        for (const Mapping &m : fl->mappings[i]) {
-            m.vma->pte_slot(m.page_idx)
-                .store(m.old_pte, std::memory_order_release);
-            m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
-                                 m.vma->page_size());
-            cost += cm.pte_update + cm.tlb_flush_page;
-        }
-        pm.free(fl->new_pfns[i], fl->order);
-        cost += cm.page_free;
+    if (fl->tid != dma::kInvalidTransfer) {
+        disarm_watchdog(fl);
+        kernel_.dma().cancel(fl->tid);
     }
-    kernel_.cpu().charge(ExecContext::kSyscall, Op::kRelease, cost);
+    rollback_remap(fl, ExecContext::kSyscall);
     fl->aborted = true;
     ++stats_.migrations_aborted;
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kAborted,

@@ -29,6 +29,16 @@
  *    restored, DMA dropped), and delivers an "aborted" notification.
  *  - kPrevent: the Linux-style migration PTE; accessors block, Release
  *    must run in the kernel thread (never in the interrupt handler).
+ *
+ * DMA error recovery: every interrupt-mode transfer is supervised by a
+ * watchdog armed at its predicted duration × watchdog_margin (+ slack);
+ * polled transfers are supervised inline by the kernel thread's wait.
+ * A TC bus error or a watchdog expiry first retries the transfer (up to
+ * dma_max_retries, exponential backoff), then degrades to a CPU
+ * byte-copy of the scatter-gather list, and — only if the fallback is
+ * disabled — rolls a migration back to its old frames (extending the
+ * §5.2 abort machinery) and fails the request with kDmaError/kTimeout.
+ * Error completions move no bytes, so destinations are all-or-nothing.
  */
 #pragma once
 
@@ -46,6 +56,10 @@
 #include "vm/vma.h"
 
 namespace memif::core {
+
+/** Injection site: new-frame allocation during migration remap fails
+ *  as if the destination node were exhausted (see sim/fault.h). */
+inline constexpr std::string_view kFaultAllocFail = "memif.alloc_fail";
 
 /** Race-handling policy (§5.2). */
 enum class RacePolicy : std::uint8_t {
@@ -71,6 +85,22 @@ struct MemifConfig {
      * frame along with every mapping (implemented future work).
      */
     bool allow_file_backed = false;
+    /**
+     * @name DMA error recovery.
+     * The watchdog deadline is the transfer's remaining predicted time
+     * × margin, plus a fixed slack absorbing interrupt latency. On a
+     * TC error or expiry the driver retries with exponential backoff
+     * (retry n sleeps backoff << (n-1)), then falls back to a CPU
+     * byte-copy; with the fallback disabled the request fails instead
+     * (migrations roll back to their old frames).
+     */
+    ///@{
+    double watchdog_margin = 4.0;
+    sim::Duration watchdog_slack = sim::microseconds(20);
+    std::uint32_t dma_max_retries = 3;
+    sim::Duration dma_retry_backoff = sim::microseconds(5);
+    bool cpu_copy_fallback = true;
+    ///@}
 };
 
 /** Driver event counters. */
@@ -87,6 +117,11 @@ struct DeviceStats {
     std::uint64_t irq_completions = 0;
     std::uint64_t polled_completions = 0;
     std::uint64_t kthread_wakeups = 0;
+    std::uint64_t dma_errors = 0;         ///< TC-error completions seen
+    std::uint64_t dma_retries = 0;        ///< transfers restarted
+    std::uint64_t fallback_copies = 0;    ///< degraded to CPU byte-copy
+    std::uint64_t watchdog_timeouts = 0;  ///< stuck / lost-irq detections
+    std::uint64_t rollbacks = 0;          ///< unrecoverable-failure rollbacks
 };
 
 class MemifDevice {
@@ -159,6 +194,11 @@ class MemifDevice {
         std::vector<CacheRef> cache_refs;
         dma::TransferId tid = dma::kInvalidTransfer;
         bool aborted = false;            ///< recover-mode rollback done
+        /** Scatter-gather list, kept for retries and the CPU fallback. */
+        std::vector<dma::SgEntry> sg;
+        bool irq_mode = false;           ///< completion via interrupt
+        std::uint32_t dma_attempts = 0;  ///< starts so far (1 = first)
+        sim::EventQueue::EventId watchdog_id = sim::EventQueue::kInvalidEvent;
     };
     using InFlightPtr = std::shared_ptr<InFlight>;
 
@@ -186,6 +226,33 @@ class MemifDevice {
     bool handle_young_fault(vm::Vma &vma, std::uint64_t page_idx);
     /** Roll back an in-flight migration (recover policy). */
     void abort_migration(const InFlightPtr &fl);
+
+    // ----- DMA error recovery -----------------------------------------
+    /** Start (or restart) @p fl's transfer; arms the watchdog in irq
+     *  mode. The prepared chain must match fl->sg. */
+    void trigger_dma(const InFlightPtr &fl, dma::DmaDriver::Prepared p,
+                     sim::ExecContext ctx);
+    /** Completion-interrupt dispatcher: routes to irq_complete or, on a
+     *  TC error, into the recovery ladder. */
+    sim::Task on_dma_complete(InFlightPtr fl);
+    void arm_watchdog(const InFlightPtr &fl);
+    void disarm_watchdog(const InFlightPtr &fl);
+    /** Watchdog callback: decides stuck vs. lost-interrupt and feeds
+     *  the recovery ladder. */
+    sim::Task watchdog_expired(InFlightPtr fl);
+    /** The recovery ladder: retry w/ backoff → CPU copy → rollback. */
+    sim::Task handle_dma_failure(InFlightPtr fl, sim::ExecContext ctx,
+                                 MovError reason);
+    /** Re-prepare and re-trigger fl->sg after backoff. */
+    sim::Task restart_dma(InFlightPtr fl, sim::ExecContext ctx);
+    /** Degraded path: copy fl->sg with the CPU, then Release/Notify. */
+    sim::Task fallback_copy(InFlightPtr fl, sim::ExecContext ctx);
+    /** No recovery left: roll back (migrations) and fail the request. */
+    void fail_unrecoverable(const InFlightPtr &fl, sim::ExecContext ctx,
+                            MovError reason);
+    /** Restore old PTEs and free new frames (shared by abort_migration
+     *  and fail_unrecoverable). */
+    void rollback_remap(const InFlightPtr &fl, sim::ExecContext ctx);
 
     os::Kernel &kernel_;
     os::Process &proc_;

@@ -106,10 +106,23 @@ MemifClose(int memfd)
 mov_req *
 AllocRequest(int memfd)
 {
+    return AllocRequest(memfd, nullptr);
+}
+
+mov_req *
+AllocRequest(int memfd, int *out_rc)
+{
     OpenFile *f = lookup(memfd);
-    if (!f) return nullptr;
+    if (!f) {
+        if (out_rc) *out_rc = kErrBadFd;
+        return nullptr;
+    }
     const std::uint32_t idx = f->user->alloc_request();
-    if (idx == kNoRequest) return nullptr;
+    if (idx == kNoRequest) {
+        if (out_rc) *out_rc = kErrNoSpace;
+        return nullptr;
+    }
+    if (out_rc) *out_rc = kOk;
     return &f->user->request(idx);
 }
 

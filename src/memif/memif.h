@@ -72,6 +72,13 @@ int MemifClose(int memfd);
  */
 mov_req *AllocRequest(int memfd);
 
+/**
+ * AllocRequest() with an errno-style result: @p out_rc (may be null)
+ * receives kOk, kErrBadFd, or kErrNoSpace when the shared region's
+ * free list is exhausted (the application holds every request slot).
+ */
+mov_req *AllocRequest(int memfd, int *out_rc);
+
 /** FreeRequest(): return a consumed request to the free list. */
 void FreeRequest(int memfd, mov_req *req);
 

@@ -44,6 +44,8 @@ enum class MovError : std::uint32_t {
     kAborted,        ///< migration aborted by the recovery handler
     kBusy,           ///< page already part of an in-flight move
     kFileBacked,     ///< file-backed pages (rejected unless enabled, §6.7)
+    kDmaError,       ///< unrecoverable DMA failure (retries exhausted)
+    kTimeout,        ///< watchdog expired: transfer stuck or irq lost
 };
 
 /**

@@ -15,7 +15,9 @@ Kernel::Kernel(KernelConfig cfg)
     auto ids = mem::KeystoneMemory::build(pm_, cfg_.slow_bytes);
     slow_node_ = ids.first;
     fast_node_ = ids.second;
-    engine_ = std::make_unique<dma::Edma3Engine>(eq_, pm_, cfg_.costs);
+    faults_.seed(cfg_.fault_seed);
+    engine_ =
+        std::make_unique<dma::Edma3Engine>(eq_, pm_, cfg_.costs, &faults_);
     dma_driver_ = std::make_unique<dma::DmaDriver>(*engine_, cfg_.costs,
                                                    cfg_.dma_options);
 }

@@ -18,6 +18,7 @@
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "sim/trace.h"
@@ -37,6 +38,9 @@ struct KernelConfig {
     unsigned num_cores = 4;
     /** DMA driver feature toggles (§5.3 ablations). */
     dma::DmaDriverOptions dma_options{};
+    /** Seed for the fault injector's probability stream (the injector
+     *  stays inert until a site is armed; see sim/fault.h). */
+    std::uint64_t fault_seed = 0xfa017;
 };
 
 /**
@@ -61,6 +65,8 @@ class Kernel {
     mem::NodeId fast_node() const { return fast_node_; }
     dma::Edma3Engine &dma_engine() { return *engine_; }
     dma::DmaDriver &dma() { return *dma_driver_; }
+    /** Machine-wide fault injector (arm sites here; off by default). */
+    sim::FaultInjector &faults() { return faults_; }
 
     // ----- processes ---------------------------------------------------
     Process &create_process();
@@ -117,6 +123,7 @@ class Kernel {
     mem::PhysicalMemory pm_;
     mem::NodeId slow_node_;
     mem::NodeId fast_node_;
+    sim::FaultInjector faults_;  // before engine_: engine holds a pointer
     std::unique_ptr<dma::Edma3Engine> engine_;
     std::unique_ptr<dma::DmaDriver> dma_driver_;
     sim::WaitQueue migration_waitq_;

@@ -6,28 +6,49 @@
 
 namespace memif::sim {
 
-void
+EventQueue::EventId
 EventQueue::schedule_at(SimTime when, Callback cb)
 {
     MEMIF_ASSERT(cb != nullptr);
     if (when < now_) when = now_;  // never schedule into the past
-    events_.push(Event{when, next_seq_++, std::move(cb)});
+    const EventId id = next_seq_++;
+    events_.push(Event{when, id, std::move(cb)});
+    live_.insert(id);
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::schedule_after(Duration delay, Callback cb)
+{
+    return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // The Event stays in the priority queue (heap middle removal is not
+    // worth it); skip_cancelled() discards it when it surfaces, without
+    // touching the clock.
+    return live_.erase(id) != 0;
 }
 
 void
-EventQueue::schedule_after(Duration delay, Callback cb)
+EventQueue::skip_cancelled()
 {
-    schedule_at(now_ + delay, std::move(cb));
+    while (!events_.empty() && !live_.count(events_.top().seq))
+        events_.pop();
 }
 
 bool
 EventQueue::step()
 {
+    skip_cancelled();
     if (events_.empty()) return false;
     // Move the callback out before popping so the event may schedule
     // new events (including at the same timestamp) safely.
     Event ev = events_.top();
     events_.pop();
+    live_.erase(ev.seq);
     MEMIF_ASSERT(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
@@ -47,7 +68,9 @@ std::uint64_t
 EventQueue::run_until(SimTime deadline)
 {
     std::uint64_t n = 0;
-    while (!events_.empty() && events_.top().when <= deadline) {
+    for (;;) {
+        skip_cancelled();
+        if (events_.empty() || events_.top().when > deadline) break;
         step();
         ++n;
     }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/types.h"
@@ -28,6 +29,9 @@ namespace memif::sim {
 class EventQueue {
   public:
     using Callback = std::function<void()>;
+    /** Handle for cancelling a scheduled event. */
+    using EventId = std::uint64_t;
+    static constexpr EventId kInvalidEvent = ~EventId{0};
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -36,17 +40,27 @@ class EventQueue {
     /** Current virtual time. */
     SimTime now() const { return now_; }
 
-    /** Schedule @p cb to run at absolute virtual time @p when. */
-    void schedule_at(SimTime when, Callback cb);
+    /** Schedule @p cb to run at absolute virtual time @p when.
+     *  @return an id usable with cancel(). */
+    EventId schedule_at(SimTime when, Callback cb);
 
     /** Schedule @p cb to run @p delay after the current time. */
-    void schedule_after(Duration delay, Callback cb);
+    EventId schedule_after(Duration delay, Callback cb);
 
-    /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    /**
+     * Cancel a scheduled event. A cancelled event neither runs nor
+     * advances the virtual clock — as if it were never scheduled
+     * (watchdog timers disarm without stretching the simulation).
+     * @return false if the event already ran, was already cancelled,
+     * or never existed.
+     */
+    bool cancel(EventId id);
 
-    /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    /** True when no live (uncancelled) events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /** Number of pending live events. */
+    std::size_t pending() const { return live_.size(); }
 
     /**
      * Run the single earliest event, advancing the clock to its timestamp.
@@ -76,6 +90,9 @@ class EventQueue {
         std::uint64_t seq;
         Callback cb;
     };
+
+    /** Pop cancelled events off the top without advancing the clock. */
+    void skip_cancelled();
     struct Later {
         bool
         operator()(const Event &a, const Event &b) const
@@ -86,6 +103,8 @@ class EventQueue {
     };
 
     std::priority_queue<Event, std::vector<Event>, Later> events_;
+    /** Scheduled-but-not-run event ids (excludes cancelled ones). */
+    std::unordered_set<EventId> live_;
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

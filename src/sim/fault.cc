@@ -1,0 +1,73 @@
+#include "sim/fault.h"
+
+namespace memif::sim {
+
+void
+FaultInjector::arm(std::string_view site, FaultSpec spec)
+{
+    auto [it, inserted] = sites_.try_emplace(std::string(site));
+    SiteState &st = it->second;
+    if (!st.armed) ++armed_;
+    st.spec = spec;
+    st.armed = true;
+    st.occurrences = 0;
+    st.fired = 0;
+}
+
+void
+FaultInjector::disarm(std::string_view site)
+{
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return;
+    it->second.armed = false;
+    --armed_;
+}
+
+void
+FaultInjector::reset()
+{
+    sites_.clear();
+    armed_ = 0;
+    total_fired_ = 0;
+}
+
+bool
+FaultInjector::should_fire(std::string_view site)
+{
+    if (armed_ == 0) return false;
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return false;
+    SiteState &st = it->second;
+    const std::uint64_t n = ++st.occurrences;
+    bool fire = false;
+    if (st.spec.nth != 0 && n >= st.spec.nth &&
+        n < st.spec.nth + st.spec.count)
+        fire = true;
+    // The probability draw is taken whenever configured, even if the
+    // occurrence trigger already decided, so the random stream advances
+    // identically no matter how triggers are combined.
+    if (st.spec.probability > 0.0 &&
+        rng_.next_double() < st.spec.probability)
+        fire = true;
+    if (fire) {
+        ++st.fired;
+        ++total_fired_;
+    }
+    return fire;
+}
+
+std::uint64_t
+FaultInjector::occurrences(std::string_view site) const
+{
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.occurrences;
+}
+
+std::uint64_t
+FaultInjector::fired(std::string_view site) const
+{
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace memif::sim

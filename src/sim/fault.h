@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated machine.
+ *
+ * Subsystems declare *named injection sites* (a string constant next to
+ * the hook, e.g. "dma.tc_error" in the EDMA3 engine) and ask the
+ * injector `should_fire(site)` at the moment the modelled hardware
+ * could misbehave. Tests and benches *arm* sites with a trigger:
+ *
+ *  - nth-occurrence: fire on exactly the nth call (and optionally the
+ *    following count-1 calls) — for pinpoint unit tests;
+ *  - seeded probability: fire independently per occurrence from the
+ *    injector's own xoshiro stream — for randomized stress runs that
+ *    replay bit-identically from a seed.
+ *
+ * Occurrence counting starts when a site is armed, so the same arm +
+ * seed always selects the same victims regardless of what ran before.
+ * With no site armed, `should_fire` is a single integer compare — the
+ * hooks cost nothing on the happy path (verified by
+ * bench_fault_recovery's zero-fault column).
+ *
+ * Site catalog (kept current in docs/INTERNALS.md §5):
+ *
+ *   dma.tc_error     transfer controller bus error: the chain "runs"
+ *                    for its modelled duration, moves no bytes, and
+ *                    completes with TransferStatus::kError (the CC
+ *                    error interrupt still fires)
+ *   dma.lost_irq     the completion interrupt is dropped; bytes land
+ *                    but no handler runs (irq-mode transfers only)
+ *   dma.stuck        the transfer never completes: no bytes, no
+ *                    interrupt, is_complete() stays false until the
+ *                    driver cancels it
+ *   memif.alloc_fail one destination-page allocation reports an
+ *                    exhausted buddy allocator
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "sim/random.h"
+
+namespace memif::sim {
+
+/** How an armed injection site decides to fire. */
+struct FaultSpec {
+    /** 1-based occurrence at which to start firing; 0 disables the
+     *  occurrence trigger. */
+    std::uint64_t nth = 0;
+    /** Number of consecutive occurrences to fire starting at nth. */
+    std::uint64_t count = 1;
+    /** Independent per-occurrence firing probability (seeded stream). */
+    double probability = 0.0;
+};
+
+/**
+ * The global fault registry for one simulated machine; owned by the
+ * Kernel (CostModel-style: one instance configures every layer).
+ */
+class FaultInjector {
+  public:
+    FaultInjector() = default;
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Re-seed the probability stream (call before arming). */
+    void seed(std::uint64_t s) { rng_ = Rng(s); }
+
+    /** Arm @p site with @p spec (replaces any previous arming). */
+    void arm(std::string_view site, FaultSpec spec);
+
+    /** Arm: fire on occurrences [nth, nth + count). */
+    void
+    arm_nth(std::string_view site, std::uint64_t nth,
+            std::uint64_t count = 1)
+    {
+        arm(site, FaultSpec{nth, count, 0.0});
+    }
+
+    /** Arm: fire each occurrence independently with probability @p p. */
+    void
+    arm_probability(std::string_view site, double p)
+    {
+        arm(site, FaultSpec{0, 0, p});
+    }
+
+    /** Disarm one site (its counters are kept for inspection). */
+    void disarm(std::string_view site);
+
+    /** Disarm everything and forget all counters. */
+    void reset();
+
+    /** True while any site is armed — the hooks' fast-path gate. */
+    bool enabled() const { return armed_ != 0; }
+
+    /**
+     * The injection hook: count one occurrence of @p site and decide
+     * whether the fault fires. Unarmed sites are not counted and never
+     * fire (and cost one compare).
+     */
+    bool should_fire(std::string_view site);
+
+    /** Occurrences seen at @p site since it was armed. */
+    std::uint64_t occurrences(std::string_view site) const;
+
+    /** Faults fired at @p site since it was armed. */
+    std::uint64_t fired(std::string_view site) const;
+
+    /** Faults fired across all sites. */
+    std::uint64_t total_fired() const { return total_fired_; }
+
+  private:
+    struct SiteState {
+        FaultSpec spec;
+        bool armed = false;
+        std::uint64_t occurrences = 0;
+        std::uint64_t fired = 0;
+    };
+
+    /** Heterogeneous string_view lookup (no allocation per hook call). */
+    struct Hash {
+        using is_transparent = void;
+        std::size_t
+        operator()(std::string_view sv) const
+        {
+            return std::hash<std::string_view>{}(sv);
+        }
+    };
+
+    std::unordered_map<std::string, SiteState, Hash, std::equal_to<>>
+        sites_;
+    Rng rng_;
+    unsigned armed_ = 0;
+    std::uint64_t total_fired_ = 0;
+};
+
+}  // namespace memif::sim

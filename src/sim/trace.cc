@@ -22,6 +22,11 @@ to_string(TracePoint p)
       case TracePoint::kPolledWait: return "polled-wait";
       case TracePoint::kAborted: return "aborted";
       case TracePoint::kRaceDetected: return "race-detected";
+      case TracePoint::kDmaError: return "dma-error";
+      case TracePoint::kWatchdogFire: return "watchdog-fire";
+      case TracePoint::kDmaRetry: return "dma-retry";
+      case TracePoint::kFallbackCopy: return "fallback-copy";
+      case TracePoint::kDmaFailed: return "dma-failed";
       default: return "?";
     }
 }

@@ -37,6 +37,11 @@ enum class TracePoint : std::uint8_t {
     kPolledWait,     ///< worker sleeping for a predicted completion
     kAborted,        ///< recover-policy rollback
     kRaceDetected,   ///< detect-policy CAS failure
+    kDmaError,       ///< transfer completed with a TC error
+    kWatchdogFire,   ///< watchdog deadline passed without completion irq
+    kDmaRetry,       ///< transfer restarted after backoff
+    kFallbackCopy,   ///< degraded to the CPU byte-copy path
+    kDmaFailed,      ///< unrecoverable DMA failure (rolled back)
 };
 
 /** Human-readable name of a trace point. */

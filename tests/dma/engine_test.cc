@@ -197,6 +197,142 @@ TEST(Engine, CancelPreventsCopyAndCallback)
     EXPECT_FALSE(f.engine.cancel(id2));
 }
 
+struct FaultFixture : Fixture {
+    sim::FaultInjector faults;
+    Edma3Engine faulty{eq, pm, cm, &faults};
+
+    /** One page slow->fast programmed at descriptor 0; src = 0x5A. */
+    mem::Pfn src, dst;
+    FaultFixture()
+    {
+        src = pm.allocate(slow, 0);
+        dst = pm.allocate(fast, 0);
+        std::memset(pm.span(src, mem::kPageSize), 0x5A, mem::kPageSize);
+        faulty.param_ram().write_full(
+            0, TransferDescriptor::contiguous(addr(src), addr(dst),
+                                              mem::kPageSize));
+    }
+};
+
+TEST(EngineFault, TcErrorCompletesWithoutBytesButInterrupts)
+{
+    FaultFixture f;
+    f.faults.arm_nth(kFaultTcError, 1);
+    bool fired = false;
+    const TransferId id =
+        f.faulty.start_chain(0, 0, true, [&](TransferId) { fired = true; });
+    f.eq.run();
+    // The CC error interrupt still dispatches the callback, the chain
+    // completes, but not one byte landed: all-or-nothing destinations.
+    EXPECT_TRUE(fired);
+    EXPECT_TRUE(f.faulty.is_complete(id));
+    EXPECT_EQ(f.faulty.status(id), TransferStatus::kError);
+    EXPECT_EQ(*f.pm.span(f.dst, 1), std::byte{0});
+    EXPECT_EQ(f.faulty.stats().transfers_failed, 1u);
+    EXPECT_EQ(f.faulty.stats().transfers_completed, 0u);
+    EXPECT_EQ(f.faulty.stats().bytes_copied, 0u);
+}
+
+TEST(EngineFault, SecondTransferUnaffectedByNthTrigger)
+{
+    FaultFixture f;
+    f.faults.arm_nth(kFaultTcError, 1);
+    f.faulty.start_chain(0, 0, false, nullptr);
+    f.eq.run();
+    const TransferId id2 = f.faulty.start_chain(0, 0, false, nullptr);
+    f.eq.run();
+    EXPECT_EQ(f.faulty.status(id2), TransferStatus::kOk);
+    EXPECT_EQ(*f.pm.span(f.dst, 1), std::byte{0x5A});
+}
+
+TEST(EngineFault, LostIrqMovesBytesButSkipsCallback)
+{
+    FaultFixture f;
+    f.faults.arm_nth(kFaultLostIrq, 1);
+    bool fired = false;
+    const TransferId id =
+        f.faulty.start_chain(0, 0, true, [&](TransferId) { fired = true; });
+    f.eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(f.faulty.is_complete(id));
+    EXPECT_EQ(f.faulty.status(id), TransferStatus::kOk);
+    EXPECT_EQ(*f.pm.span(f.dst, 1), std::byte{0x5A});
+    EXPECT_EQ(f.faulty.stats().interrupts_lost, 1u);
+    EXPECT_EQ(f.faulty.stats().interrupts_raised, 0u);
+}
+
+TEST(EngineFault, LostIrqOnlyAppliesToIrqMode)
+{
+    FaultFixture f;
+    f.faults.arm_probability(kFaultLostIrq, 1.0);
+    const TransferId id = f.faulty.start_chain(0, 0, false, nullptr);
+    f.eq.run();
+    // Polled transfers have no interrupt to lose.
+    EXPECT_TRUE(f.faulty.is_complete(id));
+    EXPECT_EQ(f.faulty.stats().interrupts_lost, 0u);
+    EXPECT_EQ(*f.pm.span(f.dst, 1), std::byte{0x5A});
+}
+
+TEST(EngineFault, StuckTransferNeverCompletesUntilCancelled)
+{
+    FaultFixture f;
+    f.faults.arm_nth(kFaultStuck, 1);
+    bool fired = false;
+    const TransferId id =
+        f.faulty.start_chain(0, 0, true, [&](TransferId) { fired = true; });
+    f.eq.run();  // the completion event runs but the flight stays open
+    EXPECT_FALSE(fired);
+    EXPECT_FALSE(f.faulty.is_complete(id));
+    EXPECT_EQ(*f.pm.span(f.dst, 1), std::byte{0});
+    EXPECT_TRUE(f.faulty.cancel(id));
+    EXPECT_EQ(f.faulty.status(id), TransferStatus::kCancelled);
+}
+
+TEST(EngineFault, StuckWinsOverTcErrorWhenBothFire)
+{
+    FaultFixture f;
+    f.faults.arm_probability(kFaultStuck, 1.0);
+    f.faults.arm_probability(kFaultTcError, 1.0);
+    const TransferId id = f.faulty.start_chain(0, 0, true, nullptr);
+    f.eq.run();
+    EXPECT_FALSE(f.faulty.is_complete(id));
+    EXPECT_EQ(f.faulty.stats().transfers_failed, 0u);
+}
+
+TEST(Engine, FlightTableAutoPurgesAtThreshold)
+{
+    Fixture f;
+    const mem::Pfn src = f.pm.allocate(f.slow, 0);
+    const mem::Pfn dst = f.pm.allocate(f.fast, 0);
+    f.engine.param_ram().write_full(
+        0, TransferDescriptor::contiguous(f.addr(src), f.addr(dst),
+                                          mem::kPageSize));
+    // Run well past the threshold without ever calling purge_finished():
+    // the table must stay bounded by the auto-purge in start_chain.
+    const std::size_t n = Edma3Engine::kPurgeThreshold * 2 + 10;
+    for (std::size_t i = 0; i < n; ++i) {
+        f.engine.start_chain(0, 0, false, nullptr);
+        f.eq.run();
+    }
+    EXPECT_LE(f.engine.flight_count(), Edma3Engine::kPurgeThreshold);
+    EXPECT_EQ(f.engine.stats().transfers_completed, n);
+}
+
+TEST(Engine, StatusOfPurgedAndInFlightIdsIsOk)
+{
+    Fixture f;
+    const mem::Pfn src = f.pm.allocate(f.slow, 0);
+    const mem::Pfn dst = f.pm.allocate(f.fast, 0);
+    f.engine.param_ram().write_full(
+        0, TransferDescriptor::contiguous(f.addr(src), f.addr(dst),
+                                          mem::kPageSize));
+    const TransferId id = f.engine.start_chain(0, 0, false, nullptr);
+    EXPECT_EQ(f.engine.status(id), TransferStatus::kOk);  // in flight
+    f.eq.run();
+    f.engine.purge_finished();
+    EXPECT_EQ(f.engine.status(id), TransferStatus::kOk);  // purged
+}
+
 TEST(Engine, BandwidthBoundBySlowerNode)
 {
     Fixture f;

@@ -51,6 +51,19 @@ TEST(Buddy, ExhaustionReturnsInvalid)
     EXPECT_EQ(b.free_frames(), 16u);
 }
 
+TEST(Buddy, OutstandingPagesTracksLiveAllocations)
+{
+    BuddyAllocator b(1024);
+    EXPECT_EQ(b.outstanding_pages(), 0u);
+    const std::uint64_t a = b.allocate(0);
+    const std::uint64_t c = b.allocate(3);
+    EXPECT_EQ(b.outstanding_pages(), 1u + 8u);
+    b.free(a, 0);
+    EXPECT_EQ(b.outstanding_pages(), 8u);
+    b.free(c, 3);
+    EXPECT_EQ(b.outstanding_pages(), 0u);  // leak-free
+}
+
 TEST(Buddy, FreeCoalescesBackToMaxOrder)
 {
     BuddyAllocator b(1u << BuddyAllocator::kMaxOrder);

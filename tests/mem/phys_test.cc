@@ -37,6 +37,19 @@ TEST(Phys, NodesGetDisjointPfnRanges)
     EXPECT_EQ(pm.node_of(a.num_frames() + b.num_frames()), kInvalidNode);
 }
 
+TEST(Phys, OutstandingPagesSumsAcrossNodes)
+{
+    PhysicalMemory pm;
+    add_two_nodes(pm);
+    EXPECT_EQ(pm.outstanding_pages(), 0u);
+    const Pfn a = pm.allocate(0, 1);  // 2 frames slow
+    const Pfn b = pm.allocate(1, 2);  // 4 frames fast
+    EXPECT_EQ(pm.outstanding_pages(), 6u);
+    pm.free(a, 1);
+    pm.free(b, 2);
+    EXPECT_EQ(pm.outstanding_pages(), 0u);
+}
+
 TEST(Phys, AllocateMarksFramesAndFreeClears)
 {
     PhysicalMemory pm;

@@ -96,6 +96,40 @@ TEST_F(CApi, BadDescriptorsAreHarmless)
     EXPECT_TRUE(p.done());
 }
 
+TEST_F(CApi, AllocRequestReportsNoSpaceWhenFreeListEmpty)
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    MemifDevice dev(kernel, proc, MemifConfig{.capacity = 2});
+    RegisterDeviceFile("/dev/memif0", dev);
+    const int fd = MemifOpen("/dev/memif0");
+    ASSERT_GE(fd, 0);
+
+    int rc = 12345;
+    mov_req *a = AllocRequest(fd, &rc);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(rc, kOk);
+    mov_req *b = AllocRequest(fd, &rc);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(rc, kOk);
+
+    // The application holds every slot: ENOSPC, not a silent nullptr.
+    EXPECT_EQ(AllocRequest(fd, &rc), nullptr);
+    EXPECT_EQ(rc, kErrNoSpace);
+    EXPECT_EQ(AllocRequest(fd), nullptr);  // legacy overload still works
+
+    FreeRequest(fd, b);
+    EXPECT_NE(AllocRequest(fd, &rc), nullptr);
+    EXPECT_EQ(rc, kOk);
+
+    // A bad descriptor reports EBADF, not ENOSPC.
+    EXPECT_EQ(AllocRequest(999, &rc), nullptr);
+    EXPECT_EQ(rc, kErrBadFd);
+    // A null out_rc is allowed.
+    EXPECT_EQ(AllocRequest(999, nullptr), nullptr);
+    MemifClose(fd);
+}
+
 TEST_F(CApi, UnregisterInvalidatesOpenDescriptors)
 {
     os::Kernel kernel;

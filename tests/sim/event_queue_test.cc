@@ -105,5 +105,73 @@ TEST(EventQueue, CountsExecutedEvents)
     EXPECT_EQ(eq.events_executed(), 10u);
 }
 
+TEST(EventQueue, CancelledEventNeverRuns)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventQueue::EventId id = eq.schedule_at(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.events_executed(), 0u);
+}
+
+TEST(EventQueue, CancelledEventDoesNotAdvanceClock)
+{
+    // The watchdog relies on this: disarming must leave no virtual-time
+    // footprint, or fault-free runs would end later than the seed.
+    EventQueue eq;
+    const EventQueue::EventId id = eq.schedule_at(1000, [] {});
+    eq.schedule_at(10, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, CancelledEventLeavesQueueEmpty)
+{
+    EventQueue eq;
+    const EventQueue::EventId id = eq.schedule_at(50, [] {});
+    EXPECT_FALSE(eq.empty());
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, CancelReturnsFalseForUnknownOrExecuted)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(EventQueue::kInvalidEvent));
+    const EventQueue::EventId id = eq.schedule_at(5, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));       // already executed
+    EXPECT_FALSE(eq.cancel(id + 42));  // never scheduled
+}
+
+TEST(EventQueue, CancelOneOfSeveralAtSameTime)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule_at(100, [&] { order.push_back(0); });
+    const EventQueue::EventId id =
+        eq.schedule_at(100, [&] { order.push_back(1); });
+    eq.schedule_at(100, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EventQueue, CancelFromWithinAnEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventQueue::EventId victim = eq.schedule_at(20, [&] { ++fired; });
+    eq.schedule_at(10, [&] { EXPECT_TRUE(eq.cancel(victim)); });
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
 }  // namespace
 }  // namespace memif::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the fault injector: arming semantics, nth-occurrence
+ * and probability triggers, determinism, and the unarmed fast path.
+ */
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memif::sim {
+namespace {
+
+TEST(FaultInjector, DisabledByDefaultAndNeverFires)
+{
+    FaultInjector inj;
+    EXPECT_FALSE(inj.enabled());
+    for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.should_fire("dma.tc_error"));
+    // Unarmed sites are not even counted.
+    EXPECT_EQ(inj.occurrences("dma.tc_error"), 0u);
+    EXPECT_EQ(inj.total_fired(), 0u);
+}
+
+TEST(FaultInjector, NthOccurrenceFiresExactlyOnce)
+{
+    FaultInjector inj;
+    inj.arm_nth("dma.tc_error", 3);
+    EXPECT_TRUE(inj.enabled());
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i) fired.push_back(inj.should_fire("dma.tc_error"));
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+    EXPECT_EQ(inj.occurrences("dma.tc_error"), 6u);
+    EXPECT_EQ(inj.fired("dma.tc_error"), 1u);
+    EXPECT_EQ(inj.total_fired(), 1u);
+}
+
+TEST(FaultInjector, NthWithCountFiresConsecutively)
+{
+    FaultInjector inj;
+    inj.arm_nth("dma.stuck", 2, 3);
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i) fired.push_back(inj.should_fire("dma.stuck"));
+    EXPECT_EQ(fired, (std::vector<bool>{false, true, true, true, false, false}));
+}
+
+TEST(FaultInjector, FirstOccurrenceTrigger)
+{
+    FaultInjector inj;
+    inj.arm_nth("memif.alloc_fail", 1);
+    EXPECT_TRUE(inj.should_fire("memif.alloc_fail"));
+    EXPECT_FALSE(inj.should_fire("memif.alloc_fail"));
+}
+
+TEST(FaultInjector, SitesAreIndependent)
+{
+    FaultInjector inj;
+    inj.arm_nth("a", 1);
+    inj.arm_nth("b", 2);
+    EXPECT_TRUE(inj.should_fire("a"));
+    EXPECT_FALSE(inj.should_fire("b"));
+    EXPECT_TRUE(inj.should_fire("b"));
+    EXPECT_FALSE(inj.should_fire("c"));  // never armed
+    EXPECT_EQ(inj.occurrences("c"), 0u);
+}
+
+TEST(FaultInjector, CountingStartsAtArmTime)
+{
+    FaultInjector inj;
+    inj.arm_nth("site", 2);
+    EXPECT_FALSE(inj.should_fire("site"));
+    EXPECT_TRUE(inj.should_fire("site"));
+    // Re-arming resets the occurrence counter.
+    inj.arm_nth("site", 2);
+    EXPECT_EQ(inj.occurrences("site"), 0u);
+    EXPECT_FALSE(inj.should_fire("site"));
+    EXPECT_TRUE(inj.should_fire("site"));
+}
+
+TEST(FaultInjector, DisarmStopsFiring)
+{
+    FaultInjector inj;
+    inj.arm_probability("site", 1.0);
+    EXPECT_TRUE(inj.should_fire("site"));
+    inj.disarm("site");
+    EXPECT_FALSE(inj.enabled());
+    EXPECT_FALSE(inj.should_fire("site"));
+}
+
+TEST(FaultInjector, ResetForgetsEverything)
+{
+    FaultInjector inj;
+    inj.arm_nth("x", 1);
+    EXPECT_TRUE(inj.should_fire("x"));
+    inj.reset();
+    EXPECT_FALSE(inj.enabled());
+    EXPECT_EQ(inj.occurrences("x"), 0u);
+    EXPECT_EQ(inj.fired("x"), 0u);
+    EXPECT_EQ(inj.total_fired(), 0u);
+}
+
+TEST(FaultInjector, ProbabilityZeroNeverFires)
+{
+    FaultInjector inj;
+    inj.seed(7);
+    inj.arm_probability("site", 0.0);
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(inj.should_fire("site"));
+}
+
+TEST(FaultInjector, ProbabilityOneAlwaysFires)
+{
+    FaultInjector inj;
+    inj.seed(7);
+    inj.arm_probability("site", 1.0);
+    for (int i = 0; i < 1000; ++i) EXPECT_TRUE(inj.should_fire("site"));
+}
+
+TEST(FaultInjector, ProbabilityRateIsRoughlyHonoured)
+{
+    FaultInjector inj;
+    inj.seed(42);
+    inj.arm_probability("site", 0.25);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) hits += inj.should_fire("site") ? 1 : 0;
+    const double rate = static_cast<double>(hits) / n;
+    EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(FaultInjector, SameSeedSameDecisions)
+{
+    auto draw = [](std::uint64_t seed) {
+        FaultInjector inj;
+        inj.seed(seed);
+        inj.arm_probability("site", 0.3);
+        std::vector<bool> v;
+        for (int i = 0; i < 256; ++i) v.push_back(inj.should_fire("site"));
+        return v;
+    };
+    EXPECT_EQ(draw(123), draw(123));
+    EXPECT_NE(draw(123), draw(124));
+}
+
+TEST(FaultInjector, CombinedNthAndProbabilityKeepsStreamStable)
+{
+    // The probability draw is taken for every occurrence even when the
+    // nth trigger already decided, so adding an nth trigger does not
+    // shift the random stream of later occurrences.
+    auto draw = [](bool with_nth) {
+        FaultInjector inj;
+        inj.seed(99);
+        inj.arm("site", FaultSpec{with_nth ? std::uint64_t{5} : 0, 1, 0.2});
+        std::vector<bool> v;
+        for (int i = 0; i < 64; ++i) v.push_back(inj.should_fire("site"));
+        return v;
+    };
+    std::vector<bool> plain = draw(false);
+    std::vector<bool> nth = draw(true);
+    ASSERT_EQ(plain.size(), nth.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        if (i == 4)
+            EXPECT_TRUE(nth[i]);  // the forced occurrence
+        else
+            EXPECT_EQ(plain[i], nth[i]) << "occurrence " << i;
+    }
+}
+
+}  // namespace
+}  // namespace memif::sim
