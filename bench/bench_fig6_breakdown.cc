@@ -98,7 +98,7 @@ print_breakdown_row(const char *system, std::uint32_t npages,
 }
 
 void
-run_page_size(vm::PageSize ps, const char *label,
+run_page_size(BenchReport &report, vm::PageSize ps, const char *label,
               const std::vector<std::uint32_t> &counts)
 {
     std::printf("\n--- page size %s ---\n", label);
@@ -107,12 +107,19 @@ run_page_size(vm::PageSize ps, const char *label,
         "pages", "prep", "remap", "dmacfg", "copy", "release", "notify",
         "misc", "total_us", "cpu%");
     rule();
+    auto record = [&](const char *system, std::uint32_t n,
+                      const Measurement &m) {
+        print_breakdown_row(system, n, m);
+        report.add(std::string(system) + "-total-us-" + label, n,
+                   sim::to_us(m.elapsed));
+        report.add(std::string(system) + "-cpu-us-" + label, n,
+                   sim::to_us(m.cpu.total));
+    };
     for (const std::uint32_t n : counts) {
-        print_breakdown_row("Linux", n, measure_linux(ps, n));
-        print_breakdown_row("memif-mig", n,
-                            measure_memif(core::MovOp::kMigrate, ps, n));
-        print_breakdown_row("memif-rep", n,
-                            measure_memif(core::MovOp::kReplicate, ps, n));
+        record("Linux", n, measure_linux(ps, n));
+        record("memif-mig", n, measure_memif(core::MovOp::kMigrate, ps, n));
+        record("memif-rep", n,
+               measure_memif(core::MovOp::kReplicate, ps, n));
     }
 }
 
@@ -123,15 +130,17 @@ int
 main()
 {
     using namespace memif::bench;
+    BenchReport report("fig6_breakdown");
     header("Figure 6: single-request time breakdown and CPU usage");
     std::printf(
         "columns are CPU microseconds per Table 1 operation; total_us is\n"
         "request latency (submit->completion); cpu%% = CPU busy / elapsed.\n");
 
-    run_page_size(memif::vm::PageSize::k4K, "4KB",
+    run_page_size(report, memif::vm::PageSize::k4K, "4KB",
                   {1, 2, 4, 8, 16, 32, 64});
-    run_page_size(memif::vm::PageSize::k64K, "64KB", {1, 2, 4, 8, 16, 32});
-    run_page_size(memif::vm::PageSize::k2M, "2MB", {1, 2});
+    run_page_size(report, memif::vm::PageSize::k64K, "64KB",
+                  {1, 2, 4, 8, 16, 32});
+    run_page_size(report, memif::vm::PageSize::k2M, "2MB", {1, 2});
 
     // Headline ratios the paper quotes.
     {

@@ -20,6 +20,7 @@ int
 main()
 {
     using namespace memif::bench;
+    BenchReport report("fig7_latency");
     header("Figure 7: latency of 8 migration requests (16 x 4KB pages each)");
 
     const RequestPlan plan{.op = memif::core::MovOp::kMigrate,
@@ -61,9 +62,11 @@ main()
     for (const Series &s : series) {
         double sum = 0;
         std::printf("%-10s", s.name);
-        for (const double v : s.us) {
+        for (std::size_t i = 0; i < s.us.size(); ++i) {
+            const double v = s.us[i];
             std::printf(" %8.1f", v);
             sum += v;
+            report.add(s.name, static_cast<double>(i + 1), v);
         }
         const double mean = sum / static_cast<double>(s.us.size());
         std::printf(" %9.1f\n", mean);

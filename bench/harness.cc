@@ -1,6 +1,7 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "sim/log.h"
 
@@ -171,6 +172,46 @@ run_linux_stream(TestBed &bed, const RequestPlan &plan,
     outcome.cpu = bed.kernel.cpu().snapshot().since(before);
     bed.proc.as().munmap(base);
     return outcome;
+}
+
+bool
+quick_mode()
+{
+    const char *v = std::getenv("MEMIF_BENCH_QUICK");
+    return v != nullptr && *v != '\0' && *v != '0';
+}
+
+void
+BenchReport::add(const std::string &series, double x, double y)
+{
+    for (Series &s : series_) {
+        if (s.name == series) {
+            s.points.emplace_back(x, y);
+            return;
+        }
+    }
+    series_.push_back(Series{series, {{x, y}}});
+}
+
+void
+BenchReport::write()
+{
+    if (written_) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) return;  // read-only cwd: stdout tables remain the record
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"series\": {", name_.c_str());
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        const Series &s = series_[i];
+        std::fprintf(f, "%s\n    \"%s\": [", i ? "," : "", s.name.c_str());
+        for (std::size_t j = 0; j < s.points.size(); ++j)
+            std::fprintf(f, "%s[%.17g, %.17g]", j ? ", " : "",
+                         s.points[j].first, s.points[j].second);
+        std::fprintf(f, "]");
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    written_ = true;
 }
 
 void

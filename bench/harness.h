@@ -101,4 +101,43 @@ void rule(char c = '-', int width = 78);
 /** printf a section header. */
 void header(const std::string &title);
 
+/**
+ * True when MEMIF_BENCH_QUICK is set in the environment: benches shrink
+ * the bytes moved per cell so the CI smoke job finishes in seconds. The
+ * tables keep their shape (same rows, same series) at lower statistical
+ * weight; without the variable nothing changes.
+ */
+bool quick_mode();
+
+/**
+ * Machine-readable companion to a bench's stdout tables: named (x, y)
+ * series written to BENCH_<name>.json in the working directory. The CI
+ * smoke job collects these as artifacts and gates on them (e.g. the
+ * pipelined series must not regress below the paper-default one).
+ *
+ * JSON shape: {"name": ..., "series": {"<series>": [[x, y], ...], ...}}
+ */
+class BenchReport {
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+    ~BenchReport() { write(); }
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    /** Append one point; series appear in first-touch order. */
+    void add(const std::string &series, double x, double y);
+
+    /** Write BENCH_<name>.json now (idempotent; destructor calls it). */
+    void write();
+
+  private:
+    struct Series {
+        std::string name;
+        std::vector<std::pair<double, double>> points;
+    };
+    std::string name_;
+    std::vector<Series> series_;
+    bool written_ = false;
+};
+
 }  // namespace memif::bench

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Gate on the machine-readable bench artifacts (BENCH_*.json).
+
+Checks that the pipelined memif configuration actually pays off in the
+Figure 8 sweep: at every 4 KB point with >= 16 pages/request, the
+memif-pip-4KB series must beat the paper-default memif-mig-4KB series
+by at least MIN_SPEEDUP. Pure stdlib so it runs anywhere CI does.
+
+Usage: check_bench_regression.py [dir-with-BENCH-json]   (default: .)
+"""
+import json
+import os
+import sys
+
+MIN_SPEEDUP = 1.25
+MIN_PAGES = 16
+
+
+def fail(msg):
+    print(f"check_bench_regression: FAIL: {msg}")
+    return 1
+
+
+def main():
+    where = sys.argv[1] if len(sys.argv) > 1 else "."
+    path = os.path.join(where, "BENCH_fig8_throughput.json")
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {path}: {e}")
+
+    series = report.get("series", {})
+    base = dict((x, y) for x, y in series.get("memif-mig-4KB", []))
+    pip = dict((x, y) for x, y in series.get("memif-pip-4KB", []))
+    if not pip:
+        return fail("memif-pip-4KB series missing from the artifact")
+
+    checked = 0
+    for pages, gbps in sorted(pip.items()):
+        if pages < MIN_PAGES or pages not in base:
+            continue
+        checked += 1
+        ratio = gbps / base[pages]
+        print(f"  4KB x{int(pages)}: pipelined {gbps:.2f} GB/s "
+              f"vs default {base[pages]:.2f} GB/s = {ratio:.2f}x")
+        if ratio < MIN_SPEEDUP:
+            return fail(
+                f"pipelined speedup {ratio:.2f}x < {MIN_SPEEDUP}x "
+                f"at {int(pages)} pages/request")
+    if checked == 0:
+        return fail(f"no comparable points at >= {MIN_PAGES} pages")
+    print(f"check_bench_regression: OK ({checked} points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,10 +83,67 @@ ChainCache::acquire(std::uint32_t count, std::uint64_t chunk_bytes)
     return lease;
 }
 
+ChainLease
+ChainCache::acquire_shape(std::vector<std::uint64_t> chunk_sizes)
+{
+    MEMIF_ASSERT(!chunk_sizes.empty() && chunk_sizes.size() <= ram_.size(),
+                 "shape lease of %zu descriptors out of range",
+                 chunk_sizes.size());
+    bool uniform = true;
+    for (const std::uint64_t s : chunk_sizes)
+        uniform = uniform && s == chunk_sizes.front();
+    if (uniform)
+        return acquire(static_cast<std::uint32_t>(chunk_sizes.size()),
+                       chunk_sizes.front());
+
+    const auto count = static_cast<std::uint32_t>(chunk_sizes.size());
+    MEMIF_ASSERT(count <= available(),
+                 "lease exceeds available PaRAM capacity; callers must "
+                 "wait on DmaDriver::capacity_wait()");
+    ChainLease lease;
+    lease.chunk_sizes = std::move(chunk_sizes);
+
+    if (enabled_) {
+        auto it = shaped_.find(lease.chunk_sizes);
+        if (it != shaped_.end() && !it->second.empty()) {
+            lease.descs = std::move(it->second.front());
+            it->second.pop_front();
+            if (it->second.empty()) shaped_.erase(it);
+            lease.reused = count;
+        }
+    }
+    while (lease.descs.size() < count) {
+        if (free_.empty()) evict_one();
+        lease.descs.push_back(free_.back());
+        free_.pop_back();
+    }
+
+    stats_.descs_reused += lease.reused;
+    stats_.descs_fresh += lease.fresh();
+    outstanding_ += lease.size();
+    for (std::uint32_t i = 0; i < lease.size(); ++i) {
+        const DescIndex next =
+            (i + 1 < lease.size()) ? lease.descs[i + 1] : kNullLink;
+        if (i < lease.reused)
+            ensure_link(lease.descs[i], next);
+        else
+            shadow_links_[lease.descs[i]] = next;
+    }
+    return lease;
+}
+
 void
 ChainCache::evict_one()
 {
     for (auto &[size, deq] : chains_) {
+        if (deq.empty()) continue;
+        std::vector<DescIndex> &victim = deq.front();
+        free_.insert(free_.end(), victim.begin(), victim.end());
+        deq.pop_front();
+        ++stats_.evictions;
+        return;
+    }
+    for (auto &[shape, deq] : shaped_) {
         if (deq.empty()) continue;
         std::vector<DescIndex> &victim = deq.front();
         free_.insert(free_.end(), victim.begin(), victim.end());
@@ -105,6 +162,11 @@ ChainCache::release(ChainLease lease)
     outstanding_ -= lease.size();
     if (!enabled_) {
         free_.insert(free_.end(), lease.descs.begin(), lease.descs.end());
+        return;
+    }
+    if (!lease.chunk_sizes.empty()) {
+        shaped_[std::move(lease.chunk_sizes)].push_back(
+            std::move(lease.descs));
         return;
     }
     chains_[lease.chunk_bytes].push_back(std::move(lease.descs));

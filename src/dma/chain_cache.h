@@ -30,10 +30,13 @@ struct ChainLease {
     /** Descriptor indices in chain order; links are already programmed. */
     std::vector<DescIndex> descs;
     /** The first @c reused entries were already configured for this
-     *  chunk size (only src/dst need rewriting). */
+     *  chunk size/shape (only src/dst need rewriting). */
     std::uint32_t reused = 0;
-    /** Chunk size the lease is keyed under. */
+    /** Chunk size the lease is keyed under (uniform leases only). */
     std::uint64_t chunk_bytes = 0;
+    /** Non-uniform leases: the per-descriptor chunk sizes the chain is
+     *  keyed under (empty for uniform leases). */
+    std::vector<std::uint64_t> chunk_sizes;
 
     DescIndex head() const { return descs.empty() ? kNullLink : descs.front(); }
     std::uint32_t size() const { return static_cast<std::uint32_t>(descs.size()); }
@@ -68,6 +71,16 @@ class ChainCache {
      */
     ChainLease acquire(std::uint32_t count, std::uint64_t chunk_bytes);
 
+    /**
+     * Lease one descriptor per entry of @p chunk_sizes — the variable-
+     * chunk form used by coalesced scatter-gather lists. Uniform shapes
+     * delegate to acquire() (and share its per-size pool); non-uniform
+     * shapes reuse only a cached chain of the *exact* same shape (a
+     * split prefix would silently change per-position chunk sizes), and
+     * otherwise fall back to fresh/evicted PaRAM entries.
+     */
+    ChainLease acquire_shape(std::vector<std::uint64_t> chunk_sizes);
+
     /** Return a retired transfer's chain to the cache. */
     void release(ChainLease lease);
 
@@ -93,6 +106,9 @@ class ChainCache {
     std::vector<DescIndex> free_;
     /** Cached chains per chunk size, oldest first. */
     std::map<std::uint64_t, std::deque<std::vector<DescIndex>>> chains_;
+    /** Cached non-uniform chains keyed by their exact run shape. */
+    std::map<std::vector<std::uint64_t>, std::deque<std::vector<DescIndex>>>
+        shaped_;
     /** Driver-side knowledge of each entry's link (no I/O reads needed). */
     std::vector<DescIndex> shadow_links_;
     /** Descriptors in currently leased (not yet released) chains. */

@@ -10,16 +10,25 @@ DmaDriver::Prepared
 DmaDriver::prepare(const std::vector<SgEntry> &sg)
 {
     MEMIF_ASSERT(!sg.empty(), "empty scatter-gather list");
-    const std::uint64_t chunk = sg.front().bytes;
+    bool uniform = true;
     for (const SgEntry &e : sg)
-        MEMIF_ASSERT(e.bytes == chunk, "non-uniform SG chunk sizes");
+        uniform = uniform && e.bytes == sg.front().bytes;
 
     Prepared p;
-    p.lease = cache_.acquire(static_cast<std::uint32_t>(sg.size()), chunk);
-    p.bytes = chunk * sg.size();
+    if (uniform) {
+        p.lease = cache_.acquire(static_cast<std::uint32_t>(sg.size()),
+                                 sg.front().bytes);
+    } else {
+        std::vector<std::uint64_t> sizes;
+        sizes.reserve(sg.size());
+        for (const SgEntry &e : sg) sizes.push_back(e.bytes);
+        p.lease = cache_.acquire_shape(std::move(sizes));
+    }
+    for (const SgEntry &e : sg) p.bytes += e.bytes;
 
-    // Program the PaRAM: reused entries get src/dst only; fresh entries
-    // get the full 12 parameters (link included).
+    // Program the PaRAM: reused entries get src/dst only (their sizes
+    // already match by the cache's keying); fresh entries get the full
+    // 12 parameters (link included).
     for (std::uint32_t i = 0; i < p.lease.size(); ++i) {
         const DescIndex idx = p.lease.descs[i];
         if (i < p.lease.reused) {
@@ -28,7 +37,7 @@ DmaDriver::prepare(const std::vector<SgEntry> &sg)
             p.cpu_time += cm_.dma_desc_write_reuse;
         } else {
             TransferDescriptor d = TransferDescriptor::contiguous(
-                sg[i].src_addr, sg[i].dst_addr, chunk);
+                sg[i].src_addr, sg[i].dst_addr, sg[i].bytes);
             d.link = (i + 1 < p.lease.size()) ? p.lease.descs[i + 1]
                                               : kNullLink;
             engine_.param_ram().write_full(idx, d);
@@ -50,6 +59,37 @@ DmaDriver::prepare(const std::vector<SgEntry> &sg)
     // The trigger-register write that starts the engine.
     p.cpu_time += cm_.dma_start;
     return p;
+}
+
+sim::Task
+DmaDriver::reserve_descriptors(std::uint32_t need, const bool *abandon_a,
+                               const bool *abandon_b)
+{
+    MEMIF_ASSERT(need > 0 && need <= cache_.capacity(),
+                 "reservation of %u descriptors out of range", need);
+    // Fast path: nobody queued ahead and the capacity is already there.
+    if (capacity_fifo_.empty() && available_descriptors() >= need)
+        co_return;
+    auto ticket = std::make_shared<std::uint32_t>(need);
+    capacity_fifo_.push_back(ticket);
+    for (;;) {
+        if ((abandon_a && *abandon_a) || (abandon_b && *abandon_b)) {
+            // The caller's request died while queued; drop the ticket
+            // so successors are not blocked behind a ghost.
+            std::erase(capacity_fifo_, ticket);
+            capacity_wq_.notify_all();
+            co_return;
+        }
+        if (capacity_fifo_.front() == ticket &&
+            available_descriptors() >= need)
+            break;
+        co_await capacity_wq_.wait();
+    }
+    capacity_fifo_.pop_front();
+    // The caller consumes its descriptors synchronously (prepare());
+    // waking the next ticket now keeps the pipeline moving once enough
+    // capacity remains for it too.
+    capacity_wq_.notify_all();
 }
 
 TransferId

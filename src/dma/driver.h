@@ -18,6 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +29,7 @@
 #include "dma/engine.h"
 #include "sim/cost_model.h"
 #include "sim/sync.h"
+#include "sim/task.h"
 #include "sim/types.h"
 
 namespace memif::dma {
@@ -44,7 +48,7 @@ struct DmaDriverOptions {
 struct SgEntry {
     std::uint64_t src_addr = 0;  ///< physical byte address
     std::uint64_t dst_addr = 0;  ///< physical byte address
-    std::uint64_t bytes = 0;     ///< uniform across the list
+    std::uint64_t bytes = 0;     ///< per-entry run length (one descriptor)
 };
 
 class DmaDriver {
@@ -78,11 +82,43 @@ class DmaDriver {
     sim::WaitQueue::Awaiter capacity_wait() { return capacity_wq_.wait(); }
 
     /**
-     * Program descriptors for @p sg (uniform chunk sizes; one chunk per
-     * descriptor, as DMA without IOMMU needs contiguous chunks).
-     * Real descriptor memory is written here; only time is deferred.
-     * The caller must ensure available_descriptors() >= sg.size()
-     * (await capacity_wait() otherwise); oversubscription panics.
+     * FIFO-fair descriptor-capacity gate: returns once @p need
+     * descriptors are available AND every earlier reservation has been
+     * granted, so a PaRAM-sized request cannot starve behind a stream
+     * of small ones that keep slipping in front of it. The caller must
+     * consume the capacity (prepare()) before its next suspension
+     * point, which holds by construction in the memif driver.
+     *
+     * @param abandon_a,abandon_b  optional abort flags, polled at each
+     *     wake: when either is true the reservation is dropped (the
+     *     caller's request died while queued) and the gate opens for
+     *     the next waiter. Plain pointers on purpose: coroutine
+     *     parameters must stay trivially destructible here — GCC 12
+     *     double-destroys the frame copy of non-trivial ones (observed
+     *     with std::function), corrupting whatever they own. The
+     *     pointees must outlive the await, which holds as both live in
+     *     the awaiting frame's request record / device.
+     */
+    sim::Task reserve_descriptors(std::uint32_t need,
+                                  const bool *abandon_a = nullptr,
+                                  const bool *abandon_b = nullptr);
+
+    /**
+     * The TC scheduler: the transfer controller that frees up first,
+     * so independent in-flight chains spread across all six TCs
+     * instead of serialising on one.
+     */
+    unsigned pick_tc() const { return engine_.least_busy_tc(); }
+
+    /**
+     * Program descriptors for @p sg: one chunk per descriptor, as DMA
+     * without IOMMU needs physically contiguous chunks. Chunk sizes
+     * may vary per entry (coalesced contiguous runs); uniform lists
+     * keep using the per-size chain pools, variable lists are keyed by
+     * their exact shape. Real descriptor memory is written here; only
+     * time is deferred. The caller must ensure available_descriptors()
+     * >= sg.size() (await capacity_wait()/reserve_descriptors()
+     * otherwise); oversubscription panics.
      */
     Prepared prepare(const std::vector<SgEntry> &sg);
 
@@ -151,6 +187,8 @@ class DmaDriver {
     ChainCache cache_;
     sim::WaitQueue capacity_wq_;
     std::unordered_map<TransferId, ChainLease> leases_;
+    /** Outstanding reserve_descriptors() tickets, oldest first. */
+    std::deque<std::shared_ptr<std::uint32_t>> capacity_fifo_;
 };
 
 }  // namespace memif::dma

@@ -118,6 +118,24 @@ class Edma3Engine {
     /** Virtual-time cost of the chain at @p head (excl. queueing). */
     sim::Duration chain_duration(DescIndex head) const;
 
+    /** Time at which @p tc finishes its currently queued chains. */
+    sim::SimTime
+    tc_busy_until(unsigned tc) const
+    {
+        return tc_busy_until_.at(tc);
+    }
+
+    /** The transfer controller that frees up first (ties break toward
+     *  the lowest TC number, keeping runs deterministic). */
+    unsigned
+    least_busy_tc() const
+    {
+        unsigned best = 0;
+        for (unsigned i = 1; i < kNumTcs; ++i)
+            if (tc_busy_until_[i] < tc_busy_until_[best]) best = i;
+        return best;
+    }
+
     /** True once the transfer finished (with or without error). A
      *  purged id is reported complete (only finished transfers are
      *  purged). Stuck transfers stay incomplete until cancelled. */

@@ -14,6 +14,36 @@ using sim::ExecContext;
 using sim::Op;
 using sim::TracePoint;
 
+namespace {
+
+/** Cap on one coalesced run: a descriptor packs large transfers as
+ *  4 KB x BCNT arrays and BCNT is 16-bit, so stay well below the
+ *  0xFFFF * 4 KB ceiling (and keep runs page-aligned multiples). */
+constexpr std::uint64_t kMaxCoalescedRunBytes = 64ull << 20;
+
+/** Merge adjacent SG entries whose src AND dst runs are contiguous. */
+std::vector<dma::SgEntry>
+coalesce_sg(const std::vector<dma::SgEntry> &sg)
+{
+    std::vector<dma::SgEntry> out;
+    out.reserve(sg.size());
+    for (const dma::SgEntry &e : sg) {
+        if (!out.empty()) {
+            dma::SgEntry &last = out.back();
+            if (last.src_addr + last.bytes == e.src_addr &&
+                last.dst_addr + last.bytes == e.dst_addr &&
+                last.bytes + e.bytes <= kMaxCoalescedRunBytes) {
+                last.bytes += e.bytes;
+                continue;
+            }
+        }
+        out.push_back(e);
+    }
+    return out;
+}
+
+}  // namespace
+
 MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
                          MemifConfig config)
     : kernel_(kernel),
@@ -88,12 +118,18 @@ MemifDevice::validate(const MovReq &req, vm::Vma **src_vma,
         return MovError::kNone;
     }
 
-    // Replication: the destination must be a mapped region of the same
-    // granularity, and must not overlap the source.
+    // Replication: the destination must be mapped — at any granularity;
+    // a 64 KB source may replicate into a 4 KB destination region and
+    // vice versa — and must not overlap the source. Chunks are emitted
+    // at the finer of the two granularities, so their count (not the
+    // source page count) is what the PaRAM bounds.
     vm::Vma *dst = as.find_vma(req.dst_base);
     if (!dst) return MovError::kBadAddress;
-    if (dst->page_size() != src->page_size()) return MovError::kBadRequest;
-    if (req.dst_base % pb != 0) return MovError::kBadAddress;
+    const std::uint64_t dst_pb = vm::page_bytes(dst->page_size());
+    const std::uint64_t align = pb < dst_pb ? pb : dst_pb;
+    if (req.dst_base % align != 0) return MovError::kBadAddress;
+    if (req.num_pages * pb / align > dma::DescriptorRam::kEntries)
+        return MovError::kBadRequest;
     if (req.dst_base + req.num_pages * pb > dst->end())
         return MovError::kBadAddress;
     const std::uint64_t src_end = req.src_base + req.num_pages * pb;
@@ -163,18 +199,36 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
 
     // Page lookup: gang (§5.1) walks the real radix table, descending
     // once and stepping horizontally through adjacent PTEs; the
-    // baseline pays a full root-to-leaf descent per page.
-    const std::uint64_t lookup_regions = (req.op == MovOp::kReplicate) ? 2 : 1;
+    // baseline pays a full root-to-leaf descent per page. The
+    // destination walk of a replication uses the *destination* VMA's
+    // geometry: its page size may differ from the source's, so the
+    // same byte range spans a different number of its pages.
+    struct LookupRegion {
+        vm::VAddr base = 0;
+        std::uint64_t pages = 0;
+        vm::PageSize psize = vm::PageSize::k4K;
+    };
+    LookupRegion lookups[2] = {
+        {req.src_base, req.num_pages, src_vma->page_size()}, {}};
+    std::uint64_t lookup_regions = 1;
+    if (req.op == MovOp::kReplicate) {
+        const std::uint64_t dfirst = dst_vma->page_index(req.dst_base);
+        const std::uint64_t dlast =
+            dst_vma->page_index(req.dst_base + fl->total_bytes - 1);
+        lookups[1] = {dst_vma->page_vaddr(dfirst), dlast - dfirst + 1,
+                      dst_vma->page_size()};
+        lookup_regions = 2;
+    }
     sim::Duration lookup_cost = 0;
     vm::PageTable &table = proc_.as().page_table();
     for (std::uint64_t r = 0; r < lookup_regions; ++r) {
         const vm::WalkCost wc =
             config_.gang_lookup
                 ? table
-                      .gang_lookup(r == 0 ? req.src_base : req.dst_base,
-                                   req.num_pages, src_vma->page_size())
+                      .gang_lookup(lookups[r].base, lookups[r].pages,
+                                   lookups[r].psize)
                       .cost
-                : vm::PageTable::per_page_cost(req.num_pages);
+                : vm::PageTable::per_page_cost(lookups[r].pages);
         lookup_cost += wc.full_descents * cm.page_walk_full +
                        wc.adjacent_steps * cm.page_walk_adjacent;
     }
@@ -273,6 +327,18 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
             notify(idx, MovStatus::kFailed, MovError::kBusy);
             co_return;
         }
+        // Batched shootdown: instead of broadcasting one invalidation
+        // per PTE, remember the dirtied span per (address space, vma)
+        // and issue a single ranged flush for each after all stores.
+        // No access can interleave — the whole loop runs without a
+        // suspension point and its time is charged afterwards, exactly
+        // as the per-page variant's.
+        struct FlushSpan {
+            vm::AddressSpace *as = nullptr;
+            vm::Vma *vma = nullptr;
+            std::uint64_t lo = 0, hi = 0;  ///< page-index range
+        };
+        std::vector<FlushSpan> flush_spans;
         for (std::uint32_t i = 0; i < req.num_pages; ++i) {
             for (const Mapping &m : fl->mappings[i]) {
                 const vm::Pte old_pte = vm::Pte::unpack(m.old_pte);
@@ -288,13 +354,36 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                 }
                 m.vma->pte_slot(m.page_idx)
                     .store(next.pack(), std::memory_order_release);
-                m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
-                                     m.vma->page_size());
-                remap_cost += cm.pte_update + cm.tlb_flush_page;
+                if (config_.batched_tlb_shootdown) {
+                    remap_cost += cm.pte_update;
+                    bool merged = false;
+                    for (FlushSpan &s : flush_spans) {
+                        if (s.as == m.as && s.vma == m.vma) {
+                            s.lo = std::min(s.lo, m.page_idx);
+                            s.hi = std::max(s.hi, m.page_idx);
+                            merged = true;
+                            break;
+                        }
+                    }
+                    if (!merged)
+                        flush_spans.push_back(FlushSpan{
+                            m.as, m.vma, m.page_idx, m.page_idx});
+                } else {
+                    m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
+                                         m.vma->page_size());
+                    remap_cost += cm.pte_update + cm.tlb_flush_page;
+                }
             }
             sg.push_back(dma::SgEntry{
                 fl->old_pfns[i] << mem::kPageShift,
                 fl->new_pfns[i] << mem::kPageShift, fl->page_bytes});
+        }
+        for (const FlushSpan &s : flush_spans) {
+            const std::uint64_t span_pages = s.hi - s.lo + 1;
+            s.as->flush_tlb_range(s.vma->page_vaddr(s.lo), span_pages,
+                                  s.vma->page_size());
+            remap_cost += cm.tlb_flush_range_time(span_pages);
+            ++stats_.ranged_tlb_flushes;
         }
         co_await cpu.busy(ctx, Op::kRemap, remap_cost);
         tr.record(kernel_.eq().now(), TracePoint::kRemapDone, ctx, idx);
@@ -306,18 +395,28 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         in_flight_.push_back(fl);
     } else {
         // Replication: both regions already mapped; no VM management
-        // and no race concern (§3).
-        const std::uint64_t dst_first = dst_vma->page_index(req.dst_base);
-        for (std::uint32_t i = 0; i < req.num_pages; ++i) {
-            const vm::Pte dst_pte = dst_vma->pte(dst_first + i);
+        // and no race concern (§3). Chunks are emitted at the finer of
+        // the two granularities — a coarse source page can span several
+        // destination frames (and vice versa), and only within-page
+        // spans are physically contiguous on both sides.
+        const std::uint64_t dst_pb = vm::page_bytes(dst_vma->page_size());
+        const std::uint64_t chunk =
+            fl->page_bytes < dst_pb ? fl->page_bytes : dst_pb;
+        for (std::uint64_t off = 0; off < fl->total_bytes; off += chunk) {
+            const vm::VAddr dva = req.dst_base + off;
+            const std::uint64_t didx = dst_vma->page_index(dva);
+            const vm::Pte dst_pte = dst_vma->pte(didx);
             if (!dst_pte.present) {
                 co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
                 notify(idx, MovStatus::kFailed, MovError::kBadAddress);
                 co_return;
             }
+            const std::uint64_t src_page = off / fl->page_bytes;
+            const std::uint64_t src_off = off % fl->page_bytes;
+            const std::uint64_t dst_off = dva - dst_vma->page_vaddr(didx);
             sg.push_back(dma::SgEntry{
-                fl->old_pfns[i] << mem::kPageShift,
-                dst_pte.pfn << mem::kPageShift, fl->page_bytes});
+                (fl->old_pfns[src_page] << mem::kPageShift) + src_off,
+                (dst_pte.pfn << mem::kPageShift) + dst_off, chunk});
         }
         ++stats_.replications;
         req.store_status(MovStatus::kInFlight);
@@ -325,16 +424,29 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     }
 
     // ---- 3. DMA config + trigger -------------------------------------
+    // Contiguous-run coalescing: the buddy allocator routinely hands
+    // back adjacent frames, so physically contiguous old->new runs
+    // collapse into one variable-size descriptor each. The list is
+    // coalesced once, here — retries and the CPU fallback then replay
+    // the coalesced SG verbatim.
+    if (config_.sg_coalescing) {
+        const std::size_t raw_entries = sg.size();
+        sg = coalesce_sg(sg);
+        stats_.descriptor_writes_saved += raw_entries - sg.size();
+    }
+    stats_.sg_entries_emitted += sg.size();
     // The SG list is kept on the in-flight record: retries and the CPU
     // fallback replay it after a transfer failure.
     fl->sg = std::move(sg);
     fl->irq_mode = irq_mode;
     // The PaRAM has 512 entries (Table 2); with several instances (or a
     // deep pipeline) in flight, wait until enough descriptors retire.
-    while (kernel_.dma().available_descriptors() < fl->sg.size()) {
-        if (fl->aborted) co_return;  // rolled back while waiting
-        co_await kernel_.dma().capacity_wait();
-    }
+    // The gate is FIFO-fair: a PaRAM-sized request cannot starve behind
+    // a stream of small ones slipping in front of it.
+    co_await kernel_.dma().reserve_descriptors(
+        static_cast<std::uint32_t>(fl->sg.size()), &fl->aborted,
+        &stopping_);
+    if (fl->aborted || stopping_) co_return;  // rolled back while waiting
     dma::DmaDriver::Prepared prepared = kernel_.dma().prepare(fl->sg);
     co_await cpu.busy(ctx, Op::kDmaConfig, prepared.cpu_time);
     tr.record(kernel_.eq().now(), TracePoint::kDmaConfigDone, ctx, idx);
@@ -360,19 +472,26 @@ MemifDevice::trigger_dma(const InFlightPtr &fl, dma::DmaDriver::Prepared p,
 {
     (void)ctx;
     ++fl->dma_attempts;
+    // The TC scheduler: with multi-TC dispatch the chain goes to the
+    // controller that frees up first, so independent in-flight chains
+    // run in parallel instead of serialising behind this instance's
+    // assigned TC.
+    const unsigned tc =
+        config_.multi_tc_dispatch ? kernel_.dma().pick_tc() : tc_;
+    ++stats_.tc_dispatches[tc];
     if (fl->irq_mode) {
         fl->tid = kernel_.dma().start(
             std::move(p), /*irq_mode=*/true,
             [this, fl](dma::TransferId) {
                 kernel_.spawn(on_dma_complete(fl));
             },
-            tc_);
+            tc);
         arm_watchdog(fl);
     } else {
         // Polled mode: the kernel thread supervises the transfer itself
         // (its timed wait doubles as the watchdog).
         fl->tid = kernel_.dma().start(std::move(p), /*irq_mode=*/false,
-                                      nullptr, tc_);
+                                      nullptr, tc);
     }
 }
 
@@ -496,10 +615,10 @@ MemifDevice::handle_dma_failure(InFlightPtr fl, ExecContext ctx,
 sim::Task
 MemifDevice::restart_dma(InFlightPtr fl, ExecContext ctx)
 {
-    while (kernel_.dma().available_descriptors() < fl->sg.size()) {
-        if (fl->aborted) co_return;
-        co_await kernel_.dma().capacity_wait();
-    }
+    co_await kernel_.dma().reserve_descriptors(
+        static_cast<std::uint32_t>(fl->sg.size()), &fl->aborted,
+        &stopping_);
+    if (fl->aborted || stopping_) co_return;
     dma::DmaDriver::Prepared p = kernel_.dma().prepare(fl->sg);
     co_await kernel_.cpu().busy(ctx, Op::kDmaConfig, p.cpu_time);
     if (fl->aborted || stopping_) {
@@ -756,7 +875,11 @@ MemifDevice::kthread_loop()
             const vm::Vma *vma = proc_.as().find_vma(req.src_base);
             const std::uint64_t bytes =
                 vma ? req.num_pages * vm::page_bytes(vma->page_size()) : 0;
-            const bool polled = bytes > 0 &&
+            // Multi-TC dispatch keeps every transfer interrupt-driven:
+            // the polled path would park the worker on THIS transfer,
+            // while the whole point is to configure request N+1 while
+            // N is still copying on another controller.
+            const bool polled = !config_.multi_tc_dispatch && bytes > 0 &&
                                 bytes < config_.poll_threshold_bytes;
             InFlightPtr fl;
             co_await serve_request(d.value, ExecContext::kKthread,

@@ -54,6 +54,11 @@ struct CostModel {
     Duration pte_cas = nanoseconds(120);
     /** Flushing one page's TLB entry, incl. broadcast cost (paper 5.2). */
     Duration tlb_flush_page = nanoseconds(1500);
+    /** Base cost of one ranged TLB invalidation: the broadcast and
+     *  barrier paid once for a whole run of pages (batched shootdown). */
+    Duration tlb_flush_range_base = nanoseconds(2000);
+    /** Per-covered-page increment of a ranged invalidation. */
+    Duration tlb_flush_range_per_page = nanoseconds(100);
     /** Per-page reverse-map / page-descriptor bookkeeping. */
     Duration rmap_per_page = nanoseconds(1000);
     /** Cache maintenance per 4 KB (baseline Linux flushes; EDMA3 on
@@ -144,6 +149,13 @@ struct CostModel {
     {
         const double bw = src_bw < dst_bw ? src_bw : dst_bw;
         return static_cast<Duration>(static_cast<double>(bytes) / bw * 1e9);
+    }
+
+    /** One ranged TLB invalidation covering @p pages pages. */
+    Duration
+    tlb_flush_range_time(std::uint64_t pages) const
+    {
+        return tlb_flush_range_base + pages * tlb_flush_range_per_page;
     }
 
     /** Baseline cache maintenance for @p bytes (non-coherent DMA only). */

@@ -35,6 +35,7 @@ struct VmStats {
     std::uint64_t migration_blocks = 0;
     std::uint64_t hard_faults = 0;
     std::uint64_t tlb_page_flushes = 0;
+    std::uint64_t tlb_range_flushes = 0;
     std::uint64_t mapped_pages = 0;
     std::uint64_t unmapped_pages = 0;
 };
@@ -139,6 +140,21 @@ class AddressSpace {
     {
         tlb_.flush_page(va, psize);
         ++stats_.tlb_page_flushes;
+    }
+
+    /**
+     * Invalidate a contiguous run of @p num_pages pages starting at
+     * @p va with one ranged operation (TLBI-range style): every
+     * covered entry is dropped, but the broadcast/barrier is issued —
+     * and charged, via CostModel::tlb_flush_range_time — only once.
+     */
+    void
+    flush_tlb_range(VAddr va, std::uint64_t num_pages, PageSize psize)
+    {
+        const std::uint64_t pb = page_bytes(psize);
+        for (std::uint64_t i = 0; i < num_pages; ++i)
+            tlb_.flush_page(va + i * pb, psize);
+        ++stats_.tlb_range_flushes;
     }
 
     /**

@@ -107,6 +107,75 @@ TEST(ChainCache, DisabledModeNeverReuses)
     EXPECT_EQ(cache.stats().descs_fresh, 640u);
 }
 
+TEST(ChainCache, ShapedLeaseIsFreshFirstTime)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    const ChainLease lease = cache.acquire_shape({4096, 16384, 4096});
+    EXPECT_EQ(lease.size(), 3u);
+    EXPECT_EQ(lease.reused, 0u);
+    EXPECT_EQ(lease.chunk_sizes, (std::vector<std::uint64_t>{4096, 16384,
+                                                             4096}));
+    std::set<DescIndex> uniq(lease.descs.begin(), lease.descs.end());
+    EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(ChainCache, ExactShapeIsReusedWhole)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    ChainLease a = cache.acquire_shape({8192, 4096, 65536});
+    const std::vector<DescIndex> descs = a.descs;
+    cache.release(std::move(a));
+    const ChainLease b = cache.acquire_shape({8192, 4096, 65536});
+    EXPECT_EQ(b.reused, 3u);
+    EXPECT_EQ(b.descs, descs);
+}
+
+TEST(ChainCache, DifferentShapeDoesNotReuse)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    ChainLease a = cache.acquire_shape({8192, 4096});
+    cache.release(std::move(a));
+    // Same multiset of sizes, different order: per-position sizes would
+    // not match, so the cached chain must not be handed back.
+    const ChainLease b = cache.acquire_shape({4096, 8192});
+    EXPECT_EQ(b.reused, 0u);
+}
+
+TEST(ChainCache, UniformShapeSharesThePerSizePool)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    ChainLease a = cache.acquire_shape({4096, 4096, 4096, 4096});
+    // Delegated to the uniform pool: keyed by chunk_bytes, not shape.
+    EXPECT_EQ(a.chunk_bytes, 4096u);
+    EXPECT_TRUE(a.chunk_sizes.empty());
+    cache.release(std::move(a));
+    const ChainLease b = cache.acquire(4, 4096);
+    EXPECT_EQ(b.reused, 4u);
+}
+
+TEST(ChainCache, ShapedChainsAreEvictable)
+{
+    DescriptorRam ram;
+    ChainCache cache(ram);
+    // Fill the whole PaRAM with cached non-uniform chains.
+    std::vector<ChainLease> held;
+    const std::uint32_t half = ram.size() / 2;
+    for (std::uint32_t i = 0; i < half; ++i) {
+        std::vector<std::uint64_t> shape{4096 + 4096 * (i % 3), 8192};
+        held.push_back(cache.acquire_shape(std::move(shape)));
+    }
+    for (ChainLease &l : held) cache.release(std::move(l));
+    EXPECT_EQ(cache.available(), ram.size());
+    // A full-PaRAM uniform lease must be able to evict them all.
+    const ChainLease big = cache.acquire(ram.size(), 4096);
+    EXPECT_EQ(big.size(), ram.size());
+    EXPECT_GE(cache.stats().evictions, half);
+}
+
 TEST(ChainCacheDeath, OversizedLeasePanics)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";

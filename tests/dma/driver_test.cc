@@ -162,5 +162,113 @@ TEST(DmaDriver, LargePageChunksUseOneDescriptorEach)
               0);
 }
 
+TEST(DmaDriver, VariableChunkListProgramsPerEntrySizes)
+{
+    Fixture f;
+    DmaDriver driver(f.engine, f.cm);
+    // A coalesced-style list: 8 KB run, lone 4 KB page, 16 KB run.
+    const unsigned orders[] = {1, 0, 2};  // 8 KB, 4 KB, 16 KB
+    std::vector<SgEntry> sg;
+    for (const unsigned order : orders) {
+        const std::uint64_t bytes = mem::kPageSize << order;
+        const mem::Pfn src = f.pm.allocate(f.slow, order);
+        const mem::Pfn dst = f.pm.allocate(f.fast, order);
+        std::memset(f.pm.span(src, bytes), 0x11 + (bytes >> 12), bytes);
+        sg.push_back(SgEntry{src << mem::kPageShift, dst << mem::kPageShift,
+                             bytes});
+    }
+    DmaDriver::Prepared p = driver.prepare(sg);
+    EXPECT_EQ(p.bytes, 8192u + 4096u + 16384u);
+    EXPECT_EQ(p.lease.size(), 3u);
+    driver.start(std::move(p), true, nullptr);
+    f.eq.run();
+    EXPECT_EQ(f.engine.param_ram().stats().full_writes, 3u);
+    for (const SgEntry &e : sg)
+        EXPECT_EQ(std::memcmp(
+                      f.pm.span(e.dst_addr >> mem::kPageShift, e.bytes),
+                      f.pm.span(e.src_addr >> mem::kPageShift, e.bytes),
+                      e.bytes),
+                  0);
+    // The exact shape is reused on the next identical transfer.
+    DmaDriver::Prepared again = driver.prepare(sg);
+    EXPECT_EQ(again.lease.reused, 3u);
+    driver.start(std::move(again), true, nullptr);
+    f.eq.run();
+}
+
+TEST(DmaDriver, DescriptorGateIsFifoFair)
+{
+    Fixture f;
+    DmaDriver driver(f.engine, f.cm);
+    const std::uint32_t cap = driver.engine().param_ram().size();
+
+    // Keep 7/8 of the PaRAM in flight so only cap/8 descriptors remain.
+    auto hold_sg = f.make_sg(cap - cap / 8);
+    driver.start(driver.prepare(hold_sg), true, nullptr);
+    ASSERT_EQ(driver.available_descriptors(), cap / 8);
+
+    auto big_sg = f.make_sg(cap);
+    auto small_sg = f.make_sg(cap / 8);
+    std::vector<int> order;
+    auto hungry = [&]() -> sim::Task {
+        co_await driver.reserve_descriptors(cap);
+        order.push_back(1);
+        driver.abandon(driver.prepare(big_sg));
+    };
+    auto small = [&]() -> sim::Task {
+        co_await driver.reserve_descriptors(cap / 8);
+        order.push_back(2);
+        driver.abandon(driver.prepare(small_sg));
+    };
+    sim::Task t1 = hungry();
+    sim::Task t2 = small();
+    // The PaRAM-sized reservation queued first; the small one has the
+    // capacity it needs but must not slip in front of it.
+    EXPECT_TRUE(order.empty());
+    f.eq.run();
+    EXPECT_TRUE(t1.done());
+    EXPECT_TRUE(t2.done());
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(DmaDriver, AbandonedReservationUnblocksSuccessors)
+{
+    Fixture f;
+    DmaDriver driver(f.engine, f.cm);
+    const std::uint32_t cap = driver.engine().param_ram().size();
+    auto hold_sg = f.make_sg(16);
+    driver.start(driver.prepare(hold_sg), true, nullptr);
+
+    bool aborted = false;
+    bool big_saw_abort = false;
+    bool small_granted = false;
+    auto small_sg = f.make_sg(8);
+    auto hungry = [&]() -> sim::Task {
+        // The gate returns on abort too; the caller re-checks the flag
+        // (exactly what the memif device does) instead of consuming.
+        co_await driver.reserve_descriptors(cap, &aborted);
+        big_saw_abort = aborted;
+    };
+    auto small = [&]() -> sim::Task {
+        co_await driver.reserve_descriptors(8);
+        small_granted = true;
+        driver.abandon(driver.prepare(small_sg));
+    };
+    sim::Task t1 = hungry();
+    sim::Task t2 = small();
+    EXPECT_FALSE(big_saw_abort);
+    EXPECT_FALSE(small_granted);
+    // The caller's request dies while queued: the ticket must be
+    // dropped at the next wake so the successor is not blocked forever.
+    aborted = true;
+    f.eq.run();
+    EXPECT_TRUE(t1.done());
+    EXPECT_TRUE(t2.done());
+    EXPECT_TRUE(big_saw_abort);
+    EXPECT_TRUE(small_granted);
+}
+
 }  // namespace
 }  // namespace memif::dma
