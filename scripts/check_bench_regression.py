@@ -1,10 +1,18 @@
 #!/usr/bin/env python3
 """Gate on the machine-readable bench artifacts (BENCH_*.json).
 
-Checks that the pipelined memif configuration actually pays off in the
-Figure 8 sweep: at every 4 KB point with >= 16 pages/request, the
-memif-pip-4KB series must beat the paper-default memif-mig-4KB series
-by at least MIN_SPEEDUP. Pure stdlib so it runs anywhere CI does.
+Checks that the optimisation levers actually pay off:
+
+* Figure 8 sweep: at every 4 KB point with >= 16 pages/request, the
+  memif-pip-4KB series must beat the paper-default memif-mig-4KB
+  series by at least MIN_SPEEDUP.
+* Figure 7 small-request streams: the moderated (completion-batching)
+  configuration must beat pipelined on throughput by MIN_MOD_SPEEDUP
+  per cell, and must cut the per-request completion tax
+  (irqs/req + wakeups/req) to at most MAX_MOD_TAX_RATIO of
+  pipelined's.
+
+Pure stdlib so it runs anywhere CI does.
 
 Usage: check_bench_regression.py [dir-with-BENCH-json]   (default: .)
 """
@@ -15,20 +23,65 @@ import sys
 MIN_SPEEDUP = 1.25
 MIN_PAGES = 16
 
+# Figure 7 stream cells: (cell name, minimum moderated/pipelined GB/s
+# ratio).  The 4 KB stream is pure completion tax, so moderation buys
+# more there than at 16 KB.  Both bounds hold with margin in quick
+# mode (1.37x / 1.18x measured) and full mode (1.40x / 1.22x).
+FIG7_CELLS = [("256x4KB", 1.30), ("64x16KB", 1.15)]
+MAX_MOD_TAX_RATIO = 0.5
+# Point x-coordinates written by bench_fig7_latency for stream series.
+X_GBPS, X_IRQS, X_WAKES = 1, 2, 3
+
 
 def fail(msg):
     print(f"check_bench_regression: FAIL: {msg}")
     return 1
 
 
-def main():
-    where = sys.argv[1] if len(sys.argv) > 1 else "."
-    path = os.path.join(where, "BENCH_fig8_throughput.json")
+def load_report(where, name):
+    path = os.path.join(where, name)
     try:
         with open(path) as f:
-            report = json.load(f)
+            return json.load(f), None
     except OSError as e:
-        return fail(f"cannot read {path}: {e}")
+        return None, f"cannot read {path}: {e}"
+
+
+def check_fig7_streams(where):
+    """Moderated completion batching must pay off over pipelined."""
+    report, err = load_report(where, "BENCH_fig7_latency.json")
+    if err:
+        return fail(err)
+    series = report.get("series", {})
+
+    for cell, min_speedup in FIG7_CELLS:
+        pip = dict(series.get(f"stream-{cell}-pipelined", []))
+        mod = dict(series.get(f"stream-{cell}-moderated", []))
+        if X_GBPS not in pip or X_GBPS not in mod:
+            return fail(f"stream-{cell} series missing from the artifact")
+        speedup = mod[X_GBPS] / pip[X_GBPS]
+        pip_tax = pip.get(X_IRQS, 0.0) + pip.get(X_WAKES, 0.0)
+        mod_tax = mod.get(X_IRQS, 0.0) + mod.get(X_WAKES, 0.0)
+        tax_ratio = mod_tax / pip_tax if pip_tax else 0.0
+        print(f"  {cell}: moderated {mod[X_GBPS]:.2f} GB/s "
+              f"vs pipelined {pip[X_GBPS]:.2f} GB/s = {speedup:.2f}x, "
+              f"completion tax {mod_tax:.2f} vs {pip_tax:.2f} "
+              f"(irq+wake)/req = {tax_ratio:.2f}x")
+        if speedup < min_speedup:
+            return fail(f"moderated speedup {speedup:.2f}x "
+                        f"< {min_speedup}x on {cell}")
+        if tax_ratio > MAX_MOD_TAX_RATIO:
+            return fail(f"moderated completion tax {tax_ratio:.2f}x "
+                        f"> {MAX_MOD_TAX_RATIO}x pipelined on {cell}")
+    print(f"check_bench_regression: fig7 OK ({len(FIG7_CELLS)} cells)")
+    return 0
+
+
+def main():
+    where = sys.argv[1] if len(sys.argv) > 1 else "."
+    report, err = load_report(where, "BENCH_fig8_throughput.json")
+    if err:
+        return fail(err)
 
     series = report.get("series", {})
     base = dict((x, y) for x, y in series.get("memif-mig-4KB", []))
@@ -50,8 +103,8 @@ def main():
                 f"at {int(pages)} pages/request")
     if checked == 0:
         return fail(f"no comparable points at >= {MIN_PAGES} pages")
-    print(f"check_bench_regression: OK ({checked} points)")
-    return 0
+    print(f"check_bench_regression: fig8 OK ({checked} points)")
+    return check_fig7_streams(where)
 
 
 if __name__ == "__main__":

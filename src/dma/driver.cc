@@ -94,7 +94,7 @@ DmaDriver::reserve_descriptors(std::uint32_t need, const bool *abandon_a,
 
 TransferId
 DmaDriver::start(Prepared prepared, bool irq_mode, CompletionFn on_complete,
-                 unsigned tc)
+                 unsigned tc, bool moderated)
 {
     const DescIndex head = prepared.lease.head();
     MEMIF_ASSERT(head != kNullLink, "starting an empty chain");
@@ -105,7 +105,8 @@ DmaDriver::start(Prepared prepared, bool irq_mode, CompletionFn on_complete,
         [this, cb = std::move(on_complete)](TransferId tid) {
             retire(tid);
             if (cb) cb(tid);
-        });
+        },
+        moderated);
     leases_.emplace(id, std::move(prepared.lease));
     return id;
 }

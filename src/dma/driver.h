@@ -132,15 +132,32 @@ class DmaDriver {
      * @param tc           transfer controller (defaults to the driver
      *                     option; concurrent clients spread over the
      *                     engine's six TCs for parallel transfers)
+     * @param moderated    hold the completion IRQ in the engine's per-TC
+     *                     moderation batch (see Edma3Engine::start_chain)
      */
     TransferId start(Prepared prepared, bool irq_mode,
-                     CompletionFn on_complete, unsigned tc);
+                     CompletionFn on_complete, unsigned tc,
+                     bool moderated = false);
     TransferId
     start(Prepared prepared, bool irq_mode, CompletionFn on_complete)
     {
         return start(std::move(prepared), irq_mode, std::move(on_complete),
                      opts_.tc);
     }
+
+    /** Forwarders for the engine's interrupt-moderation controls. */
+    void
+    configure_moderation(std::uint32_t batch, sim::Duration holdoff)
+    {
+        engine_.configure_moderation(batch, holdoff);
+    }
+    bool
+    discard_moderated(TransferId id)
+    {
+        return engine_.discard_moderated(id);
+    }
+    void mask_moderation() { engine_.mask_moderation(); }
+    void unmask_moderation() { engine_.unmask_moderation(); }
 
     /**
      * Abandon a prepared-but-never-started transfer (e.g. the request

@@ -41,7 +41,7 @@ Edma3Engine::chain_duration(DescIndex head) const
 
 TransferId
 Edma3Engine::start_chain(DescIndex head, unsigned tc, bool raise_irq,
-                         CompletionFn on_complete)
+                         CompletionFn on_complete, bool moderated)
 {
     MEMIF_ASSERT(tc < kNumTcs, "bad transfer controller");
     // Housekeeping: keep the flight table bounded even when no driver
@@ -56,6 +56,8 @@ Edma3Engine::start_chain(DescIndex head, unsigned tc, bool raise_irq,
 
     const TransferId id = next_id_++;
     Flight flight{head, raise_irq};
+    flight.moderated = moderated && raise_irq;
+    flight.tc = tc;
     flight.completes_at = done_at;
     flight.on_complete = std::move(on_complete);
     // The error model decides each transfer's fate up front so one
@@ -94,10 +96,91 @@ Edma3Engine::start_chain(DescIndex head, unsigned tc, bool raise_irq,
             ++stats_.interrupts_lost;
             return;  // nobody learns of the completion
         }
+        // An error interrupt is never moderated: the CC error line is
+        // separate from the completion line, so time-to-detection of a
+        // TC bus error is identical with moderation on or off.
+        if (fl.moderated && !fl.error) {
+            hold_completion(id, fl.tc);
+            return;
+        }
         if (fl.raise_irq) ++stats_.interrupts_raised;
         if (fl.on_complete) fl.on_complete(id);
     });
     return id;
+}
+
+void
+Edma3Engine::hold_completion(TransferId id, unsigned tc)
+{
+    Moderation &mod = moderation_[tc];
+    flights_.at(id).delivery_pending = true;
+    mod.pending.push_back(id);
+    // While masked the driver's poller reaps held completions itself
+    // (NAPI-style); neither the batch threshold nor the holdoff timer
+    // raises an IRQ. An already-armed timer keeps running as a
+    // liveness backstop.
+    if (moderation_mask_ > 0) return;
+    if (mod.pending.size() >= moderation_batch_) {
+        flush_moderated(tc);
+        return;
+    }
+    // First held completion arms the holdoff timer; later ones ride it.
+    if (mod.timer == sim::EventQueue::kInvalidEvent) {
+        mod.timer = eq_.schedule_after(moderation_holdoff_, [this, tc] {
+            moderation_[tc].timer = sim::EventQueue::kInvalidEvent;
+            ++stats_.moderation_timer_flushes;
+            flush_moderated(tc);
+        });
+    }
+}
+
+void
+Edma3Engine::flush_moderated(unsigned tc)
+{
+    Moderation &mod = moderation_[tc];
+    if (mod.timer != sim::EventQueue::kInvalidEvent) {
+        eq_.cancel(mod.timer);
+        mod.timer = sim::EventQueue::kInvalidEvent;
+    }
+    if (mod.pending.empty()) return;
+    std::vector<TransferId> batch;
+    batch.swap(mod.pending);
+    // One coalesced IRQ retires the whole batch.
+    ++stats_.interrupts_raised;
+    ++stats_.moderated_irqs;
+    for (TransferId id : batch) {
+        auto it = flights_.find(id);
+        if (it == flights_.end() || !it->second.delivery_pending)
+            continue;  // discarded (watchdog or teardown) meanwhile
+        it->second.delivery_pending = false;
+        ++stats_.moderated_completions;
+        if (it->second.on_complete) it->second.on_complete(id);
+    }
+}
+
+void
+Edma3Engine::unmask_moderation()
+{
+    MEMIF_ASSERT(moderation_mask_ > 0, "unbalanced unmask_moderation");
+    if (--moderation_mask_ > 0) return;
+    // Deliver anything the poller left behind before it goes idle.
+    for (unsigned tc = 0; tc < kNumTcs; ++tc) flush_moderated(tc);
+}
+
+bool
+Edma3Engine::discard_moderated(TransferId id)
+{
+    auto it = flights_.find(id);
+    if (it == flights_.end() || !it->second.delivery_pending) return false;
+    it->second.delivery_pending = false;
+    Moderation &mod = moderation_[it->second.tc];
+    std::erase(mod.pending, id);
+    if (mod.pending.empty() &&
+        mod.timer != sim::EventQueue::kInvalidEvent) {
+        eq_.cancel(mod.timer);
+        mod.timer = sim::EventQueue::kInvalidEvent;
+    }
+    return true;
 }
 
 void
@@ -161,7 +244,10 @@ std::size_t
 Edma3Engine::purge_finished()
 {
     return std::erase_if(flights_, [](const auto &kv) {
-        return kv.second.completed || kv.second.cancelled;
+        // A moderated completion whose delivery is still held must keep
+        // its record (and callback) alive until the batch flushes.
+        return (kv.second.completed && !kv.second.delivery_pending) ||
+               kv.second.cancelled;
     });
 }
 

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -68,6 +69,14 @@ struct EngineStats {
     std::uint64_t interrupts_lost = 0;    ///< injected lost completions
     std::uint64_t bytes_copied = 0;
     std::uint64_t interrupts_raised = 0;
+    /** Coalesced completion IRQs delivered (each also counts once in
+     *  interrupts_raised — that is the point of moderation). */
+    std::uint64_t moderated_irqs = 0;
+    /** Completions retired through moderated IRQs. */
+    std::uint64_t moderated_completions = 0;
+    /** Moderation batches flushed by the holdoff timer rather than the
+     *  count threshold. */
+    std::uint64_t moderation_timer_flushes = 0;
     sim::Duration busy_time = 0;  ///< summed per-TC busy durations
 };
 
@@ -89,7 +98,9 @@ class Edma3Engine {
                 const sim::CostModel &cm,
                 sim::FaultInjector *faults = nullptr)
         : eq_(eq), pm_(pm), cm_(cm), faults_(faults),
-          tc_busy_until_(kNumTcs, 0)
+          tc_busy_until_(kNumTcs, 0),
+          moderation_batch_(cm.dma_moderation_batch),
+          moderation_holdoff_(cm.dma_moderation_holdoff)
     {
     }
     Edma3Engine(const Edma3Engine &) = delete;
@@ -110,10 +121,59 @@ class Edma3Engine {
      * @param on_complete   invoked at completion time regardless of
      *                      @p raise_irq (drivers use it for retirement
      *                      bookkeeping; may be empty)
+     * @param moderated     completion joins the per-TC interrupt-
+     *                      moderation batch: the bytes land and
+     *                      is_complete() flips at the true completion
+     *                      time, but on_complete is held until the
+     *                      batch flushes (count threshold or holdoff
+     *                      timer). TC errors always bypass moderation —
+     *                      an error interrupt is never held.
      * @return a transfer id for polling/cancellation
      */
     TransferId start_chain(DescIndex head, unsigned tc, bool raise_irq,
-                           CompletionFn on_complete);
+                           CompletionFn on_complete, bool moderated = false);
+
+    /**
+     * Override the moderation parameters (defaults come from the cost
+     * model: dma_moderation_batch / dma_moderation_holdoff). Engine-
+     * wide; only transfers started with moderated=true are affected.
+     */
+    void
+    configure_moderation(std::uint32_t batch, sim::Duration holdoff)
+    {
+        if (batch) moderation_batch_ = batch;
+        if (holdoff) moderation_holdoff_ = holdoff;
+    }
+    std::uint32_t moderation_batch() const { return moderation_batch_; }
+    sim::Duration moderation_holdoff() const { return moderation_holdoff_; }
+
+    /**
+     * Drop @p id's held moderated completion, if any: its on_complete
+     * will not run when the batch flushes. Used by the watchdog path
+     * (which dispatches the completion itself) and by device teardown
+     * (whose callbacks must not outlive the device).
+     * @return true if a pending delivery was discarded.
+     */
+    bool discard_moderated(TransferId id);
+
+    /**
+     * NAPI-style interrupt masking. While masked (nestable; count > 0)
+     * held completions accumulate silently — no batch-threshold flush,
+     * no holdoff timer — because the driver's poller has promised to
+     * reap them directly. unmask_moderation() flushes anything still
+     * pending, so a completion can never be stranded by an unbalanced
+     * poller. A timer armed before the mask keeps running as a
+     * liveness backstop.
+     */
+    void mask_moderation() { ++moderation_mask_; }
+    void unmask_moderation();
+
+    /** Completions currently held by moderation on @p tc (test/diag). */
+    std::size_t
+    moderation_pending(unsigned tc) const
+    {
+        return moderation_[tc].pending.size();
+    }
 
     /** Virtual-time cost of the chain at @p head (excl. queueing). */
     sim::Duration chain_duration(DescIndex head) const;
@@ -178,11 +238,26 @@ class Edma3Engine {
         bool error = false;     ///< injected TC bus error
         bool stuck = false;     ///< injected hang: never completes
         bool lose_irq = false;  ///< injected lost completion interrupt
+        bool moderated = false; ///< completion IRQ joins the TC batch
+        /** Completed but the moderated delivery has not flushed yet;
+         *  such records are exempt from purge_finished(). */
+        bool delivery_pending = false;
+        unsigned tc = 0;
         sim::SimTime completes_at = 0;
         CompletionFn on_complete;
     };
 
+    /** Per-TC interrupt-moderation state. */
+    struct Moderation {
+        std::vector<TransferId> pending;  ///< completed, delivery held
+        sim::EventQueue::EventId timer = sim::EventQueue::kInvalidEvent;
+    };
+
     void execute_copies(DescIndex head);
+    /** Park @p id's completion in @p tc's moderation batch. */
+    void hold_completion(TransferId id, unsigned tc);
+    /** Deliver one coalesced IRQ retiring everything held on @p tc. */
+    void flush_moderated(unsigned tc);
 
     sim::EventQueue &eq_;
     mem::PhysicalMemory &pm_;
@@ -191,6 +266,10 @@ class Edma3Engine {
     DescriptorRam ram_;
     std::vector<sim::SimTime> tc_busy_until_;
     std::unordered_map<TransferId, Flight> flights_;
+    std::array<Moderation, kNumTcs> moderation_;
+    std::uint32_t moderation_batch_;
+    sim::Duration moderation_holdoff_;
+    unsigned moderation_mask_ = 0;
     TransferId next_id_ = 1;
     EngineStats stats_;
 };

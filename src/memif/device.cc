@@ -51,9 +51,15 @@ MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
       config_(config),
       tc_(kernel.assign_transfer_controller()),
       region_(config.capacity),
+      completion_ctl_(kernel.costs(), config.poll_threshold_bytes,
+                      config.ewma_alpha),
       completion_event_(kernel.eq()),
       kthread_wq_(kernel.eq())
 {
+    if (config_.irq_moderation &&
+        (config_.moderation_batch || config_.moderation_holdoff))
+        kernel_.dma().configure_moderation(config_.moderation_batch,
+                                           config_.moderation_holdoff);
     if (config_.race_policy == RacePolicy::kRecover) {
         proc_.as().set_young_fault_hook(
             [this](vm::Vma &vma, std::uint64_t idx) {
@@ -71,12 +77,26 @@ MemifDevice::~MemifDevice()
     // it too, so disarm them all before the device goes away.
     for (const InFlightPtr &fl : in_flight_) {
         disarm_watchdog(fl);
-        if (fl->tid != dma::kInvalidTransfer &&
-            !kernel_.dma().is_complete(fl->tid))
+        if (fl->tid == dma::kInvalidTransfer) continue;
+        if (kernel_.dma().discard_moderated(fl->tid)) {
+            // Completed but its moderated delivery was still held: the
+            // held callback captures this device, so drop it and return
+            // the descriptor lease ourselves.
+            kernel_.dma().reclaim(fl->tid);
+        } else if (!kernel_.dma().is_complete(fl->tid)) {
             kernel_.dma().cancel(fl->tid);
+        }
     }
     if (config_.race_policy == RacePolicy::kRecover)
         proc_.as().set_young_fault_hook(nullptr);
+    // The kernel thread may be destroyed mid-suspension while holding
+    // its moderation mask; rebalance so the engine (which the kernel
+    // owns and which outlives us) is not left masked. Every held
+    // delivery was discarded above, so the unmask flushes nothing.
+    if (kthread_masked_) {
+        kernel_.dma().unmask_moderation();
+        kthread_masked_ = false;
+    }
 }
 
 bool
@@ -160,12 +180,43 @@ MemifDevice::notify(std::uint32_t idx, MovStatus status, MovError error)
 }
 
 // --------------------------------------------------------------------
+// Batched TLB shootdown plumbing (PR 2's span accumulator, shared).
+// --------------------------------------------------------------------
+
+void
+MemifDevice::accumulate_flush(FlushPlan &plan, vm::AddressSpace *as,
+                              vm::Vma *vma, std::uint64_t page_idx)
+{
+    for (FlushSpan &s : plan) {
+        if (s.as == as && s.vma == vma) {
+            s.lo = std::min(s.lo, page_idx);
+            s.hi = std::max(s.hi, page_idx);
+            return;
+        }
+    }
+    plan.push_back(FlushSpan{as, vma, page_idx, page_idx});
+}
+
+void
+MemifDevice::issue_flush_plan(const FlushPlan &plan, sim::Duration &cost)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    for (const FlushSpan &s : plan) {
+        const std::uint64_t span_pages = s.hi - s.lo + 1;
+        s.as->flush_tlb_range(s.vma->page_vaddr(s.lo), span_pages,
+                              s.vma->page_size());
+        cost += cm.tlb_flush_range_time(span_pages);
+        ++stats_.ranged_tlb_flushes;
+    }
+}
+
+// --------------------------------------------------------------------
 // Ops 1-3: Prep, Remap, DMA config + trigger.
 // --------------------------------------------------------------------
 
 sim::Task
 MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
-                           InFlightPtr *out)
+                           InFlightPtr *out, bool moderated)
 {
     const sim::CostModel &cm = kernel_.costs();
     sim::Cpu &cpu = kernel_.cpu();
@@ -333,12 +384,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         // No access can interleave — the whole loop runs without a
         // suspension point and its time is charged afterwards, exactly
         // as the per-page variant's.
-        struct FlushSpan {
-            vm::AddressSpace *as = nullptr;
-            vm::Vma *vma = nullptr;
-            std::uint64_t lo = 0, hi = 0;  ///< page-index range
-        };
-        std::vector<FlushSpan> flush_spans;
+        FlushPlan flush_spans;
         for (std::uint32_t i = 0; i < req.num_pages; ++i) {
             for (const Mapping &m : fl->mappings[i]) {
                 const vm::Pte old_pte = vm::Pte::unpack(m.old_pte);
@@ -356,18 +402,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                     .store(next.pack(), std::memory_order_release);
                 if (config_.batched_tlb_shootdown) {
                     remap_cost += cm.pte_update;
-                    bool merged = false;
-                    for (FlushSpan &s : flush_spans) {
-                        if (s.as == m.as && s.vma == m.vma) {
-                            s.lo = std::min(s.lo, m.page_idx);
-                            s.hi = std::max(s.hi, m.page_idx);
-                            merged = true;
-                            break;
-                        }
-                    }
-                    if (!merged)
-                        flush_spans.push_back(FlushSpan{
-                            m.as, m.vma, m.page_idx, m.page_idx});
+                    accumulate_flush(flush_spans, m.as, m.vma, m.page_idx);
                 } else {
                     m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
                                          m.vma->page_size());
@@ -378,13 +413,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                 fl->old_pfns[i] << mem::kPageShift,
                 fl->new_pfns[i] << mem::kPageShift, fl->page_bytes});
         }
-        for (const FlushSpan &s : flush_spans) {
-            const std::uint64_t span_pages = s.hi - s.lo + 1;
-            s.as->flush_tlb_range(s.vma->page_vaddr(s.lo), span_pages,
-                                  s.vma->page_size());
-            remap_cost += cm.tlb_flush_range_time(span_pages);
-            ++stats_.ranged_tlb_flushes;
-        }
+        issue_flush_plan(flush_spans, remap_cost);
         co_await cpu.busy(ctx, Op::kRemap, remap_cost);
         tr.record(kernel_.eq().now(), TracePoint::kRemapDone, ctx, idx);
         ++stats_.migrations;
@@ -439,6 +468,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     // fallback replay it after a transfer failure.
     fl->sg = std::move(sg);
     fl->irq_mode = irq_mode;
+    fl->moderated = moderated && irq_mode && config_.irq_moderation;
     // The PaRAM has 512 entries (Table 2); with several instances (or a
     // deep pipeline) in flight, wait until enough descriptors retire.
     // The gate is FIFO-fair: a PaRAM-sized request cannot starve behind
@@ -472,6 +502,10 @@ MemifDevice::trigger_dma(const InFlightPtr &fl, dma::DmaDriver::Prepared p,
 {
     (void)ctx;
     ++fl->dma_attempts;
+    // A (re)started transfer is supervised afresh: a drain pass must
+    // only skip transfers whose *current* attempt it retired.
+    fl->completion_claimed = false;
+    fl->dma_start_at = kernel_.eq().now();
     // The TC scheduler: with multi-TC dispatch the chain goes to the
     // controller that frees up first, so independent in-flight chains
     // run in parallel instead of serialising behind this instance's
@@ -480,18 +514,26 @@ MemifDevice::trigger_dma(const InFlightPtr &fl, dma::DmaDriver::Prepared p,
         config_.multi_tc_dispatch ? kernel_.dma().pick_tc() : tc_;
     ++stats_.tc_dispatches[tc];
     if (fl->irq_mode) {
+        // Retries bypass moderation: once the recovery ladder is
+        // involved, detection latency matters more than IRQ rate.
+        const bool moderated = fl->moderated && fl->dma_attempts == 1;
+        if (moderated) ++stats_.moderated_dispatches;
         fl->tid = kernel_.dma().start(
             std::move(p), /*irq_mode=*/true,
             [this, fl](dma::TransferId) {
                 kernel_.spawn(on_dma_complete(fl));
             },
-            tc);
+            tc, moderated);
+        fl->predicted =
+            kernel_.dma().completion_time(fl->tid) - fl->dma_start_at;
         arm_watchdog(fl);
     } else {
         // Polled mode: the kernel thread supervises the transfer itself
         // (its timed wait doubles as the watchdog).
         fl->tid = kernel_.dma().start(std::move(p), /*irq_mode=*/false,
                                       nullptr, tc);
+        fl->predicted =
+            kernel_.dma().completion_time(fl->tid) - fl->dma_start_at;
     }
 }
 
@@ -530,6 +572,9 @@ MemifDevice::on_dma_complete(InFlightPtr fl)
 {
     disarm_watchdog(fl);
     if (fl->aborted || stopping_) co_return;
+    // Retired inside a sibling's drain pass (the claim happens before
+    // any suspension point, so this check is race-free in the DES).
+    if (fl->completion_claimed) co_return;
     if (kernel_.dma().status(fl->tid) == dma::TransferStatus::kError) {
         // CC error interrupt (EDMA3 EMR): no bytes moved; recover.
         const sim::CostModel &cm = kernel_.costs();
@@ -545,7 +590,135 @@ MemifDevice::on_dma_complete(InFlightPtr fl)
     }
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaComplete,
                             ExecContext::kIrq, fl->req_idx);
+    if (config_.completion_drain) {
+        co_await drain_completions(std::move(fl));
+        co_return;
+    }
     co_await irq_complete(fl);
+}
+
+void
+MemifDevice::observe_completion(const InFlightPtr &fl)
+{
+    // Only clean first attempts teach the controller: a retry's span
+    // covers backoff and watchdog slack, not DMA service time.
+    if (!config_.adaptive_polling || fl->dma_attempts != 1) return;
+    completion_ctl_.observe(fl->total_bytes, fl->predicted,
+                            kernel_.eq().now() - fl->dma_start_at);
+}
+
+sim::Task
+MemifDevice::drain_completions(InFlightPtr first)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    sim::Cpu &cpu = kernel_.cpu();
+    // Claim-and-collect. This runs synchronously — coroutines start
+    // eagerly and the first co_await is below — so when a coalesced IRQ
+    // fans out into N handler tasks, the first one claims every
+    // completed transfer before the others get to their claimed-check.
+    std::vector<InFlightPtr> batch;
+    first->completion_claimed = true;
+    batch.push_back(first);
+    for (const InFlightPtr &fl : in_flight_) {
+        if (fl == first || fl->completion_claimed || fl->aborted ||
+            !fl->irq_mode)
+            continue;
+        if (fl->tid == dma::kInvalidTransfer ||
+            !kernel_.dma().is_complete(fl->tid))
+            continue;
+        if (kernel_.dma().status(fl->tid) != dma::TransferStatus::kOk)
+            continue;  // errors take their own recovery path
+        if (region_.request(fl->req_idx).load_status() !=
+            MovStatus::kInFlight)
+            continue;
+        fl->completion_claimed = true;
+        // A claimed sibling whose delivery is still held on another
+        // TC's timer must not cost a second (empty) IRQ when that
+        // timer fires; drop the delivery and return its lease (the
+        // discarded callback was what would have returned it).
+        if (kernel_.dma().discard_moderated(fl->tid))
+            kernel_.dma().reclaim(fl->tid);
+        disarm_watchdog(fl);
+        batch.push_back(fl);
+    }
+    stats_.irq_completions += batch.size();
+    if (batch.size() > 1) {
+        ++stats_.completion_drains;
+        stats_.drained_requests += batch.size() - 1;
+    }
+    kernel_.tracer().record(kernel_.eq().now(), TracePoint::kIrqEnter,
+                            ExecContext::kIrq, first->req_idx);
+    // One IRQ entry for the whole batch — that is the drain's point.
+    co_await cpu.busy(ExecContext::kIrq, Op::kSched, cm.irq_overhead);
+    for (const InFlightPtr &fl : batch) {
+        observe_completion(fl);
+        if (config_.race_policy == RacePolicy::kPrevent &&
+            fl->op == MovOp::kMigrate) {
+            // Release needs sleepable locks under race prevention; the
+            // kernel thread drains these in one pass with a shared
+            // ranged shootdown.
+            pending_release_.push_back(fl);
+        } else {
+            co_await do_release(fl, ExecContext::kIrq);
+        }
+    }
+    // ... and one wakeup charge.
+    cpu.charge(ExecContext::kIrq, Op::kSched, cm.kthread_wakeup);
+    wake_kthread();
+}
+
+sim::Task
+MemifDevice::reap_moderated()
+{
+    // NAPI-style reaping: a running kernel thread retires completed
+    // moderated transfers directly from the flight table, discarding
+    // the held completion interrupt before it ever fires. The IRQ path
+    // (and its wakeup) is then only paid as a backstop when the thread
+    // was asleep at delivery time.
+    std::vector<InFlightPtr> batch;
+    for (const InFlightPtr &fl : in_flight_) {
+        if (!fl->moderated || !fl->irq_mode || fl->completion_claimed ||
+            fl->aborted)
+            continue;
+        if (fl->tid == dma::kInvalidTransfer ||
+            !kernel_.dma().is_complete(fl->tid))
+            continue;
+        if (kernel_.dma().status(fl->tid) != dma::TransferStatus::kOk)
+            continue;  // errors raise an unmoderated IRQ; not ours
+        if (region_.request(fl->req_idx).load_status() !=
+            MovStatus::kInFlight)
+            continue;
+        fl->completion_claimed = true;
+        // The discarded callback was what returned the descriptor
+        // lease; reclaim it ourselves (as the watchdog path does).
+        kernel_.dma().discard_moderated(fl->tid);
+        kernel_.dma().reclaim(fl->tid);
+        disarm_watchdog(fl);
+        batch.push_back(fl);
+    }
+    // One flight-table peek per pass, however many transfers it nets.
+    kernel_.cpu().charge(ExecContext::kKthread, Op::kQueue,
+                         kernel_.costs().queue_op);
+    if (batch.empty()) co_return;
+    stats_.reaped_completions += batch.size();
+    if (batch.size() > 1) {
+        ++stats_.completion_drains;
+        stats_.drained_requests += batch.size() - 1;
+    }
+    FlushPlan plan;
+    for (const InFlightPtr &fl : batch) {
+        kernel_.tracer().record(kernel_.eq().now(),
+                                TracePoint::kDmaComplete,
+                                ExecContext::kKthread, fl->req_idx);
+        observe_completion(fl);
+        co_await do_release(fl, ExecContext::kKthread, &plan);
+    }
+    if (!plan.empty()) {
+        sim::Duration flush_cost = 0;
+        issue_flush_plan(plan, flush_cost);
+        co_await kernel_.cpu().busy(ExecContext::kKthread, Op::kRelease,
+                                    flush_cost);
+    }
 }
 
 sim::Task
@@ -560,11 +733,21 @@ MemifDevice::watchdog_expired(InFlightPtr fl)
                             ExecContext::kIrq, fl->req_idx);
     co_await kernel_.cpu().busy(ExecContext::kIrq, Op::kSched,
                                 cm.irq_overhead);
+    // Re-validate after the suspension: while this handler was charging
+    // interrupt time, a moderated flush, drain pass, or kthread reap
+    // may have claimed the completion and resolved the request.
+    if (fl->aborted || stopping_ || fl->completion_claimed ||
+        region_.request(fl->req_idx).load_status() != MovStatus::kInFlight)
+        co_return;
 
     if (kernel_.dma().is_complete(fl->tid)) {
-        // The transfer finished but its completion interrupt was lost:
-        // the engine never ran the retiring callback, so reclaim the
-        // descriptor chain, then dispatch the completion as usual.
+        // The transfer finished but its completion interrupt was lost —
+        // or (with a holdoff longer than the watchdog slack) is still
+        // held by moderation. Either way this handler dispatches the
+        // completion itself: drop any held delivery so the moderation
+        // flush cannot dispatch it a second time, reclaim the
+        // descriptor chain, then proceed as usual.
+        kernel_.dma().discard_moderated(fl->tid);
         const dma::TransferStatus st = kernel_.dma().status(fl->tid);
         kernel_.dma().reclaim(fl->tid);
         if (st == dma::TransferStatus::kError) {
@@ -703,7 +886,8 @@ MemifDevice::rollback_remap(const InFlightPtr &fl, ExecContext ctx)
 // --------------------------------------------------------------------
 
 sim::Task
-MemifDevice::do_release(InFlightPtr fl, ExecContext ctx)
+MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
+                        FlushPlan *shared_plan)
 {
     const sim::CostModel &cm = kernel_.costs();
     sim::Cpu &cpu = kernel_.cpu();
@@ -723,9 +907,19 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx)
                     final_pte.migration = false;
                     slot.store(final_pte.pack(),
                                std::memory_order_release);
-                    m.as->flush_tlb_page(m.vma->page_vaddr(m.page_idx),
-                                         m.vma->page_size());
-                    release_cost += cm.pte_update + cm.tlb_flush_page;
+                    if (shared_plan && config_.batched_tlb_shootdown) {
+                        // Completion drain: the caller issues one
+                        // ranged shootdown covering the whole batch of
+                        // released requests.
+                        accumulate_flush(*shared_plan, m.as, m.vma,
+                                         m.page_idx);
+                        release_cost += cm.pte_update;
+                    } else {
+                        m.as->flush_tlb_page(
+                            m.vma->page_vaddr(m.page_idx),
+                            m.vma->page_size());
+                        release_cost += cm.pte_update + cm.tlb_flush_page;
+                    }
                 } else {
                     // Proceed-and-fail: one CAS clears young; failure
                     // means some access beat us to the semi-final PTE
@@ -812,7 +1006,13 @@ MemifDevice::irq_complete(InFlightPtr fl)
 {
     const sim::CostModel &cm = kernel_.costs();
     sim::Cpu &cpu = kernel_.cpu();
+    // Take ownership before the first suspension so a concurrent drain
+    // or kthread reap pass cannot dispatch this completion a second
+    // time (the watchdog's lost-IRQ branch arrives here with the
+    // transfer still unclaimed).
+    fl->completion_claimed = true;
     ++stats_.irq_completions;
+    observe_completion(fl);
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kIrqEnter,
                             ExecContext::kIrq, fl->req_idx);
     co_await cpu.busy(ExecContext::kIrq, Op::kSched, cm.irq_overhead);
@@ -836,7 +1036,14 @@ MemifDevice::irq_complete(InFlightPtr fl)
 void
 MemifDevice::wake_kthread()
 {
-    if (kthread_sleeping_) ++stats_.kthread_wakeups;
+    // Count every notify. The old code only counted notifies that found
+    // the thread asleep, silently dropping notify-while-draining from
+    // the wakeup totals the benches report.
+    ++stats_.kthread_wakeups;
+    if (kthread_sleeping_)
+        ++stats_.wakeups_from_sleep;
+    else
+        ++stats_.notifies_while_running;
     kthread_wq_.notify_one();
 }
 
@@ -846,12 +1053,53 @@ MemifDevice::kthread_loop()
     os::Kernel &k = kernel_;
     const sim::CostModel &cm = k.costs();
     sim::Cpu &cpu = k.cpu();
+    // With reaping active the thread masks the moderated completion
+    // IRQ for as long as it is awake (NAPI): held completions are
+    // retired by reap_moderated() below, and the coalesced IRQ is only
+    // paid as a wakeup backstop when a completion lands while the
+    // thread sleeps.
+    const bool reaping =
+        config_.irq_moderation && config_.completion_drain;
+    if (reaping) {
+        k.dma().mask_moderation();
+        kthread_masked_ = true;
+    }
 
     for (;;) {
-        if (stopping_) co_return;
+        if (stopping_) {
+            if (kthread_masked_) {
+                k.dma().unmask_moderation();
+                kthread_masked_ = false;
+            }
+            co_return;
+        }
+
+        // Moderated completions whose held IRQ has not fired yet are
+        // retired inline while the worker is running anyway.
+        if (reaping && !in_flight_.empty()) co_await reap_moderated();
 
         // Releases the interrupt handler deferred (kPrevent only).
         if (!pending_release_.empty()) {
+            if (config_.completion_drain) {
+                // Drain every deferred release in one pass, sharing a
+                // single batched ranged shootdown across requests.
+                std::vector<InFlightPtr> batch;
+                batch.swap(pending_release_);
+                FlushPlan plan;
+                for (const InFlightPtr &fl : batch)
+                    co_await do_release(fl, ExecContext::kKthread, &plan);
+                if (!plan.empty()) {
+                    sim::Duration flush_cost = 0;
+                    issue_flush_plan(plan, flush_cost);
+                    co_await cpu.busy(ExecContext::kKthread, Op::kRelease,
+                                      flush_cost);
+                }
+                if (batch.size() > 1) {
+                    ++stats_.completion_drains;
+                    stats_.drained_requests += batch.size() - 1;
+                }
+                continue;
+            }
             InFlightPtr fl = pending_release_.front();
             pending_release_.erase(pending_release_.begin());
             co_await do_release(fl, ExecContext::kKthread);
@@ -875,15 +1123,45 @@ MemifDevice::kthread_loop()
             const vm::Vma *vma = proc_.as().find_vma(req.src_base);
             const std::uint64_t bytes =
                 vma ? req.num_pages * vm::page_bytes(vma->page_size()) : 0;
-            // Multi-TC dispatch keeps every transfer interrupt-driven:
-            // the polled path would park the worker on THIS transfer,
-            // while the whole point is to configure request N+1 while
-            // N is still copying on another controller.
-            const bool polled = !config_.multi_tc_dispatch && bytes > 0 &&
-                                bytes < config_.poll_threshold_bytes;
+            // Completion-mode decision. The static rule is the paper's:
+            // poll below the threshold — and never under multi-TC
+            // dispatch, where parking the worker on THIS transfer would
+            // stall the pipeline that wants to configure request N+1
+            // while N is still copying. The adaptive controller
+            // replaces the static rule when enabled, using the backlog
+            // (queued + in-flight requests) as the coalescing signal;
+            // it only ever polls with an empty backlog, so the
+            // pipeline-stall concern cannot arise.
+            CompletionMode mode;
+            if (config_.adaptive_polling && bytes > 0) {
+                const std::size_t backlog =
+                    in_flight_.size() +
+                    region_.submission_queue().size_unsafe() +
+                    region_.staging_queue().size_unsafe();
+                mode = completion_ctl_.choose(bytes, backlog);
+                if (mode == CompletionMode::kModerated &&
+                    !config_.irq_moderation)
+                    mode = CompletionMode::kInterrupt;
+                if (mode == CompletionMode::kPolled)
+                    ++stats_.adaptive_polled;
+                else if (mode == CompletionMode::kModerated)
+                    ++stats_.adaptive_moderated;
+                else
+                    ++stats_.adaptive_irq;
+            } else {
+                const bool below =
+                    !config_.multi_tc_dispatch && bytes > 0 &&
+                    bytes < config_.poll_threshold_bytes;
+                mode = below ? CompletionMode::kPolled
+                       : config_.irq_moderation
+                           ? CompletionMode::kModerated
+                           : CompletionMode::kInterrupt;
+            }
+            const bool polled = mode == CompletionMode::kPolled;
             InFlightPtr fl;
             co_await serve_request(d.value, ExecContext::kKthread,
-                                   /*irq_mode=*/!polled, &fl);
+                                   /*irq_mode=*/!polled, &fl,
+                                   mode == CompletionMode::kModerated);
             if (polled && fl) {
                 // §5.4: small request — interrupt off, sleep until the
                 // predicted completion, then Release/Notify here. The
@@ -940,10 +1218,42 @@ MemifDevice::kthread_loop()
                                       TracePoint::kDmaComplete,
                                       ExecContext::kKthread, fl->req_idx);
                     ++stats_.polled_completions;
+                    observe_completion(fl);
                     co_await do_release(fl, ExecContext::kKthread);
                 }
             }
             continue;
+        }
+
+        // Both queues drained. Moderated transfers still copying will
+        // complete without a (prompt) interrupt; instead of parking and
+        // paying the backstop IRQ + wakeup, nap until the earliest
+        // predicted completion and reap it at the top of the loop.
+        if (config_.irq_moderation && config_.completion_drain) {
+            sim::SimTime earliest = 0;
+            bool have = false;
+            for (const InFlightPtr &fl : in_flight_) {
+                if (!fl->moderated || fl->completion_claimed ||
+                    fl->aborted || fl->tid == dma::kInvalidTransfer)
+                    continue;
+                const sim::SimTime done = k.dma().completion_time(fl->tid);
+                if (done > k.eq().now() && (!have || done < earliest)) {
+                    earliest = done;
+                    have = true;
+                }
+            }
+            if (have) {
+                // Whole scheduler ticks, as in the polled path: the
+                // worker cannot wake at an arbitrary instant. A stuck
+                // transfer is not napped on forever — once its
+                // predicted completion is in the past the loop falls
+                // through to a real sleep and the watchdog takes over.
+                const sim::Duration tick = cm.kthread_poll_interval;
+                const sim::Duration wait =
+                    (earliest - k.eq().now() + tick - 1) / tick * tick;
+                co_await sim::Delay{k.eq(), wait};
+                continue;
+            }
         }
 
         // Both queues drained. If nothing is in flight either, hand
@@ -959,9 +1269,19 @@ MemifDevice::kthread_loop()
                           ExecContext::kKthread);
         // Housekeeping before sleeping: drop finished-transfer records.
         kernel_.dma_engine().purge_finished();
+        // Re-enable the moderated IRQ across the sleep — it is the
+        // wakeup mechanism while nobody is reaping.
+        if (kthread_masked_) {
+            k.dma().unmask_moderation();
+            kthread_masked_ = false;
+        }
         kthread_sleeping_ = true;
         co_await kthread_wq_.wait();
         kthread_sleeping_ = false;
+        if (reaping) {
+            k.dma().mask_moderation();
+            kthread_masked_ = true;
+        }
         co_await cpu.busy(ExecContext::kKthread, Op::kSched,
                           cm.kthread_wakeup);
         k.tracer().record(k.eq().now(), TracePoint::kKthreadWake,
@@ -997,7 +1317,8 @@ MemifDevice::ioctl_mov_one()
     // driven, and return as soon as the DMA is started.
     InFlightPtr fl;
     co_await serve_request(d.value, ExecContext::kSyscall,
-                           /*irq_mode=*/true, &fl);
+                           /*irq_mode=*/true, &fl,
+                           /*moderated=*/config_.irq_moderation);
     // If no transfer started (validation/resource failure), there is no
     // completion interrupt coming: hand the rest to the worker now.
     if (!fl) wake_kthread();

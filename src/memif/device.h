@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "dma/driver.h"
+#include "memif/completion_ctl.h"
 #include "memif/mov_req.h"
 #include "memif/shared_region.h"
 #include "os/kernel.h"
@@ -123,6 +124,34 @@ struct MemifConfig {
     bool batched_tlb_shootdown = false;
     ///@}
 
+    /**
+     * @name Completion-batching levers (this PR; off by default so the
+     * paper-reproduction figures keep their exact shapes; moderated()
+     * turns them on atop pipelined() for the "memif-moderated" series).
+     */
+    ///@{
+    /** Hold completion IRQs in the engine's per-TC moderation batch:
+     *  one coalesced IRQ retires up to moderation_batch chains (or
+     *  whatever finished within moderation_holdoff of the first). */
+    bool irq_moderation = false;
+    /** Overrides for the cost model's moderation parameters (0 = keep
+     *  the cost-model default). */
+    std::uint32_t moderation_batch = 0;
+    sim::Duration moderation_holdoff = 0;
+    /** Multi-request completion drain: the first handler of a coalesced
+     *  IRQ claims every completed interrupt-mode transfer and retires
+     *  them in one pass — one IRQ-entry charge, one kthread wakeup, and
+     *  (under kPrevent) one shared ranged TLB shootdown. */
+    bool completion_drain = false;
+    /** EWMA-driven hybrid polling: replace the static
+     *  poll_threshold_bytes rule with CompletionController, which
+     *  learns per-size completion times online and switches each
+     *  transfer between polled / interrupt / moderated-interrupt. */
+    bool adaptive_polling = false;
+    /** Smoothing factor for the controller's EWMAs. */
+    double ewma_alpha = 0.25;
+    ///@}
+
     /** All three pipeline levers on (the "memif-pipelined" series). */
     static MemifConfig
     pipelined()
@@ -131,6 +160,18 @@ struct MemifConfig {
         c.sg_coalescing = true;
         c.multi_tc_dispatch = true;
         c.batched_tlb_shootdown = true;
+        return c;
+    }
+
+    /** pipelined() plus the completion-batching levers (the
+     *  "memif-moderated" series). */
+    static MemifConfig
+    moderated()
+    {
+        MemifConfig c = pipelined();
+        c.irq_moderation = true;
+        c.completion_drain = true;
+        c.adaptive_polling = true;
         return c;
     }
 };
@@ -148,7 +189,25 @@ struct DeviceStats {
     std::uint64_t kick_ioctls = 0;
     std::uint64_t irq_completions = 0;
     std::uint64_t polled_completions = 0;
+    /** Notifications sent to the kernel thread. Historically this only
+     *  counted notifies that found the thread asleep; it now counts
+     *  every notify and the two components are split out below. */
     std::uint64_t kthread_wakeups = 0;
+    std::uint64_t wakeups_from_sleep = 0;     ///< thread was sleeping
+    std::uint64_t notifies_while_running = 0; ///< thread already draining
+    /** Completion-drain passes that retired >1 request. */
+    std::uint64_t completion_drains = 0;
+    /** Requests retired inside someone else's drain pass. */
+    std::uint64_t drained_requests = 0;
+    /** Transfers started with a moderated completion IRQ. */
+    std::uint64_t moderated_dispatches = 0;
+    /** Moderated completions the kernel thread retired directly from
+     *  the flight table, cancelling the held IRQ before it fired. */
+    std::uint64_t reaped_completions = 0;
+    /** Adaptive-controller decisions (mirrors CompletionController). */
+    std::uint64_t adaptive_polled = 0;
+    std::uint64_t adaptive_irq = 0;
+    std::uint64_t adaptive_moderated = 0;
     std::uint64_t dma_errors = 0;         ///< TC-error completions seen
     std::uint64_t dma_retries = 0;        ///< transfers restarted
     std::uint64_t fallback_copies = 0;    ///< degraded to CPU byte-copy
@@ -179,6 +238,11 @@ class MemifDevice {
     SharedRegion &region() { return region_; }
     const MemifConfig &config() const { return config_; }
     const DeviceStats &stats() const { return stats_; }
+    /** The adaptive completion controller (test/diag introspection). */
+    const CompletionController &completion_controller() const
+    {
+        return completion_ctl_;
+    }
 
     /**
      * The MOV_ONE ioctl (§4.2): dequeue one request from the submission
@@ -235,19 +299,57 @@ class MemifDevice {
         /** Scatter-gather list, kept for retries and the CPU fallback. */
         std::vector<dma::SgEntry> sg;
         bool irq_mode = false;           ///< completion via interrupt
+        bool moderated = false;          ///< IRQ held in the TC batch
+        /** Retired (or being retired) by a completion-drain pass; the
+         *  transfer's own on_dma_complete must then do nothing. Reset
+         *  on every (re)start so retries are supervised normally. */
+        bool completion_claimed = false;
         std::uint32_t dma_attempts = 0;  ///< starts so far (1 = first)
+        sim::SimTime dma_start_at = 0;   ///< trigger time of the attempt
+        sim::Duration predicted = 0;     ///< engine quote for fl->sg
         sim::EventQueue::EventId watchdog_id = sim::EventQueue::kInvalidEvent;
     };
     using InFlightPtr = std::shared_ptr<InFlight>;
 
+    /** One (address space, vma) span of PTEs dirtied since the last
+     *  TLB flush; the batched-shootdown accumulator (PR 2's Remap
+     *  version, now also shared across requests by the drain paths). */
+    struct FlushSpan {
+        vm::AddressSpace *as = nullptr;
+        vm::Vma *vma = nullptr;
+        std::uint64_t lo = 0, hi = 0;  ///< page-index range
+    };
+    using FlushPlan = std::vector<FlushSpan>;
+    /** Widen (or open) @p plan's span for (@p as, @p vma) to cover
+     *  @p page_idx. */
+    static void accumulate_flush(FlushPlan &plan, vm::AddressSpace *as,
+                                 vm::Vma *vma, std::uint64_t page_idx);
+    /** Issue one ranged invalidation per span; adds the flush time to
+     *  @p cost and bumps the ranged-flush counter. */
+    void issue_flush_plan(const FlushPlan &plan, sim::Duration &cost);
+
     /** Ops 1-3 for one request; on success the DMA is running and
-     *  @p out (if given) receives the in-flight record. */
+     *  @p out (if given) receives the in-flight record. @p moderated
+     *  asks for a moderated completion IRQ (irq_mode only). */
     sim::Task serve_request(std::uint32_t idx, sim::ExecContext ctx,
-                            bool irq_mode, InFlightPtr *out = nullptr);
-    /** Ops 4-5. */
-    sim::Task do_release(InFlightPtr fl, sim::ExecContext ctx);
+                            bool irq_mode, InFlightPtr *out = nullptr,
+                            bool moderated = false);
+    /** Ops 4-5. With @p shared_plan, a kPrevent migration's release
+     *  accumulates its TLB work there instead of flushing per page —
+     *  the caller issues one ranged shootdown for the whole batch. */
+    sim::Task do_release(InFlightPtr fl, sim::ExecContext ctx,
+                         FlushPlan *shared_plan = nullptr);
     /** Interrupt handler body for one completed transfer. */
     sim::Task irq_complete(InFlightPtr fl);
+    /** Completion-drain handler: claims every completed interrupt-mode
+     *  transfer synchronously (so sibling callbacks of a coalesced IRQ
+     *  bail out) and retires them all under one IRQ-entry charge and
+     *  one kthread wakeup. */
+    sim::Task drain_completions(InFlightPtr first);
+
+    sim::Task reap_moderated();
+    /** Feed a finished first-attempt transfer to the EWMA controller. */
+    void observe_completion(const InFlightPtr &fl);
     /** The worker (§5.4 kernel-thread path). */
     sim::Task kthread_loop();
     void wake_kthread();
@@ -298,9 +400,12 @@ class MemifDevice {
     /** Transfer controller this instance submits on. */
     unsigned tc_;
     SharedRegion region_;
+    CompletionController completion_ctl_;
     sim::SimEvent completion_event_;
     sim::WaitQueue kthread_wq_;
     bool kthread_sleeping_ = false;
+    /** The kernel thread holds a moderation mask while awake (NAPI). */
+    bool kthread_masked_ = false;
     sim::Task kthread_task_;
     std::vector<InFlightPtr> in_flight_;
     /** kPrevent: releases deferred from the interrupt handler. */

@@ -146,6 +146,24 @@ SubmitRequest(int memfd, mov_req *req, int *out_rc)
     if (out_rc) *out_rc = kOk;
 }
 
+sim::Task
+memif_mov_many(int memfd, mov_req *const *reqs, std::size_t count,
+               int *out_rc)
+{
+    OpenFile *f = lookup(memfd);
+    if (!f || !reqs) {
+        if (out_rc) *out_rc = kErrBadFd;
+        co_return;
+    }
+    std::vector<std::uint32_t> idxs;
+    idxs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        if (reqs[i])
+            idxs.push_back(f->device->region().index_of(*reqs[i]));
+    co_await f->user->submit_many(idxs);
+    if (out_rc) *out_rc = kOk;
+}
+
 mov_req *
 RetrieveCompleted(int memfd)
 {

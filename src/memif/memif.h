@@ -23,6 +23,7 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -89,6 +90,18 @@ void FreeRequest(int memfd, mov_req *req);
  * needed). @p out_rc receives kOk or an error.
  */
 sim::Task SubmitRequest(int memfd, mov_req *req, int *out_rc = nullptr);
+
+/**
+ * memif_mov_many(): submit a batch of populated requests in one call.
+ * The whole batch is deposited in the staging queue first, then the
+ * §4.4 flush protocol runs at most once — one syscall crossing and one
+ * kernel-thread wakeup amortized over @p count requests. Semantically
+ * identical to @p count SubmitRequest() calls; only the interface cost
+ * differs. Null entries are skipped. @p out_rc receives kOk, or
+ * kErrBadFd for a bad descriptor.
+ */
+sim::Task memif_mov_many(int memfd, mov_req *const *reqs,
+                         std::size_t count, int *out_rc = nullptr);
 
 /**
  * RetrieveCompleted(): one completion notification, or nullptr if none

@@ -83,6 +83,55 @@ MemifUser::submit(std::uint32_t idx, bool *kicked)
     co_await dev_.ioctl_mov_one();
 }
 
+sim::Task
+MemifUser::submit_many(const std::vector<std::uint32_t> &idxs, bool *kicked)
+{
+    if (kicked) *kicked = false;
+    if (idxs.empty()) co_return;
+    stats_.submits += idxs.size();
+    ++stats_.batch_submits;
+
+    lockfree::RedBlueQueue staging = region_.staging_queue();
+    lockfree::RedBlueQueue submission = region_.submission_queue();
+
+    // Deposit the whole batch first; any blue observation means flush
+    // responsibility landed on us (at most once for the batch).
+    bool saw_blue = false;
+    for (const std::uint32_t idx : idxs) {
+        MovReq &req = region_.request(idx);
+        req.submit_time = dev_.kernel().eq().now();
+        req.store_status(MovStatus::kSubmitted);
+        dev_.kernel().tracer().record(req.submit_time,
+                                      sim::TracePoint::kSubmit,
+                                      sim::ExecContext::kUser, idx);
+        const Color color = staging.enqueue(idx);
+        charge_queue_op();
+        if (color == Color::kBlue) saw_blue = true;
+    }
+    if (!saw_blue) co_return;  // kernel will flush (red)
+
+    for (;;) {
+        for (;;) {
+            const DequeueResult d = staging.dequeue();
+            charge_queue_op();
+            if (!d.ok) break;
+            submission.enqueue(d.value);
+            charge_queue_op();
+            ++stats_.flush_moves;
+        }
+        const int old = staging.set_color(Color::kRed);
+        charge_queue_op();
+        if (old == lockfree::kColorBusy) continue;
+        if (old == static_cast<int>(Color::kRed)) co_return;  // raced
+        break;
+    }
+
+    // One crossing for the whole batch; the worker drains the rest.
+    ++stats_.kicks;
+    if (kicked) *kicked = true;
+    co_await dev_.ioctl_mov_one();
+}
+
 std::uint32_t
 MemifUser::retrieve_completed()
 {

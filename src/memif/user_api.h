@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "lockfree/link.h"
 #include "memif/device.h"
@@ -42,6 +43,7 @@ struct UserStats {
     std::uint64_t flush_moves = 0;   ///< staging->submission transfers
     std::uint64_t completions = 0;
     std::uint64_t polls = 0;
+    std::uint64_t batch_submits = 0; ///< submit_many() calls
 };
 
 /**
@@ -79,6 +81,17 @@ class MemifUser {
      * @param kicked (optional) set to whether this call issued the ioctl
      */
     sim::Task submit(std::uint32_t idx, bool *kicked = nullptr);
+
+    /**
+     * Batch SubmitRequest(): deposit @p idxs in the staging queue in
+     * order, then run the §4.4 flush protocol at most ONCE for the
+     * whole batch — one syscall crossing and one kernel-thread wakeup
+     * amortized over N requests, instead of up to one kick each.
+     * Equivalent to N submit() calls for every observable outcome; only
+     * the interface cost differs.
+     */
+    sim::Task submit_many(const std::vector<std::uint32_t> &idxs,
+                          bool *kicked = nullptr);
 
     /**
      * RetrieveCompleted(): non-blocking; one completed request's index

@@ -12,6 +12,7 @@ Kernel::Kernel(KernelConfig cfg)
       cpu_(eq_, cfg.num_cores),
       migration_waitq_(eq_)
 {
+    cpu_.set_single_driver_core(cfg_.single_driver_core);
     auto ids = mem::KeystoneMemory::build(pm_, cfg_.slow_bytes);
     slow_node_ = ids.first;
     fast_node_ = ids.second;

@@ -41,6 +41,18 @@ struct KernelConfig {
     /** Seed for the fault injector's probability stream (the injector
      *  stays inert until a site is armed; see sim/fault.h). */
     std::uint64_t fault_seed = 0xfa017;
+    /** Serialize kernel-context CPU time (syscall/irq/kthread) on one
+     *  driver core instead of letting contexts overlap freely — the
+     *  regime where per-request completion overhead sits on the
+     *  critical path. Off by default; see sim::Cpu. */
+    bool single_driver_core = false;
+};
+
+/** Counters for the user/kernel interface (satellite of the FlexSC-style
+ *  motivation in §2.3: crossings are the cost batching amortizes). */
+struct SyscallStats {
+    std::uint64_t crossings = 0;       ///< enter+exit round trips charged
+    sim::Duration crossing_time = 0;   ///< total time spent crossing
 };
 
 /**
@@ -80,9 +92,14 @@ class Kernel {
     sim::Delay
     syscall_crossing()
     {
+        ++syscall_stats_.crossings;
+        syscall_stats_.crossing_time += cfg_.costs.syscall_crossing;
         return cpu_.busy(sim::ExecContext::kSyscall, sim::Op::kSyscall,
                          cfg_.costs.syscall_crossing);
     }
+
+    const SyscallStats &syscall_stats() const { return syscall_stats_; }
+    void reset_syscall_stats() { syscall_stats_ = SyscallStats{}; }
 
     /**
      * Keep a fire-and-forget task alive until it finishes (interrupt
@@ -128,6 +145,7 @@ class Kernel {
     std::unique_ptr<dma::DmaDriver> dma_driver_;
     sim::WaitQueue migration_waitq_;
     unsigned next_tc_ = 0;
+    SyscallStats syscall_stats_;
     std::vector<std::unique_ptr<Process>> processes_;
     std::vector<sim::Task> tasks_;
 };

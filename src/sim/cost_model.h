@@ -115,6 +115,19 @@ struct CostModel {
     // ----- Interrupts & scheduling ------------------------------------
     /** IRQ entry + handler prologue/epilogue. */
     Duration irq_overhead = nanoseconds(3500);
+    /**
+     * @name Completion-interrupt moderation (NIC/io_uring style).
+     * A moderated transfer's completion interrupt is held until either
+     * @ref dma_moderation_batch chains have finished on the same
+     * transfer controller or @ref dma_moderation_holdoff has elapsed
+     * since the first held completion — one IRQ then retires the whole
+     * batch. The holdoff must stay below the watchdog slack so a held
+     * IRQ can never be mistaken for a lost one.
+     */
+    ///@{
+    Duration dma_moderation_holdoff = microseconds(10);
+    std::uint32_t dma_moderation_batch = 8;
+    ///@}
     /** Waking a kernel thread and getting it on a core. */
     Duration kthread_wakeup = nanoseconds(2500);
     /** Kernel thread short-sleep granularity in polled mode (paper 5.4). */

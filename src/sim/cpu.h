@@ -91,6 +91,16 @@ struct CpuAccounting {
  * busy() both advances virtual time and charges the duration as CPU-busy;
  * charge() accounts time that was already spanned by some other await
  * (e.g. CPU polling while a DMA completes).
+ *
+ * By default the contexts advance independently (the accounting view of
+ * Figure 6, where interrupt work overlaps kernel-thread work on the
+ * four A15 cores). With @ref set_single_driver_core the kernel-side
+ * contexts (syscall, interrupt, kernel thread) instead contend for ONE
+ * core timeline: a busy() that finds the driver core occupied queues
+ * behind the earlier work, exactly as a completion interrupt preempts
+ * the kernel thread on the core it is pinned to. That is the regime in
+ * which per-request completion overhead sits on the critical path — the
+ * small-request streams interrupt moderation is built for.
  */
 class Cpu {
   public:
@@ -104,16 +114,45 @@ class Cpu {
     EventQueue &event_queue() { return eq_; }
     unsigned num_cores() const { return num_cores_; }
 
+    /** Serialize kernel-context busy time on one driver core (off by
+     *  default so every paper-reproduction figure keeps its shape). */
+    void set_single_driver_core(bool on) { single_driver_core_ = on; }
+    bool single_driver_core() const { return single_driver_core_; }
+
+    /** Time at which the driver core finishes its queued work (only
+     *  meaningful under the single-driver-core model). */
+    SimTime driver_busy_until() const { return driver_busy_until_; }
+
     /** Awaitable: spend @p d of CPU time in @p ctx doing @p op. */
     Delay
     busy(ExecContext ctx, Op op, Duration d)
     {
         acct_.charge(ctx, op, d);
+        if (single_driver_core_ && ctx != ExecContext::kUser) {
+            // Queue behind whatever the driver core is already running;
+            // the awaited delay covers queueing + service.
+            const SimTime now = eq_.now();
+            const SimTime start =
+                driver_busy_until_ > now ? driver_busy_until_ : now;
+            driver_busy_until_ = start + d;
+            return Delay{eq_, driver_busy_until_ - now};
+        }
         return Delay{eq_, d};
     }
 
     /** Account CPU time without suspending (time already elapsed). */
-    void charge(ExecContext ctx, Op op, Duration d) { acct_.charge(ctx, op, d); }
+    void
+    charge(ExecContext ctx, Op op, Duration d)
+    {
+        acct_.charge(ctx, op, d);
+        if (single_driver_core_ && ctx != ExecContext::kUser) {
+            // The work happened now; later busy() calls queue behind it.
+            const SimTime now = eq_.now();
+            const SimTime start =
+                driver_busy_until_ > now ? driver_busy_until_ : now;
+            driver_busy_until_ = start + d;
+        }
+    }
 
     const CpuAccounting &accounting() const { return acct_; }
     CpuAccounting snapshot() const { return acct_; }
@@ -122,6 +161,8 @@ class Cpu {
   private:
     EventQueue &eq_;
     unsigned num_cores_;
+    bool single_driver_core_ = false;
+    SimTime driver_busy_until_ = 0;
     CpuAccounting acct_;
 };
 

@@ -84,6 +84,61 @@ TEST_F(CApi, Figure2EndToEnd)
     EXPECT_EQ(completed, 10);
 }
 
+TEST_F(CApi, MovManySubmitsBatchWithOneCrossing)
+{
+    os::Kernel kernel;
+    os::Process &proc = kernel.create_process();
+    MemifDevice dev(kernel, proc);
+    RegisterDeviceFile("/dev/memif0", dev);
+    const vm::VAddr region = proc.mmap(8 * 16 * 4096, vm::PageSize::k4K);
+
+    int completed = 0;
+    auto app = [&]() -> sim::Task {
+        const int memfd = MemifOpen("/dev/memif0");
+        EXPECT_GE(memfd, 0);
+
+        mov_req *reqs[8] = {};
+        for (int i = 0; i < 8; ++i) {
+            reqs[i] = AllocRequest(memfd);
+            EXPECT_NE(reqs[i], nullptr);  // ASSERT returns; no co_return
+            reqs[i]->op = MovOp::kMigrate;
+            reqs[i]->src_base =
+                region + static_cast<vm::VAddr>(i) * 16 * 4096;
+            reqs[i]->num_pages = 16;
+            reqs[i]->dst_node = kernel.fast_node();
+        }
+        kernel.reset_syscall_stats();
+        int rc = -1;
+        co_await memif_mov_many(memfd, reqs, 8, &rc);
+        EXPECT_EQ(rc, kOk);
+        // The whole batch cost one user/kernel crossing (the kick); the
+        // kernel thread drained the other seven submissions itself.
+        EXPECT_EQ(kernel.syscall_stats().crossings, 1u);
+
+        while (completed < 8) {
+            mov_req *req = RetrieveCompleted(memfd);
+            if (!req) {
+                co_await Poll(memfd);
+                continue;
+            }
+            EXPECT_TRUE(req->succeeded());
+            FreeRequest(memfd, req);
+            ++completed;
+        }
+        EXPECT_EQ(MemifClose(memfd), kOk);
+    };
+    auto t = app();
+    kernel.run();
+    EXPECT_EQ(completed, 8);
+    // Against eight one-at-a-time SubmitRequest() calls, each of which
+    // starts an idle period and kicks: 8x fewer crossings.
+    EXPECT_EQ(kernel.syscall_stats().crossings, 1u);
+
+    int rc = -1;
+    auto bad = memif_mov_many(1234, nullptr, 0, &rc);
+    EXPECT_EQ(rc, kErrBadFd);
+}
+
 TEST_F(CApi, BadDescriptorsAreHarmless)
 {
     EXPECT_EQ(AllocRequest(7), nullptr);

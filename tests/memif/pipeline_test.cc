@@ -236,6 +236,15 @@ TEST(Pipeline, MultiTcDispatchSpreadsAcrossControllers)
     // never drops to polled mode, which would serialise it).
     EXPECT_GE(tcs_used(f.dev.stats()), 2u);
     EXPECT_EQ(f.dev.stats().polled_completions, 0u);
+    // Wakeup accounting: every notify is counted exactly once, split by
+    // whether it found the thread asleep. A pipelined stream must hit
+    // both cases — first IRQ wakes the thread, later IRQs land while it
+    // is still draining (the undercount the split was added to expose).
+    const DeviceStats &s = f.dev.stats();
+    EXPECT_EQ(s.kthread_wakeups,
+              s.wakeups_from_sleep + s.notifies_while_running);
+    EXPECT_GT(s.wakeups_from_sleep, 0u);
+    EXPECT_GT(s.notifies_while_running, 0u);
 }
 
 TEST(Pipeline, ReplicationAcrossMixedPageSizesBothDirections)
