@@ -113,6 +113,7 @@ main()
         {"default", memif::core::MemifConfig{}},
         {"pipelined", memif::core::MemifConfig::pipelined()},
         {"moderated", memif::core::MemifConfig::moderated()},
+        {"scaled", memif::core::MemifConfig::scaled()},
     };
 
     std::printf("%-10s %-10s %10s %9s %9s %9s %9s\n", "stream", "config",

@@ -29,7 +29,10 @@ run_memif_stream(TestBed &bed, const RequestPlan &plan)
 {
     const std::uint64_t pb = vm::page_bytes(plan.page_size);
     const std::uint64_t req_bytes = pb * plan.pages_per_request;
-    const std::uint32_t window = window_for(req_bytes, plan.num_requests);
+    const std::uint32_t window =
+        plan.window_override
+            ? std::min(plan.window_override, plan.num_requests)
+            : window_for(req_bytes, plan.num_requests);
 
     struct Region {
         vm::VAddr src = 0;   // slow-node home (migration ping-pongs it)

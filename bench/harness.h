@@ -51,6 +51,11 @@ struct RequestPlan {
     vm::PageSize page_size = vm::PageSize::k4K;
     std::uint32_t pages_per_request = 16;
     std::uint32_t num_requests = 1;
+    /** Nonzero: use exactly this many ping-pong regions instead of the
+     *  SRAM-budget auto window (still clamped to num_requests). Fewer
+     *  regions = more repeat traffic per region, which is what the
+     *  translation-cache cells want to exercise. */
+    std::uint32_t window_override = 0;
 };
 
 /** Timing of one completed request. */

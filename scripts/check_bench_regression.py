@@ -11,6 +11,13 @@ Checks that the optimisation levers actually pay off:
   per cell, and must cut the per-request completion tax
   (irqs/req + wakeups/req) to at most MAX_MOD_TAX_RATIO of
   pipelined's.
+* Submission scaling: on the repeated-region 256x4KB stream the
+  scaled() levers (gang translation cache + bulk frame allocation +
+  per-CPU rings) must beat moderated() by MIN_SCALED_SPEEDUP, the
+  translation cache must serve at least MIN_XLATE_HIT_RATIO of the
+  stream's pages, and 4 submitting CPUs over per-CPU rings must
+  sustain at least MIN_RING_SCALING_4CPU times the 1-CPU deposit
+  throughput.
 
 Pure stdlib so it runs anywhere CI does.
 
@@ -31,6 +38,14 @@ FIG7_CELLS = [("256x4KB", 1.30), ("64x16KB", 1.15)]
 MAX_MOD_TAX_RATIO = 0.5
 # Point x-coordinates written by bench_fig7_latency for stream series.
 X_GBPS, X_IRQS, X_WAKES = 1, 2, 3
+
+# Submission-path gates (bench_submission_scaling).  Measured: scaled
+# 1.23x full / 1.21x quick, hit ratio 0.984 full / 0.938 quick, rings
+# 4-CPU scaling 3.82x full / 3.40x quick — deterministic simulation,
+# so the margins hold exactly.
+MIN_SCALED_SPEEDUP = 1.20
+MIN_XLATE_HIT_RATIO = 0.90
+MIN_RING_SCALING_4CPU = 2.0
 
 
 def fail(msg):
@@ -74,6 +89,43 @@ def check_fig7_streams(where):
             return fail(f"moderated completion tax {tax_ratio:.2f}x "
                         f"> {MAX_MOD_TAX_RATIO}x pipelined on {cell}")
     print(f"check_bench_regression: fig7 OK ({len(FIG7_CELLS)} cells)")
+    return check_submission_scaling(where)
+
+
+def check_submission_scaling(where):
+    """The PR 4 submission-path levers must pay off."""
+    report, err = load_report(where, "BENCH_submission_scaling.json")
+    if err:
+        return fail(err)
+    series = report.get("series", {})
+
+    mod = dict(series.get("stream-256x4KB-moderated", []))
+    sca = dict(series.get("stream-256x4KB-scaled", []))
+    if 1 not in mod or 1 not in sca:
+        return fail("stream-256x4KB series missing from the artifact")
+    speedup = sca[1] / mod[1]
+    print(f"  256x4KB repeated-region: scaled {sca[1]:.2f} GB/s "
+          f"vs moderated {mod[1]:.2f} GB/s = {speedup:.2f}x")
+    if speedup < MIN_SCALED_SPEEDUP:
+        return fail(f"scaled speedup {speedup:.2f}x "
+                    f"< {MIN_SCALED_SPEEDUP}x on the 256x4KB stream")
+
+    hits = dict(series.get("xlate-hit-ratio", []))
+    if 1 not in hits:
+        return fail("xlate-hit-ratio series missing from the artifact")
+    print(f"  xlate hit ratio: {hits[1]:.3f}")
+    if hits[1] < MIN_XLATE_HIT_RATIO:
+        return fail(f"xlate hit ratio {hits[1]:.3f} "
+                    f"< {MIN_XLATE_HIT_RATIO}")
+
+    rings = dict(series.get("submit-scaling-rings", []))
+    if 1 not in rings or 4 not in rings:
+        return fail("submit-scaling-rings series missing from the artifact")
+    print(f"  per-CPU ring deposit scaling at 4 CPUs: {rings[4]:.2f}x")
+    if rings[4] < MIN_RING_SCALING_4CPU:
+        return fail(f"4-CPU ring submit scaling {rings[4]:.2f}x "
+                    f"< {MIN_RING_SCALING_4CPU}x")
+    print("check_bench_regression: submission scaling OK")
     return 0
 
 

@@ -50,6 +50,24 @@ BuddyAllocator::allocate(unsigned order)
     return head;
 }
 
+bool
+BuddyAllocator::allocate_bulk(unsigned order, std::uint64_t n,
+                              std::vector<std::uint64_t> &out)
+{
+    MEMIF_ASSERT(order <= kMaxOrder, "order %u too large", order);
+    if (!can_allocate(order, n)) return false;
+    const std::size_t base = out.size();
+    out.reserve(base + n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t head = allocate(order);
+        // can_allocate(order, n) is exact, so exhaustion here is a bug.
+        MEMIF_ASSERT(head != kInvalidFrame);
+        out.push_back(head);
+    }
+    (void)base;
+    return true;
+}
+
 void
 BuddyAllocator::free(std::uint64_t head, unsigned order)
 {
@@ -86,6 +104,22 @@ BuddyAllocator::can_allocate(unsigned order) const
     for (unsigned o = order; o <= kMaxOrder; ++o)
         if (!free_lists_[o].empty()) return true;
     return false;
+}
+
+bool
+BuddyAllocator::can_allocate(unsigned order, std::uint64_t n) const
+{
+    MEMIF_ASSERT(order <= kMaxOrder, "order %u too large", order);
+    // Every free block at order o >= order yields 2^(o-order) blocks of
+    // the requested order; splitting never wastes frames, so this count
+    // is exactly what allocate_bulk can hand out.
+    std::uint64_t blocks = 0;
+    for (unsigned o = order; o <= kMaxOrder; ++o) {
+        blocks += static_cast<std::uint64_t>(free_lists_[o].size())
+                  << (o - order);
+        if (blocks >= n) return true;
+    }
+    return blocks >= n;
 }
 
 }  // namespace memif::mem

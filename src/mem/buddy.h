@@ -30,6 +30,15 @@ class BuddyAllocator {
      */
     std::uint64_t allocate(unsigned order);
 
+    /**
+     * Allocate @p n naturally aligned 2^order-frame blocks in one call,
+     * appending the head frames to @p out. All-or-nothing: when fewer
+     * than @p n blocks can be carved out, no frame is allocated and the
+     * call returns false with @p out untouched.
+     */
+    bool allocate_bulk(unsigned order, std::uint64_t n,
+                       std::vector<std::uint64_t> &out);
+
     /** Free a block previously allocated with the same order. */
     void free(std::uint64_t head, unsigned order);
 
@@ -52,6 +61,18 @@ class BuddyAllocator {
 
     /** True if a block of @p order could be allocated right now. */
     bool can_allocate(unsigned order) const;
+
+    /**
+     * True if @p n blocks of @p order could all be allocated right now.
+     * Exact (counts whole blocks carvable at >= order, not just free
+     * frames), so a true answer guarantees allocate_bulk(order, n)
+     * succeeds with no intervening alloc/free.
+     */
+    bool can_allocate(unsigned order, std::uint64_t n) const;
+
+    /** Alias of outstanding_pages() under the Linux-ish name used by
+     *  leak-check tests. */
+    std::uint64_t allocated_frames() const { return outstanding_pages(); }
 
   private:
     std::uint64_t buddy_of(std::uint64_t head, unsigned order) const

@@ -53,6 +53,28 @@ PhysicalMemory::allocate(NodeId node_id, unsigned order)
     return head;
 }
 
+bool
+PhysicalMemory::allocate_bulk(NodeId node_id, unsigned order,
+                              std::uint64_t n, std::vector<Pfn> &out)
+{
+    MemoryNode &nd = node(node_id);
+    std::vector<std::uint64_t> locals;
+    if (!nd.buddy().allocate_bulk(order, n, locals)) return false;
+    out.reserve(out.size() + locals.size());
+    for (const std::uint64_t local : locals) {
+        const Pfn head = nd.base_pfn() + local;
+        for (std::uint64_t i = 0; i < (std::uint64_t{1} << order); ++i) {
+            PageFrame &f = nd.frame(head + i);
+            f.allocated = true;
+            f.is_block_head = (i == 0);
+            f.order = static_cast<std::uint8_t>(order);
+            f.rmaps.clear();
+        }
+        out.push_back(head);
+    }
+    return true;
+}
+
 void
 PhysicalMemory::free(Pfn head, unsigned order)
 {

@@ -183,6 +183,14 @@ class PhysicalMemory {
      */
     Pfn allocate(NodeId node, unsigned order);
 
+    /**
+     * Allocate @p n 2^order-frame blocks on @p node in one call,
+     * appending the head PFNs to @p out. All-or-nothing: on failure no
+     * frame is allocated and @p out is untouched.
+     */
+    bool allocate_bulk(NodeId node, unsigned order, std::uint64_t n,
+                       std::vector<Pfn> &out);
+
     /** Free a block previously returned by allocate(). */
     void free(Pfn head, unsigned order);
 

@@ -50,7 +50,10 @@ MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
       proc_(proc),
       config_(config),
       tc_(kernel.assign_transfer_controller()),
-      region_(config.capacity),
+      region_(config.capacity,
+              config.percpu_rings
+                  ? std::min(config.num_submit_cpus, kMaxSubmitRings)
+                  : 0),
       completion_ctl_(kernel.costs(), config.poll_threshold_bytes,
                       config.ewma_alpha),
       completion_event_(kernel.eq()),
@@ -64,6 +67,16 @@ MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
         proc_.as().set_young_fault_hook(
             [this](vm::Vma &vma, std::uint64_t idx) {
                 return handle_young_fault(vma, idx);
+            });
+    }
+    if (config_.xlate_cache) {
+        xlate_cache_ =
+            std::make_unique<XlateCache>(config_.xlate_cache_entries);
+        proc_.as().set_xlate_invalidate_hook(
+            [this](const vm::Vma *vma, std::uint64_t first,
+                   std::uint64_t n) {
+                stats_.xlate_invalidations +=
+                    xlate_cache_->invalidate(vma, first, n);
             });
     }
     kthread_task_ = kthread_loop();
@@ -89,6 +102,9 @@ MemifDevice::~MemifDevice()
     }
     if (config_.race_policy == RacePolicy::kRecover)
         proc_.as().set_young_fault_hook(nullptr);
+    if (config_.xlate_cache)
+        proc_.as().set_xlate_invalidate_hook(nullptr);
+    drain_magazines();
     // The kernel thread may be destroyed mid-suspension while holding
     // its moderation mask; rebalance so the engine (which the kernel
     // owns and which outlives us) is not left masked. Every held
@@ -102,9 +118,12 @@ MemifDevice::~MemifDevice()
 bool
 MemifDevice::idle() const
 {
+    auto &region = const_cast<SharedRegion &>(region_);
+    for (std::uint32_t r = 0; r < region.num_rings(); ++r)
+        if (!region.ring_queue(r).empty()) return false;
     return in_flight_.empty() && pending_release_.empty() &&
-           const_cast<SharedRegion &>(region_).staging_queue().empty() &&
-           const_cast<SharedRegion &>(region_).submission_queue().empty();
+           region.staging_queue().empty() &&
+           region.submission_queue().empty();
 }
 
 // --------------------------------------------------------------------
@@ -211,6 +230,148 @@ MemifDevice::issue_flush_plan(const FlushPlan &plan, sim::Duration &cost)
 }
 
 // --------------------------------------------------------------------
+// Submission-path acceleration: gang translation cache, per-node frame
+// magazines, per-CPU submission rings (all lever-gated, default off).
+// --------------------------------------------------------------------
+
+void
+MemifDevice::xlate_writethrough(const InFlightPtr &fl, ExecContext ctx)
+{
+    // The driver's own remap shootdown invalidated the region's entry
+    // while the request was in flight; with the final PTEs now live
+    // (and, under kDetect, never flushed again), re-record them so the
+    // next move over the region starts from a hit.
+    if (!xlate_cache_) return;
+    std::vector<vm::Pte> ptes;
+    ptes.reserve(fl->num_pages);
+    for (std::uint32_t i = 0; i < fl->num_pages; ++i)
+        ptes.push_back(fl->vma->pte(fl->first_page + i));
+    xlate_cache_->record(fl->vma, fl->first_page, std::move(ptes));
+    kernel_.cpu().charge(ctx, Op::kRelease, kernel_.costs().xlate_probe);
+}
+
+bool
+MemifDevice::magazine_alloc(mem::NodeId node, unsigned order,
+                            std::uint32_t n, std::vector<mem::Pfn> &out,
+                            sim::Duration &cost)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    std::vector<mem::Pfn> &mag = magazines_[{node, order}];
+    std::uint32_t got = 0;
+    while (got < n) {
+        if (!mag.empty()) {
+            out.push_back(mag.back());
+            mag.pop_back();
+            cost += cm.magazine_op;
+            ++stats_.magazine_pops;
+            ++got;
+            continue;
+        }
+        // Refill: one bulk buddy call for at least the refill floor,
+        // falling back to the exact remainder under memory pressure.
+        const std::uint32_t need = n - got;
+        std::uint32_t want = std::max(need, config_.magazine_refill);
+        std::vector<mem::Pfn> bulk;
+        const bool fault = kernel_.faults().should_fire(kFaultAllocFail);
+        if (fault || !kernel_.phys().allocate_bulk(node, order, want, bulk)) {
+            if (fault || want == need ||
+                !kernel_.phys().allocate_bulk(node, order, need, bulk)) {
+                // Exhausted: a failed bulk call still entered the
+                // allocator once; undo the pops so the caller sees
+                // all-or-nothing.
+                cost += cm.bulk_alloc_base;
+                while (got > 0) {
+                    mag.push_back(out.back());
+                    out.pop_back();
+                    cost += cm.magazine_op;
+                    --got;
+                }
+                return false;
+            }
+            want = need;
+        }
+        cost += cm.bulk_alloc_time(order, want);
+        ++stats_.bulk_allocs;
+        mag.insert(mag.end(), bulk.begin(), bulk.end());
+    }
+    return true;
+}
+
+void
+MemifDevice::magazine_free(mem::Pfn head, unsigned order,
+                           sim::Duration &cost)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    std::vector<mem::Pfn> &mag = magazines_[{kernel_.phys().node_of(head),
+                                             order}];
+    if (mag.size() < config_.magazine_capacity) {
+        MEMIF_ASSERT(kernel_.phys().frame(head).rmaps.empty(),
+                     "parking a still-mapped frame");
+        mag.push_back(head);
+        cost += cm.magazine_op;
+        return;
+    }
+    kernel_.phys().free(head, order);
+    cost += cm.page_free;
+    ++stats_.magazine_spills;
+}
+
+void
+MemifDevice::free_frames(mem::Pfn head, unsigned order, sim::Duration &cost)
+{
+    if (config_.bulk_alloc) {
+        magazine_free(head, order, cost);
+        return;
+    }
+    kernel_.phys().free(head, order);
+    cost += kernel_.costs().page_free;
+}
+
+void
+MemifDevice::drain_magazines()
+{
+    for (auto &[key, mag] : magazines_) {
+        for (const mem::Pfn head : mag)
+            kernel_.phys().free(head, key.second);
+        mag.clear();
+    }
+}
+
+void
+MemifDevice::add_in_flight(const InFlightPtr &fl)
+{
+    in_flight_.push_back(fl);
+    if (config_.percpu_rings && region_.num_rings() > 0)
+        flight_shards_[fl->submit_cpu % region_.num_rings()].push_back(fl);
+}
+
+void
+MemifDevice::remove_in_flight(const InFlightPtr &fl)
+{
+    std::erase(in_flight_, fl);
+    if (config_.percpu_rings && region_.num_rings() > 0)
+        std::erase(flight_shards_[fl->submit_cpu % region_.num_rings()],
+                   fl);
+}
+
+sim::Duration
+MemifDevice::shared_submit_penalty(std::uint32_t cpu)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    const sim::SimTime now = kernel_.eq().now();
+    sim::Duration penalty = 0;
+    if (have_shared_submit_ && last_shared_cpu_ != cpu &&
+        now - last_shared_submit_ <= cm.queue_contention_window) {
+        penalty = cm.queue_contention_retry;
+        ++stats_.shared_submit_retries;
+    }
+    have_shared_submit_ = true;
+    last_shared_submit_ = now;
+    last_shared_cpu_ = cpu;
+    return penalty;
+}
+
+// --------------------------------------------------------------------
 // Ops 1-3: Prep, Remap, DMA config + trigger.
 // --------------------------------------------------------------------
 
@@ -241,6 +402,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     auto fl = std::make_shared<InFlight>();
     fl->req_idx = idx;
     fl->op = req.op;
+    fl->submit_cpu = req.submit_cpu;
     fl->vma = src_vma;
     fl->num_pages = req.num_pages;
     fl->order = vm::page_order(src_vma->page_size());
@@ -258,37 +420,82 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         vm::VAddr base = 0;
         std::uint64_t pages = 0;
         vm::PageSize psize = vm::PageSize::k4K;
+        const vm::Vma *vma = nullptr;
     };
     LookupRegion lookups[2] = {
-        {req.src_base, req.num_pages, src_vma->page_size()}, {}};
+        {req.src_base, req.num_pages, src_vma->page_size(), src_vma}, {}};
     std::uint64_t lookup_regions = 1;
     if (req.op == MovOp::kReplicate) {
         const std::uint64_t dfirst = dst_vma->page_index(req.dst_base);
         const std::uint64_t dlast =
             dst_vma->page_index(req.dst_base + fl->total_bytes - 1);
         lookups[1] = {dst_vma->page_vaddr(dfirst), dlast - dfirst + 1,
-                      dst_vma->page_size()};
+                      dst_vma->page_size(), dst_vma};
         lookup_regions = 2;
     }
     sim::Duration lookup_cost = 0;
     vm::PageTable &table = proc_.as().page_table();
+    // Source translations snapshotted from a gang-cache hit; validated
+    // against the cache generation after the Prep charge below (any
+    // invalidation in between falls back to live PTE reads).
+    std::vector<vm::Pte> cached_src;
+    std::uint64_t cached_src_gen = 0;
     for (std::uint64_t r = 0; r < lookup_regions; ++r) {
+        const LookupRegion &lr = lookups[r];
+        std::uint64_t walk_pages = lr.pages;
+        if (xlate_cache_) {
+            // One hashed probe against the per-VMA generation, hit or
+            // miss (the cache's only cost on the submission path).
+            lookup_cost += cm.xlate_probe;
+            const std::uint64_t first = lr.vma->page_index(lr.base);
+            const XlateCache::Entry *e =
+                xlate_cache_->lookup(lr.vma, first, lr.pages);
+            if (e) {
+                stats_.xlate_hits += lr.pages;
+                if (r == 0) {
+                    const std::uint64_t off = first - e->first_page;
+                    cached_src.assign(
+                        e->ptes.begin() + static_cast<std::ptrdiff_t>(off),
+                        e->ptes.begin() +
+                            static_cast<std::ptrdiff_t>(off + lr.pages));
+                    cached_src_gen = xlate_cache_->generation();
+                }
+                continue;  // walk skipped entirely (§5.1 eliminated)
+            }
+            stats_.xlate_misses += lr.pages;
+            // Miss: gang-prefetch the next translations while the walk
+            // is down here anyway (clamped to the Vma).
+            const std::uint64_t room = lr.vma->num_pages() - first;
+            walk_pages = std::min<std::uint64_t>(
+                lr.pages + config_.xlate_prefetch, room);
+            stats_.xlate_prefetched += walk_pages - lr.pages;
+        }
         const vm::WalkCost wc =
             config_.gang_lookup
-                ? table
-                      .gang_lookup(lookups[r].base, lookups[r].pages,
-                                   lookups[r].psize)
-                      .cost
-                : vm::PageTable::per_page_cost(lookups[r].pages);
+                ? table.gang_lookup(lr.base, walk_pages, lr.psize).cost
+                : vm::PageTable::per_page_cost(walk_pages);
         lookup_cost += wc.full_descents * cm.page_walk_full +
                        wc.adjacent_steps * cm.page_walk_adjacent;
+        if (xlate_cache_) {
+            const std::uint64_t first = lr.vma->page_index(lr.base);
+            std::vector<vm::Pte> ptes;
+            ptes.reserve(walk_pages);
+            for (std::uint64_t i = 0; i < walk_pages; ++i)
+                ptes.push_back(lr.vma->pte(first + i));
+            xlate_cache_->record(lr.vma, first, std::move(ptes));
+        }
     }
     co_await cpu.busy(ctx, Op::kPrep, lookup_cost);
     tr.record(kernel_.eq().now(), TracePoint::kPrepDone, ctx, idx);
 
+    const bool use_cached_src =
+        !cached_src.empty() && xlate_cache_ &&
+        xlate_cache_->generation() == cached_src_gen;
     fl->old_pfns.reserve(req.num_pages);
     for (std::uint32_t i = 0; i < req.num_pages; ++i) {
-        const vm::Pte pte = src_vma->pte(fl->first_page + i);
+        const vm::Pte pte = use_cached_src
+                                ? cached_src[i]
+                                : src_vma->pte(fl->first_page + i);
         if (!pte.present) {
             co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
             notify(idx, MovStatus::kFailed, MovError::kBadAddress);
@@ -314,17 +521,26 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         sim::Duration remap_cost = 0;
         fl->new_pfns.reserve(req.num_pages);
         bool exhausted = false;
-        for (std::uint32_t i = 0; i < req.num_pages; ++i) {
-            remap_cost += cm.page_alloc_time(fl->order);
-            const mem::Pfn new_pfn =
-                kernel_.faults().should_fire(kFaultAllocFail)
-                    ? mem::kInvalidPfn
-                    : pm.allocate(req.dst_node, fl->order);
-            if (new_pfn == mem::kInvalidPfn) {
-                exhausted = true;
-                break;
+        if (config_.bulk_alloc) {
+            // One magazine pass for the whole gang: pops at list-op
+            // cost, one allocate_bulk call per refill. All-or-nothing,
+            // so the exhausted path has nothing to undo.
+            exhausted = !magazine_alloc(req.dst_node, fl->order,
+                                        req.num_pages, fl->new_pfns,
+                                        remap_cost);
+        } else {
+            for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+                remap_cost += cm.page_alloc_time(fl->order);
+                const mem::Pfn new_pfn =
+                    kernel_.faults().should_fire(kFaultAllocFail)
+                        ? mem::kInvalidPfn
+                        : pm.allocate(req.dst_node, fl->order);
+                if (new_pfn == mem::kInvalidPfn) {
+                    exhausted = true;
+                    break;
+                }
+                fl->new_pfns.push_back(new_pfn);
             }
-            fl->new_pfns.push_back(new_pfn);
         }
         if (exhausted) {
             for (const mem::Pfn pfn : fl->new_pfns) pm.free(pfn, fl->order);
@@ -373,7 +589,11 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                 remap_cost += cm.rmap_per_page * (frame.mapcount() - 1);
         }
         if (busy) {
-            for (const mem::Pfn pfn : fl->new_pfns) pm.free(pfn, fl->order);
+            // Frees are uncharged here, as on the non-bulk path (the
+            // reject happens before the Remap charge).
+            sim::Duration scratch = 0;
+            for (const mem::Pfn pfn : fl->new_pfns)
+                free_frames(pfn, fl->order, scratch);
             co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
             notify(idx, MovStatus::kFailed, MovError::kBusy);
             co_return;
@@ -421,7 +641,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         // request so the recover-mode fault hook can see it even before
         // the DMA is triggered.
         req.store_status(MovStatus::kInFlight);
-        in_flight_.push_back(fl);
+        add_in_flight(fl);
     } else {
         // Replication: both regions already mapped; no VM management
         // and no race concern (§3). Chunks are emitted at the finer of
@@ -449,7 +669,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         }
         ++stats_.replications;
         req.store_status(MovStatus::kInFlight);
-        in_flight_.push_back(fl);
+        add_in_flight(fl);
     }
 
     // ---- 3. DMA config + trigger -------------------------------------
@@ -719,6 +939,14 @@ MemifDevice::reap_moderated()
         co_await kernel_.cpu().busy(ExecContext::kKthread, Op::kRelease,
                                     flush_cost);
     }
+    // The shared shootdown above invalidated the just-released regions'
+    // entries; re-record them now that the flushes are done.
+    if (config_.race_policy == RacePolicy::kPrevent &&
+        config_.batched_tlb_shootdown) {
+        for (const InFlightPtr &fl : batch)
+            if (fl->op == MovOp::kMigrate && !fl->aborted)
+                xlate_writethrough(fl, ExecContext::kKthread);
+    }
 }
 
 sim::Task
@@ -854,14 +1082,13 @@ MemifDevice::fail_unrecoverable(const InFlightPtr &fl, ExecContext ctx,
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaFailed,
                             ctx, fl->req_idx);
     notify(fl->req_idx, MovStatus::kFailed, reason);
-    std::erase(in_flight_, fl);
+    remove_in_flight(fl);
 }
 
 void
 MemifDevice::rollback_remap(const InFlightPtr &fl, ExecContext ctx)
 {
     const sim::CostModel &cm = kernel_.costs();
-    mem::PhysicalMemory &pm = kernel_.phys();
     sim::Duration cost = 0;
     for (std::uint32_t i = 0; i < fl->num_pages; ++i) {
         for (const Mapping &m : fl->mappings[i]) {
@@ -871,8 +1098,9 @@ MemifDevice::rollback_remap(const InFlightPtr &fl, ExecContext ctx)
                                  m.vma->page_size());
             cost += cm.pte_update + cm.tlb_flush_page;
         }
-        pm.free(fl->new_pfns[i], fl->order);
-        cost += cm.page_free;
+        // Batch-return the never-used new frames (magazine when the
+        // bulk-alloc lever is on, buddy otherwise).
+        free_frames(fl->new_pfns[i], fl->order, cost);
     }
     kernel_.cpu().charge(ctx, Op::kRelease, cost);
     // Under race prevention accessors may be blocked on the migration
@@ -968,9 +1196,9 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
                     .remove_rmap(cr.backing, cr.file_page,
                                  mem::RmapKind::kPageCache);
             }
-            // Old page (now unmapped everywhere) back to the buddy.
-            pm.free(fl->old_pfns[i], fl->order);
-            release_cost += cm.page_free;
+            // Old page (now unmapped everywhere) back to the buddy —
+            // or parked in its magazine under the bulk-alloc lever.
+            free_frames(fl->old_pfns[i], fl->order, release_cost);
         }
         co_await cpu.busy(ctx, Op::kRelease, release_cost);
         if (config_.race_policy == RacePolicy::kPrevent)
@@ -979,6 +1207,14 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
             kernel_.tracer().record(kernel_.eq().now(),
                                     TracePoint::kRaceDetected, ctx,
                                     fl->req_idx);
+        // Write-through: re-record the final translations (skipped when
+        // raced, or when a shared flush plan will invalidate them again
+        // after this return — those callers re-record themselves).
+        const bool flush_deferred = shared_plan != nullptr &&
+                                    config_.batched_tlb_shootdown &&
+                                    config_.race_policy ==
+                                        RacePolicy::kPrevent;
+        if (!raced && !flush_deferred) xlate_writethrough(fl, ctx);
     }
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kReleaseDone,
                             ctx, fl->req_idx);
@@ -994,7 +1230,7 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
     else
         notify(fl->req_idx, MovStatus::kDone, MovError::kNone);
 
-    std::erase(in_flight_, fl);
+    remove_in_flight(fl);
 }
 
 // --------------------------------------------------------------------
@@ -1094,6 +1330,14 @@ MemifDevice::kthread_loop()
                     co_await cpu.busy(ExecContext::kKthread, Op::kRelease,
                                       flush_cost);
                 }
+                // The shared shootdown invalidated the batch's cache
+                // entries; re-record now that the flushes are issued.
+                if (config_.race_policy == RacePolicy::kPrevent &&
+                    config_.batched_tlb_shootdown) {
+                    for (const InFlightPtr &fl : batch)
+                        if (fl->op == MovOp::kMigrate && !fl->aborted)
+                            xlate_writethrough(fl, ExecContext::kKthread);
+                }
                 if (batch.size() > 1) {
                     ++stats_.completion_drains;
                     stats_.drained_requests += batch.size() - 1;
@@ -1111,6 +1355,16 @@ MemifDevice::kthread_loop()
         // kernel owns them).
         lockfree::DequeueResult d = region_.submission_queue().dequeue();
         if (!d.ok) d = region_.staging_queue().dequeue();
+        if (!d.ok && region_.num_rings() > 0) {
+            // Per-CPU rings: round-robin scan so no submitting CPU can
+            // starve the others.
+            const std::uint32_t nr = region_.num_rings();
+            for (std::uint32_t i = 0; i < nr && !d.ok; ++i) {
+                const std::uint32_t r = (ring_rr_ + i) % nr;
+                d = region_.ring_queue(r).dequeue();
+                if (d.ok) ring_rr_ = (r + 1) % nr;
+            }
+        }
         cpu.charge(ExecContext::kKthread, Op::kQueue, cm.queue_op);
 
         if (d.ok) {
@@ -1134,10 +1388,12 @@ MemifDevice::kthread_loop()
             // pipeline-stall concern cannot arise.
             CompletionMode mode;
             if (config_.adaptive_polling && bytes > 0) {
-                const std::size_t backlog =
+                std::size_t backlog =
                     in_flight_.size() +
                     region_.submission_queue().size_unsafe() +
                     region_.staging_queue().size_unsafe();
+                for (std::uint32_t r = 0; r < region_.num_rings(); ++r)
+                    backlog += region_.ring_queue(r).size_unsafe();
                 mode = completion_ctl_.choose(bytes, backlog);
                 if (mode == CompletionMode::kModerated &&
                     !config_.irq_moderation)
@@ -1264,6 +1520,16 @@ MemifDevice::kthread_loop()
                 lockfree::Color::kBlue);
             cpu.charge(ExecContext::kKthread, Op::kQueue, cm.queue_op);
             if (old == lockfree::kColorBusy) continue;  // raced: retry
+            // Hand per-ring flush responsibility back too. A busy
+            // result means a depositor slipped a request in — rescan.
+            bool ring_raced = false;
+            for (std::uint32_t r = 0; r < region_.num_rings(); ++r) {
+                const int ro = region_.ring_queue(r).set_color(
+                    lockfree::Color::kBlue);
+                cpu.charge(ExecContext::kKthread, Op::kQueue, cm.queue_op);
+                if (ro == lockfree::kColorBusy) ring_raced = true;
+            }
+            if (ring_raced) continue;
         }
         k.tracer().record(k.eq().now(), TracePoint::kKthreadSleep,
                           ExecContext::kKthread);
@@ -1300,7 +1566,15 @@ MemifDevice::ioctl_mov_one()
     co_await kernel_.syscall_crossing();
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kKickIoctl,
                             ExecContext::kSyscall);
-    const lockfree::DequeueResult d = region_.submission_queue().dequeue();
+    lockfree::DequeueResult d = region_.submission_queue().dequeue();
+    if (!d.ok && region_.num_rings() > 0) {
+        const std::uint32_t nr = region_.num_rings();
+        for (std::uint32_t i = 0; i < nr && !d.ok; ++i) {
+            const std::uint32_t r = (ring_rr_ + i) % nr;
+            d = region_.ring_queue(r).dequeue();
+            if (d.ok) ring_rr_ = (r + 1) % nr;
+        }
+    }
     kernel_.cpu().charge(ExecContext::kSyscall, Op::kQueue,
                          kernel_.costs().queue_op);
     if (!d.ok) {
@@ -1370,7 +1644,7 @@ MemifDevice::abort_migration(const InFlightPtr &fl)
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kAborted,
                             ExecContext::kSyscall, fl->req_idx);
     notify(fl->req_idx, MovStatus::kAborted, MovError::kAborted);
-    std::erase(in_flight_, fl);
+    remove_in_flight(fl);
 }
 
 }  // namespace memif::core

@@ -44,13 +44,16 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "dma/driver.h"
 #include "memif/completion_ctl.h"
 #include "memif/mov_req.h"
 #include "memif/shared_region.h"
+#include "memif/xlate_cache.h"
 #include "os/kernel.h"
 #include "os/process.h"
 #include "sim/sync.h"
@@ -152,6 +155,39 @@ struct MemifConfig {
     double ewma_alpha = 0.25;
     ///@}
 
+    /**
+     * @name Submission-path levers (this PR; off by default so the
+     * paper-reproduction figures keep their exact shapes; scaled()
+     * turns them on atop moderated() for the "memif-scaled" series).
+     */
+    ///@{
+    /** Gang translation cache: cache (vma, range) -> walk results in
+     *  the driver, invalidated through the AddressSpace hook, so
+     *  repeated moves over hot regions skip the radix walk. */
+    bool xlate_cache = false;
+    /** On a miss, walk (and cache) this many extra pages beyond the
+     *  requested run — the gang-prefetch of the next translations. */
+    std::uint32_t xlate_prefetch = 8;
+    /** Cache capacity in (vma, range) entries. */
+    std::uint32_t xlate_cache_entries = 64;
+    /** Bulk frame allocation: fill a per-(node, order) free-frame
+     *  magazine (Linux pcp-list analogue) with one Buddy::allocate_bulk
+     *  call per refill instead of one allocator round trip per page;
+     *  released/rolled-back frames return to the magazine in batch. */
+    bool bulk_alloc = false;
+    /** Blocks fetched per magazine refill (floor; a gang needing more
+     *  gets exactly what it needs). */
+    std::uint32_t magazine_refill = 32;
+    /** Frames parked per magazine before frees spill to the buddy. */
+    std::uint32_t magazine_capacity = 128;
+    /** Per-CPU submission rings: one red-blue deposit ring per
+     *  simulated CPU plus a sharded flight table, so concurrent
+     *  clients never contend on submit. */
+    bool percpu_rings = false;
+    /** Rings to format (capped at kMaxSubmitRings). */
+    std::uint32_t num_submit_cpus = 4;
+    ///@}
+
     /** All three pipeline levers on (the "memif-pipelined" series). */
     static MemifConfig
     pipelined()
@@ -172,6 +208,18 @@ struct MemifConfig {
         c.irq_moderation = true;
         c.completion_drain = true;
         c.adaptive_polling = true;
+        return c;
+    }
+
+    /** moderated() plus the submission-path levers (the "memif-scaled"
+     *  series). */
+    static MemifConfig
+    scaled()
+    {
+        MemifConfig c = moderated();
+        c.xlate_cache = true;
+        c.bulk_alloc = true;
+        c.percpu_rings = true;
         return c;
     }
 };
@@ -219,6 +267,18 @@ struct DeviceStats {
     /** Transfers triggered per transfer controller. */
     std::array<std::uint64_t, dma::Edma3Engine::kNumTcs> tc_dispatches{};
     std::uint64_t ranged_tlb_flushes = 0;  ///< batched-shootdown flushes
+    // ----- Submission path (gang xlate cache / magazine / rings) ------
+    std::uint64_t xlate_hits = 0;    ///< pages translated from the cache
+    std::uint64_t xlate_misses = 0;  ///< pages that paid the radix walk
+    std::uint64_t xlate_invalidations = 0;  ///< entries dropped by the hook
+    std::uint64_t xlate_prefetched = 0;     ///< extra pages walked ahead
+    std::uint64_t bulk_allocs = 0;     ///< magazine refills (bulk calls)
+    std::uint64_t magazine_pops = 0;   ///< frames handed out of a magazine
+    std::uint64_t magazine_spills = 0; ///< frees past capacity, to buddy
+    /** Requests deposited per submission ring. */
+    std::array<std::uint64_t, kMaxSubmitRings> ring_submits{};
+    /** Shared-queue submit CAS retries charged (contention model). */
+    std::uint64_t shared_submit_retries = 0;
 };
 
 class MemifDevice {
@@ -296,6 +356,8 @@ class MemifDevice {
         std::vector<CacheRef> cache_refs;
         dma::TransferId tid = dma::kInvalidTransfer;
         bool aborted = false;            ///< recover-mode rollback done
+        /** Depositing CPU (per-CPU rings: the flight-table shard). */
+        std::uint32_t submit_cpu = 0;
         /** Scatter-gather list, kept for retries and the CPU fallback. */
         std::vector<dma::SgEntry> sg;
         bool irq_mode = false;           ///< completion via interrupt
@@ -394,6 +456,35 @@ class MemifDevice {
      *  and fail_unrecoverable). */
     void rollback_remap(const InFlightPtr &fl, sim::ExecContext ctx);
 
+    // ----- Submission-path acceleration -------------------------------
+    /** Re-record a released migration's final translations so the next
+     *  move over the region hits the cache (write-through: the driver's
+     *  own remap shootdown invalidated the entry mid-request). */
+    void xlate_writethrough(const InFlightPtr &fl, sim::ExecContext ctx);
+    /**
+     * Hand out @p n 2^order frames on @p node from the magazine,
+     * refilling it with one allocate_bulk call when short. Adds the
+     * modeled time to @p cost. All-or-nothing: false = node exhausted
+     * (popped frames are returned to the magazine, @p out untouched).
+     */
+    bool magazine_alloc(mem::NodeId node, unsigned order, std::uint32_t n,
+                        std::vector<mem::Pfn> &out, sim::Duration &cost);
+    /** Park a freed frame in its magazine (list-op cost) or spill it to
+     *  the buddy (page_free cost) when the magazine is full. */
+    void magazine_free(mem::Pfn head, unsigned order, sim::Duration &cost);
+    /** Return every parked frame to the buddy (teardown). */
+    void drain_magazines();
+    /** Free one block on the lever-appropriate path. */
+    void free_frames(mem::Pfn head, unsigned order, sim::Duration &cost);
+    /** Register / retire an in-flight record (mirrors into the
+     *  per-submit-CPU flight shard when rings are on). */
+    void add_in_flight(const InFlightPtr &fl);
+    void remove_in_flight(const InFlightPtr &fl);
+    /** Contention model for the single shared deposit queue: a second
+     *  CPU depositing within queue_contention_window of another pays a
+     *  CAS retry. Per-CPU rings never call this. */
+    sim::Duration shared_submit_penalty(std::uint32_t cpu);
+
     os::Kernel &kernel_;
     os::Process &proc_;
     MemifConfig config_;
@@ -408,8 +499,22 @@ class MemifDevice {
     bool kthread_masked_ = false;
     sim::Task kthread_task_;
     std::vector<InFlightPtr> in_flight_;
+    /** Per-submit-CPU flight shards (percpu_rings only): the sharded
+     *  flight table concurrent submitters touch without contending. */
+    std::array<std::vector<InFlightPtr>, kMaxSubmitRings> flight_shards_;
     /** kPrevent: releases deferred from the interrupt handler. */
     std::vector<InFlightPtr> pending_release_;
+    /** Gang translation cache (xlate_cache lever; null when off). */
+    std::unique_ptr<XlateCache> xlate_cache_;
+    /** Per-(node, order) free-frame magazines (bulk_alloc lever). */
+    std::map<std::pair<mem::NodeId, unsigned>, std::vector<mem::Pfn>>
+        magazines_;
+    /** Round-robin cursor over the submission rings. */
+    std::uint32_t ring_rr_ = 0;
+    /** Shared-queue contention window state. */
+    sim::SimTime last_shared_submit_ = 0;
+    std::uint32_t last_shared_cpu_ = 0;
+    bool have_shared_submit_ = false;
     bool stopping_ = false;
     DeviceStats stats_;
 };

@@ -72,6 +72,9 @@ struct MovReq {
     MovError error = MovError::kNone;
     /** Opaque application cookie, returned untouched. */
     std::uint64_t user_tag = 0;
+    /** Simulated CPU the request was deposited from (per-CPU rings:
+     *  selects the ring and the flight-table shard). */
+    std::uint32_t submit_cpu = 0;
 
     /** Diagnostics (virtual time): set by the library/driver. */
     std::uint64_t submit_time = 0;

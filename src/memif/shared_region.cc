@@ -13,11 +13,14 @@ constexpr std::uint32_t kQueueCount = 5;
 constexpr std::uint32_t kCellSlack = 16;
 }  // namespace
 
-SharedRegion::SharedRegion(std::uint32_t capacity)
+SharedRegion::SharedRegion(std::uint32_t capacity, std::uint32_t num_rings)
 {
     MEMIF_ASSERT(capacity > 0 && capacity < lockfree::kNil,
                  "bad region capacity");
-    const std::uint32_t ncells = capacity + kQueueCount + kCellSlack;
+    if (num_rings > kMaxSubmitRings) num_rings = kMaxSubmitRings;
+    // Each formatted ring needs its own queue dummy cell.
+    const std::uint32_t ncells =
+        capacity + kQueueCount + num_rings + kCellSlack;
 
     const std::size_t header_bytes =
         (sizeof(RegionHeader) + alignof(lockfree::Cell) - 1) &
@@ -32,6 +35,7 @@ SharedRegion::SharedRegion(std::uint32_t capacity)
     header_ = new (storage_.get()) RegionHeader{};
     header_->capacity = capacity;
     header_->ncells = ncells;
+    header_->num_rings = num_rings;
     cells_ = reinterpret_cast<lockfree::Cell *>(storage_.get() +
                                                 header_bytes);
     for (std::uint32_t i = 0; i < ncells; ++i) new (&cells_[i]) lockfree::Cell{};
@@ -52,6 +56,12 @@ SharedRegion::SharedRegion(std::uint32_t capacity)
                                        lockfree::Color::kRed);
     lockfree::RedBlueQueue::initialize(&header_->completion_err_q, p,
                                        lockfree::Color::kRed);
+    // Rings start blue like staging: a blue ring tells the depositor
+    // the kernel thread is asleep and a kick is needed (§4.4 protocol,
+    // applied per ring).
+    for (std::uint32_t i = 0; i < num_rings; ++i)
+        lockfree::RedBlueQueue::initialize(&header_->ring_q[i], p,
+                                           lockfree::Color::kBlue);
     lockfree::RedBlueQueue freeq = free_queue();
     for (std::uint32_t i = 0; i < capacity; ++i) freeq.enqueue(i);
 }
@@ -113,6 +123,13 @@ lockfree::RedBlueQueue
 SharedRegion::completion_err_queue()
 {
     return lockfree::RedBlueQueue(&header_->completion_err_q, pool());
+}
+
+lockfree::RedBlueQueue
+SharedRegion::ring_queue(std::uint32_t i)
+{
+    MEMIF_ASSERT(i < header_->num_rings, "ring index out of range");
+    return lockfree::RedBlueQueue(&header_->ring_q[i], pool());
 }
 
 }  // namespace memif::core

@@ -16,6 +16,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -26,16 +27,22 @@
 
 namespace memif::core {
 
+/** Upper bound on per-CPU submission rings a region can carry. */
+inline constexpr std::uint32_t kMaxSubmitRings = 8;
+
 /** Queue metadata at the head of the region. */
 struct RegionHeader {
-    std::uint32_t capacity = 0;  ///< MovReq slots
-    std::uint32_t ncells = 0;    ///< lock-free cells
+    std::uint32_t capacity = 0;   ///< MovReq slots
+    std::uint32_t ncells = 0;     ///< lock-free cells
+    std::uint32_t num_rings = 0;  ///< per-CPU submission rings (0 = off)
     lockfree::StackHeader cell_pool;
     lockfree::QueueHeader free_q;
     lockfree::QueueHeader staging_q;     ///< red-blue
     lockfree::QueueHeader submission_q;
     lockfree::QueueHeader completion_ok_q;
     lockfree::QueueHeader completion_err_q;
+    /** Per-CPU submission rings (red-blue, first num_rings used). */
+    std::array<lockfree::QueueHeader, kMaxSubmitRings> ring_q;
 };
 
 /**
@@ -50,11 +57,17 @@ class SharedRegion {
     /** Default request capacity per instance. */
     static constexpr std::uint32_t kDefaultCapacity = 256;
 
-    explicit SharedRegion(std::uint32_t capacity = kDefaultCapacity);
+    /**
+     * @param num_rings per-CPU submission rings to format (0 = classic
+     *        single shared deposit path; capped at kMaxSubmitRings).
+     */
+    explicit SharedRegion(std::uint32_t capacity = kDefaultCapacity,
+                          std::uint32_t num_rings = 0);
     SharedRegion(const SharedRegion &) = delete;
     SharedRegion &operator=(const SharedRegion &) = delete;
 
     std::uint32_t capacity() const { return header_->capacity; }
+    std::uint32_t num_rings() const { return header_->num_rings; }
 
     /** True if @p idx names a MovReq slot. */
     bool valid_index(std::uint32_t idx) const { return idx < capacity(); }
@@ -71,6 +84,8 @@ class SharedRegion {
     lockfree::RedBlueQueue submission_queue();
     lockfree::RedBlueQueue completion_ok_queue();
     lockfree::RedBlueQueue completion_err_queue();
+    /** Per-CPU submission ring @p i (i < num_rings()). */
+    lockfree::RedBlueQueue ring_queue(std::uint32_t i);
 
     /** Total region footprint in bytes (what the driver would pin). */
     std::size_t bytes() const { return bytes_; }

@@ -45,9 +45,50 @@ MemifUser::submit(std::uint32_t idx, bool *kicked)
 
     MovReq &req = region_.request(idx);
     req.submit_time = dev_.kernel().eq().now();
+    req.submit_cpu = cpu_id_;
     req.store_status(MovStatus::kSubmitted);
     dev_.kernel().tracer().record(req.submit_time, sim::TracePoint::kSubmit,
                                   sim::ExecContext::kUser, idx);
+
+    if (region_.num_rings() > 0) {
+        // Per-CPU rings: deposit in OUR ring — no other CPU touches it,
+        // so no contention retry can occur. The §4.4 color protocol is
+        // applied per ring: blue means the kernel thread is asleep and
+        // this depositor must flush, recolor red, and kick (once per
+        // idle period per ring).
+        const std::uint32_t r = my_ring();
+        lockfree::RedBlueQueue ring = region_.ring_queue(r);
+        lockfree::RedBlueQueue submission = region_.submission_queue();
+        const Color color = ring.enqueue(idx);
+        charge_queue_op();
+        ++dev_.stats_.ring_submits[r];
+        if (color != Color::kBlue) co_return;  // kernel awake
+        for (;;) {
+            for (;;) {
+                const DequeueResult d = ring.dequeue();
+                charge_queue_op();
+                if (!d.ok) break;
+                submission.enqueue(d.value);
+                charge_queue_op();
+                ++stats_.flush_moves;
+            }
+            const int old = ring.set_color(Color::kRed);
+            charge_queue_op();
+            if (old == lockfree::kColorBusy) continue;
+            if (old == static_cast<int>(Color::kRed))
+                co_return;  // raced: someone else kicked
+            break;  // we won the blue->red flip
+        }
+        ++stats_.kicks;
+        if (kicked) *kicked = true;
+        co_await dev_.ioctl_mov_one();
+        co_return;
+    }
+
+    // Classic single shared deposit path: concurrent submitters from
+    // different CPUs contend on the staging queue's tail CAS.
+    dev_.kernel().cpu().charge(sim::ExecContext::kUser, sim::Op::kQueue,
+                               dev_.shared_submit_penalty(cpu_id_));
 
     lockfree::RedBlueQueue staging = region_.staging_queue();
     lockfree::RedBlueQueue submission = region_.submission_queue();
@@ -91,8 +132,15 @@ MemifUser::submit_many(const std::vector<std::uint32_t> &idxs, bool *kicked)
     stats_.submits += idxs.size();
     ++stats_.batch_submits;
 
-    lockfree::RedBlueQueue staging = region_.staging_queue();
+    const bool rings = region_.num_rings() > 0;
+    const std::uint32_t r = rings ? my_ring() : 0;
+    lockfree::RedBlueQueue deposit =
+        rings ? region_.ring_queue(r) : region_.staging_queue();
     lockfree::RedBlueQueue submission = region_.submission_queue();
+
+    if (!rings)
+        dev_.kernel().cpu().charge(sim::ExecContext::kUser, sim::Op::kQueue,
+                                   dev_.shared_submit_penalty(cpu_id_));
 
     // Deposit the whole batch first; any blue observation means flush
     // responsibility landed on us (at most once for the batch).
@@ -100,26 +148,28 @@ MemifUser::submit_many(const std::vector<std::uint32_t> &idxs, bool *kicked)
     for (const std::uint32_t idx : idxs) {
         MovReq &req = region_.request(idx);
         req.submit_time = dev_.kernel().eq().now();
+        req.submit_cpu = cpu_id_;
         req.store_status(MovStatus::kSubmitted);
         dev_.kernel().tracer().record(req.submit_time,
                                       sim::TracePoint::kSubmit,
                                       sim::ExecContext::kUser, idx);
-        const Color color = staging.enqueue(idx);
+        const Color color = deposit.enqueue(idx);
         charge_queue_op();
+        if (rings) ++dev_.stats_.ring_submits[r];
         if (color == Color::kBlue) saw_blue = true;
     }
     if (!saw_blue) co_return;  // kernel will flush (red)
 
     for (;;) {
         for (;;) {
-            const DequeueResult d = staging.dequeue();
+            const DequeueResult d = deposit.dequeue();
             charge_queue_op();
             if (!d.ok) break;
             submission.enqueue(d.value);
             charge_queue_op();
             ++stats_.flush_moves;
         }
-        const int old = staging.set_color(Color::kRed);
+        const int old = deposit.set_color(Color::kRed);
         charge_queue_op();
         if (old == lockfree::kColorBusy) continue;
         if (old == static_cast<int>(Color::kRed)) co_return;  // raced

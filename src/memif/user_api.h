@@ -54,12 +54,19 @@ struct UserStats {
  */
 class MemifUser {
   public:
-    explicit MemifUser(MemifDevice &device)
-        : dev_(device), region_(device.region())
+    /**
+     * @param cpu_id simulated CPU this handle submits from. With
+     *        per-CPU rings enabled it selects the submission ring (and
+     *        the device's flight-table shard); with the classic shared
+     *        path it feeds the contention model.
+     */
+    explicit MemifUser(MemifDevice &device, std::uint32_t cpu_id = 0)
+        : dev_(device), region_(device.region()), cpu_id_(cpu_id)
     {
     }
 
     MemifDevice &device() { return dev_; }
+    std::uint32_t cpu_id() const { return cpu_id_; }
 
     /**
      * AllocRequest(): take a blank mov_req off the free list.
@@ -112,8 +119,12 @@ class MemifUser {
     /** Charge one user-side lock-free queue operation. */
     void charge_queue_op(std::uint64_t n = 1);
 
+    /** Ring this handle deposits into (rings enabled only). */
+    std::uint32_t my_ring() const { return cpu_id_ % region_.num_rings(); }
+
     MemifDevice &dev_;
     SharedRegion &region_;
+    std::uint32_t cpu_id_ = 0;
     UserStats stats_;
 };
 

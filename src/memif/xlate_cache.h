@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Gang translation cache: the driver-side cache of recent gang-lookup
+ * results that lets repeated moves over hot regions skip the radix
+ * page-table walk entirely (the TLB-prefetching / MMU-aware-DMA idea
+ * applied to the memif submission path).
+ *
+ * Entries are keyed by (Vma, first page index) and cover a contiguous
+ * page run. Invalidation is precise and eager: the AddressSpace
+ * translation-invalidation hook (TLB shootdowns, CPU-side PTE CASes,
+ * munmap / address-space teardown) drops every overlapping entry, so a
+ * hit can never return a translation the page tables have moved away
+ * from. Each entry carries the generation (a monotonic event counter)
+ * at which it was recorded, which diagnostics and tests use to tell a
+ * re-recorded entry from a surviving one.
+ *
+ * Purely functional: probe/maintenance *time* is charged by the driver
+ * from CostModel::xlate_probe.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/pte.h"
+#include "vm/vma.h"
+
+namespace memif {
+
+class XlateCache {
+  public:
+    struct Entry {
+        const vm::Vma *vma = nullptr;
+        std::uint64_t first_page = 0;
+        /** Cached translations for pages [first_page, first_page+size). */
+        std::vector<vm::Pte> ptes;
+        /** Invalidation-event generation at record time. */
+        std::uint64_t generation = 0;
+        /** LRU stamp (bumped on hit). */
+        std::uint64_t tick = 0;
+
+        std::uint64_t num_pages() const { return ptes.size(); }
+
+        bool
+        covers(const vm::Vma *v, std::uint64_t first, std::uint64_t n) const
+        {
+            return vma == v && first >= first_page &&
+                   first + n <= first_page + num_pages();
+        }
+    };
+
+    explicit XlateCache(std::size_t max_entries)
+        : max_entries_(max_entries ? max_entries : 1)
+    {
+    }
+
+    /**
+     * Entry covering pages [first, first+n) of @p vma, or nullptr.
+     * A hit refreshes the entry's LRU position.
+     */
+    const Entry *lookup(const vm::Vma *vma, std::uint64_t first,
+                        std::uint64_t n);
+
+    /**
+     * Record a freshly walked run starting at page @p first. Replaces
+     * any entry with the same key; evicts the least recently used
+     * entry when the cache is full.
+     */
+    void record(const vm::Vma *vma, std::uint64_t first,
+                std::vector<vm::Pte> ptes);
+
+    /**
+     * Drop every entry overlapping pages [first, first+n) of @p vma
+     * and bump the generation. @return the number of entries dropped.
+     */
+    std::uint64_t invalidate(const vm::Vma *vma, std::uint64_t first,
+                             std::uint64_t n);
+
+    std::size_t size() const { return entries_.size(); }
+    std::uint64_t generation() const { return generation_; }
+
+  private:
+    std::size_t max_entries_;
+    std::uint64_t generation_ = 0;
+    std::uint64_t tick_ = 0;
+    std::vector<Entry> entries_;
+};
+
+}  // namespace memif

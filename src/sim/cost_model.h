@@ -78,6 +78,21 @@ struct CostModel {
     Duration page_alloc_per_frame = nanoseconds(25);
     /** Freeing one page (any order). */
     Duration page_free = nanoseconds(1000);
+    /**
+     * @name Bulk allocation & the per-node frame magazine.
+     * One bulk buddy call amortizes the allocator entry/locking over
+     * many blocks (base + per-block), and the driver-side magazine
+     * (Linux pcp-list analogue) hands frames out/back at list-op cost
+     * instead of a full allocator round trip per frame.
+     */
+    ///@{
+    /** Entry/locking cost of one allocate_bulk call (paid per refill). */
+    Duration bulk_alloc_base = nanoseconds(1800);
+    /** Per-block increment of a bulk allocation (list splice, split). */
+    Duration bulk_alloc_per_block = nanoseconds(60);
+    /** Popping or pushing one frame on a per-node magazine. */
+    Duration magazine_op = nanoseconds(150);
+    ///@}
 
     // ----- User/kernel interface (paper 2.3: crossings "significantly
     //       interfere"; FlexSC-style motivation).
@@ -91,6 +106,20 @@ struct CostModel {
     Duration request_validate = nanoseconds(1000);
     /** Per-request driver bookkeeping (in-flight tracking, SG set-up). */
     Duration request_admin = nanoseconds(2000);
+    /** Probing the gang translation cache (hit or miss; one hashed
+     *  lookup against the per-VMA generation). */
+    Duration xlate_probe = nanoseconds(120);
+    /**
+     * @name Shared-queue submit contention.
+     * Two CPUs depositing into the SAME lock-free queue within the
+     * window pay CAS retries; per-CPU submission rings avoid this by
+     * construction. Only distinct submit CPUs ever contend, so
+     * single-threaded reproduction timelines are unaffected.
+     */
+    ///@{
+    Duration queue_contention_retry = nanoseconds(200);
+    Duration queue_contention_window = nanoseconds(400);
+    ///@}
 
     // ----- DMA engine (paper 5.3: "4-5 us to configure one descriptor";
     //       reuse rewrites only src/dst, "reducing the second overhead
@@ -151,6 +180,15 @@ struct CostModel {
     {
         return page_alloc_base + order * page_alloc_per_order +
                (std::uint64_t{1} << order) * page_alloc_per_frame;
+    }
+
+    /** One allocate_bulk call handing back @p blocks 2^order blocks. */
+    Duration
+    bulk_alloc_time(unsigned order, std::uint64_t blocks) const
+    {
+        return bulk_alloc_base + order * page_alloc_per_order +
+               blocks * (bulk_alloc_per_block +
+                         (std::uint64_t{1} << order) * page_alloc_per_frame);
     }
 
     /**

@@ -79,8 +79,22 @@ AddressSpace::munmap(VAddr base)
 }
 
 void
+AddressSpace::notify_xlate_invalidate(VAddr va, std::uint64_t num_pages)
+{
+    if (!xlate_invalidate_hook_) return;
+    const Vma *vma = find_vma(va);
+    if (!vma) return;
+    xlate_invalidate_hook_(vma, vma->page_index(va), num_pages);
+}
+
+void
 AddressSpace::release_vma(Vma &vma)
 {
+    // The whole Vma is about to disappear; drop every cached
+    // translation before any PTE is cleared so nothing can alias a
+    // later Vma recycled at the same address.
+    if (xlate_invalidate_hook_)
+        xlate_invalidate_hook_(&vma, 0, vma.num_pages());
     const unsigned order = page_order(vma.page_size());
     for (std::uint64_t i = 0; i < vma.num_pages(); ++i) {
         const Pte pte = vma.pte(i);
@@ -212,6 +226,7 @@ AddressSpace::touch(VAddr va, bool write)
                                               std::memory_order_acq_rel))
                 continue;  // raced with the driver or another accessor
             ++stats_.young_clears;
+            if (xlate_invalidate_hook_) xlate_invalidate_hook_(vma, idx, 1);
             // The finalized translation may now be cached.
             tlb_.lookup(va, vma->page_size());
             tlb_.fill(va, vma->page_size());
@@ -221,8 +236,10 @@ AddressSpace::touch(VAddr va, bool write)
             Pte dirtied = pte;
             dirtied.dirty = true;
             std::uint64_t expected = raw;
-            slot.compare_exchange_strong(expected, dirtied.pack(),
-                                         std::memory_order_acq_rel);
+            if (slot.compare_exchange_strong(expected, dirtied.pack(),
+                                             std::memory_order_acq_rel) &&
+                xlate_invalidate_hook_)
+                xlate_invalidate_hook_(vma, idx, 1);
         }
         if (!tlb_.lookup(va, vma->page_size()))
             tlb_.fill(va, vma->page_size());

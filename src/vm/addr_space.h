@@ -140,6 +140,7 @@ class AddressSpace {
     {
         tlb_.flush_page(va, psize);
         ++stats_.tlb_page_flushes;
+        notify_xlate_invalidate(va, 1);
     }
 
     /**
@@ -155,6 +156,7 @@ class AddressSpace {
         for (std::uint64_t i = 0; i < num_pages; ++i)
             tlb_.flush_page(va + i * pb, psize);
         ++stats_.tlb_range_flushes;
+        notify_xlate_invalidate(va, num_pages);
     }
 
     /**
@@ -170,11 +172,29 @@ class AddressSpace {
         young_fault_hook_ = std::move(hook);
     }
 
+    /**
+     * Translation-invalidation hook: any event that can make a cached
+     * walk result stale — TLB shootdown (page or ranged), a CPU-side
+     * PTE CAS in touch(), or the Vma being torn down by munmap /
+     * address-space destruction — reports the affected page run
+     * (vma, first page index, page count). The memif driver's gang
+     * translation cache registers here; the baseline never does, so
+     * the hook costs one null check when unused.
+     */
+    using XlateInvalidateHook =
+        std::function<void(const Vma *, std::uint64_t, std::uint64_t)>;
+    void set_xlate_invalidate_hook(XlateInvalidateHook hook)
+    {
+        xlate_invalidate_hook_ = std::move(hook);
+    }
+
     VmStats &stats() { return stats_; }
     const VmStats &stats() const { return stats_; }
 
   private:
     void release_vma(Vma &vma);
+    /** Route a VA run to the xlate hook (resolves the containing Vma). */
+    void notify_xlate_invalidate(VAddr va, std::uint64_t num_pages);
 
     mem::PhysicalMemory &pm_;
     PageTable table_;
@@ -183,6 +203,7 @@ class AddressSpace {
     VAddr next_base_ = 0x0000'1000'0000ull;
     VmStats stats_;
     YoungFaultHook young_fault_hook_;
+    XlateInvalidateHook xlate_invalidate_hook_;
 };
 
 }  // namespace memif::vm

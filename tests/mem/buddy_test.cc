@@ -156,5 +156,122 @@ TEST_P(BuddyChurn, RandomChurnPreservesInvariants)
 INSTANTIATE_TEST_SUITE_P(Seeds, BuddyChurn,
                          ::testing::Values(1, 2, 3, 17, 99, 12345));
 
+TEST(BuddyBulk, AllocateBulkReturnsAlignedDisjointBlocks)
+{
+    BuddyAllocator b(256);
+    std::vector<std::uint64_t> heads;
+    ASSERT_TRUE(b.allocate_bulk(2, 8, heads));
+    ASSERT_EQ(heads.size(), 8u);
+    std::set<std::uint64_t> used;
+    for (const std::uint64_t h : heads) {
+        EXPECT_EQ(h % 4, 0u);
+        for (std::uint64_t f = h; f < h + 4; ++f)
+            EXPECT_TRUE(used.insert(f).second) << "frame " << f;
+    }
+    EXPECT_EQ(b.allocated_frames(), 32u);
+    for (const std::uint64_t h : heads) b.free(h, 2);
+    EXPECT_EQ(b.allocated_frames(), 0u);
+}
+
+TEST(BuddyBulk, AllOrNothingOnExhaustion)
+{
+    BuddyAllocator b(16);
+    const std::uint64_t held = b.allocate(3);  // 8 of 16 frames gone
+    ASSERT_NE(held, BuddyAllocator::kInvalidFrame);
+    std::vector<std::uint64_t> heads;
+    // 3 order-2 blocks = 12 frames > the 8 remaining: must refuse and
+    // leave the allocator exactly as it was.
+    EXPECT_FALSE(b.allocate_bulk(2, 3, heads));
+    EXPECT_TRUE(heads.empty());
+    EXPECT_EQ(b.free_frames(), 8u);
+    EXPECT_TRUE(b.allocate_bulk(2, 2, heads));
+    EXPECT_EQ(heads.size(), 2u);
+    EXPECT_EQ(b.free_frames(), 0u);
+}
+
+/**
+ * The consistency contract the magazine refill path depends on:
+ * can_allocate(order, n) true must mean allocate_bulk(order, n)
+ * succeeds with no intervening alloc/free, and false must mean it
+ * fails — under arbitrary fragmentation, where counting free FRAMES
+ * (rather than carvable blocks) would get the answer wrong.
+ */
+TEST(BuddyBulk, CanAllocateAgreesWithAllocateBulkUnderFragmentation)
+{
+    sim::Rng rng(4242);
+    BuddyAllocator b(512);
+    // Fragment: allocate everything at order 0, free a random subset.
+    std::vector<std::uint64_t> singles;
+    for (std::uint64_t h; (h = b.allocate(0)) != BuddyAllocator::kInvalidFrame;)
+        singles.push_back(h);
+    std::vector<std::uint64_t> kept;
+    for (const std::uint64_t h : singles) {
+        if (rng.next_below(100) < 60)
+            b.free(h, 0);
+        else
+            kept.push_back(h);
+    }
+    for (unsigned order = 0; order <= 4; ++order) {
+        for (std::uint64_t n = 1; n <= 64; n *= 2) {
+            const bool predicted = b.can_allocate(order, n);
+            std::vector<std::uint64_t> heads;
+            const bool got = b.allocate_bulk(order, n, heads);
+            ASSERT_EQ(got, predicted)
+                << "order " << order << " n " << n;
+            ASSERT_EQ(heads.size(), got ? n : 0u);
+            for (const std::uint64_t h : heads) b.free(h, order);
+        }
+    }
+    for (const std::uint64_t h : kept) b.free(h, 0);
+    EXPECT_EQ(b.allocated_frames(), 0u);
+}
+
+/** Bulk/free churn under fragmentation must never leak split blocks:
+ *  allocated_frames() must track exactly what the test holds, and end
+ *  at zero with everything coalesced back to max order. */
+TEST(BuddyBulk, FragmentationStressLeaksNoSplitBlocks)
+{
+    sim::Rng rng(977);
+    constexpr std::uint64_t kFrames = 1u << BuddyAllocator::kMaxOrder;
+    BuddyAllocator b(kFrames);
+    struct Block { std::uint64_t head; unsigned order; };
+    std::vector<Block> held;
+    std::uint64_t held_frames = 0;
+
+    for (int step = 0; step < 3000; ++step) {
+        const int roll = static_cast<int>(rng.next_below(100));
+        if (held.empty() || roll < 40) {
+            const unsigned order = static_cast<unsigned>(rng.next_below(4));
+            const std::uint64_t n = 1 + rng.next_below(8);
+            std::vector<std::uint64_t> heads;
+            if (b.allocate_bulk(order, n, heads)) {
+                for (const std::uint64_t h : heads) {
+                    held.push_back({h, order});
+                    held_frames += std::uint64_t{1} << order;
+                }
+            } else {
+                ASSERT_TRUE(heads.empty());
+            }
+        } else if (roll < 45) {
+            const unsigned order = static_cast<unsigned>(rng.next_below(6));
+            const std::uint64_t h = b.allocate(order);
+            if (h != BuddyAllocator::kInvalidFrame) {
+                held.push_back({h, order});
+                held_frames += std::uint64_t{1} << order;
+            }
+        } else {
+            const std::size_t pick = rng.next_below(held.size());
+            std::swap(held[pick], held.back());
+            b.free(held.back().head, held.back().order);
+            held_frames -= std::uint64_t{1} << held.back().order;
+            held.pop_back();
+        }
+        ASSERT_EQ(b.allocated_frames(), held_frames);
+    }
+    for (const auto &blk : held) b.free(blk.head, blk.order);
+    EXPECT_EQ(b.allocated_frames(), 0u);
+    EXPECT_EQ(b.free_blocks(BuddyAllocator::kMaxOrder), 1u);
+}
+
 }  // namespace
 }  // namespace memif::mem
