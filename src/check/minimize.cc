@@ -1,0 +1,62 @@
+#include "check/minimize.h"
+
+#include <algorithm>
+
+namespace memif::check {
+
+MinimizeOutcome
+minimize_workload(const Workload &w, const RunOptions &opt,
+                  std::uint32_t max_runs)
+{
+    MinimizeOutcome out;
+    out.workload = w;
+    out.original_ops = w.ops.size();
+
+    RunResult first = run_workload(w, opt);
+    out.runs = 1;
+    if (first.ok) {
+        out.minimized_ops = w.ops.size();
+        return out;
+    }
+    out.failure = first.failure;
+
+    // Drop chunks of `chunk` ops left to right; on a full pass with no
+    // progress, halve the chunk. Any failure (not necessarily the
+    // original message) counts as reproducing — divergences routinely
+    // shift shape as context shrinks.
+    std::size_t chunk = std::max<std::size_t>(1, out.workload.ops.size() / 2);
+    while (chunk >= 1 && out.runs < max_runs) {
+        bool progressed = false;
+        std::size_t begin = 0;
+        while (begin < out.workload.ops.size() && out.runs < max_runs) {
+            const Workload candidate =
+                drop_ops(out.workload, begin, chunk);
+            if (candidate.ops.size() >= out.workload.ops.size()) {
+                begin += chunk;
+                continue;
+            }
+            const RunResult r = run_workload(candidate, opt);
+            ++out.runs;
+            if (!r.ok) {
+                out.workload = candidate;
+                out.failure = r.failure;
+                progressed = true;
+                // Retry the same offset: the next chunk slid into it.
+            } else {
+                begin += chunk;
+            }
+        }
+        if (!progressed) {
+            if (chunk == 1) break;
+            chunk /= 2;
+        } else {
+            chunk = std::min(
+                chunk, std::max<std::size_t>(
+                           1, out.workload.ops.size() / 2));
+        }
+    }
+    out.minimized_ops = out.workload.ops.size();
+    return out;
+}
+
+}  // namespace memif::check

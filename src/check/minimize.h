@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Greedy workload minimization (ddmin-lite): given a failing
+ * (workload, options) pair, repeatedly try dropping chunks of ops —
+ * halving the chunk size as progress stalls — and keep every removal
+ * that still reproduces a failure. The result is a locally minimal
+ * workload: removing any single remaining op makes the failure vanish.
+ *
+ * Minimization never touches the seeds, so the shrunk repro still
+ * replays from the same printed (workload_seed, schedule_seed) pair
+ * plus the surviving op list.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/differential.h"
+#include "check/workload.h"
+
+namespace memif::check {
+
+struct MinimizeOutcome {
+    /** The smallest still-failing workload found. */
+    Workload workload;
+    /** Failure message of the minimized reproduction. */
+    std::string failure;
+    /** Differential runs spent shrinking. */
+    std::uint32_t runs = 0;
+    /** Ops in the original / minimized workload. */
+    std::size_t original_ops = 0;
+    std::size_t minimized_ops = 0;
+};
+
+/**
+ * Shrink @p w, which must fail under @p opt, to a locally minimal
+ * failing workload. Spends at most @p max_runs differential runs.
+ * If @p w does not actually fail, returns it unchanged with runs == 1.
+ */
+MinimizeOutcome minimize_workload(const Workload &w,
+                                  const RunOptions &opt,
+                                  std::uint32_t max_runs = 200);
+
+}  // namespace memif::check

@@ -1,0 +1,251 @@
+#include "check/workload.h"
+
+#include <algorithm>
+
+#include "dma/descriptor.h"
+#include "sim/random.h"
+
+namespace memif::check {
+namespace {
+
+/** Page-claim ledger enforcing the disjointness invariant: between
+ *  barriers, no two valid requests may operate on the same page. */
+class Claims {
+  public:
+    explicit Claims(const std::vector<RegionSpec> &regions)
+    {
+        for (const RegionSpec &r : regions)
+            claimed_.emplace_back(r.pages, false);
+    }
+
+    bool
+    free_run(std::uint32_t region, std::uint32_t first,
+             std::uint32_t n) const
+    {
+        const auto &c = claimed_[region];
+        if (first + n > c.size()) return false;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (c[first + i]) return false;
+        return true;
+    }
+
+    void
+    claim(std::uint32_t region, std::uint32_t first, std::uint32_t n)
+    {
+        for (std::uint32_t i = 0; i < n; ++i)
+            claimed_[region][first + i] = true;
+    }
+
+    void
+    release(std::uint32_t region, std::uint32_t first, std::uint32_t n)
+    {
+        for (std::uint32_t i = 0; i < n; ++i)
+            claimed_[region][first + i] = false;
+    }
+
+    void
+    release_all()
+    {
+        for (auto &c : claimed_) std::fill(c.begin(), c.end(), false);
+    }
+
+  private:
+    std::vector<std::vector<bool>> claimed_;
+};
+
+}  // namespace
+
+Workload
+generate_workload(std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    Workload w;
+    w.seed = seed;
+
+    // Mixed-granularity regions (≈ 832 KB total — comfortably inside
+    // the 6 MB fast node, so clean-run migrations essentially always
+    // have room, yet concurrent bursts can still brush the cap).
+    w.regions = {
+        RegionSpec{32, vm::PageSize::k4K,
+                   static_cast<std::uint8_t>(1 + rng.next_below(250))},
+        RegionSpec{8, vm::PageSize::k64K,
+                   static_cast<std::uint8_t>(1 + rng.next_below(250))},
+        RegionSpec{32, vm::PageSize::k4K,
+                   static_cast<std::uint8_t>(1 + rng.next_below(250))},
+        RegionSpec{16, vm::PageSize::k4K,
+                   static_cast<std::uint8_t>(1 + rng.next_below(250))},
+    };
+
+    Claims claims(w.regions);
+
+    // Pick an unclaimed run of up to `want` pages anywhere in `region`.
+    auto find_free = [&](std::uint32_t region, std::uint32_t want,
+                         std::uint32_t *first, std::uint32_t *n) -> bool {
+        const RegionSpec &r = w.regions[region];
+        for (std::uint32_t len = std::min(want, r.pages); len >= 1;
+             --len) {
+            for (int attempt = 0; attempt < 16; ++attempt) {
+                const std::uint32_t start = static_cast<std::uint32_t>(
+                    rng.next_below(r.pages - len + 1));
+                if (claims.free_run(region, start, len)) {
+                    *first = start;
+                    *n = len;
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+
+    // One valid migration or replication with freshly claimed pages,
+    // or nullopt-equivalent (returns false) when everything is claimed.
+    auto make_valid_mov = [&](MovSpec *out) -> bool {
+        const bool replicate = rng.next_below(3) == 0;
+        const std::uint32_t rs = static_cast<std::uint32_t>(
+            rng.next_below(w.regions.size()));
+        const std::uint32_t want =
+            w.regions[rs].psize == vm::PageSize::k64K
+                ? 1 + static_cast<std::uint32_t>(rng.next_below(4))
+                : 1 + static_cast<std::uint32_t>(rng.next_below(8));
+        std::uint32_t sfirst = 0, sn = 0;
+        if (!find_free(rs, want, &sfirst, &sn)) return false;
+        if (!replicate) {
+            claims.claim(rs, sfirst, sn);
+            *out = MovSpec{core::MovOp::kMigrate, rs, sfirst, sn,
+                           0,  0,
+                           rng.next_below(2) == 0, Malform::kNone};
+            return true;
+        }
+        // Replication: an exclusive destination run large enough for
+        // sn source pages' worth of bytes, possibly at a different
+        // granularity. Claim the source BEFORE searching so a
+        // same-region destination cannot land on top of it (backtrack
+        // on failure).
+        claims.claim(rs, sfirst, sn);
+        const std::uint64_t src_pb = vm::page_bytes(w.regions[rs].psize);
+        const std::uint32_t rd = static_cast<std::uint32_t>(
+            rng.next_below(w.regions.size()));
+        const std::uint64_t dst_pb = vm::page_bytes(w.regions[rd].psize);
+        const std::uint64_t bytes = sn * src_pb;
+        const std::uint32_t dst_pages = static_cast<std::uint32_t>(
+            (bytes + dst_pb - 1) / dst_pb);
+        // Keep the chunk count inside the PaRAM (fine-granularity
+        // chunks: num_pages * src_pb / min(src_pb, dst_pb)).
+        const std::uint64_t align = std::min(src_pb, dst_pb);
+        std::uint32_t dfirst = 0, dn = 0;
+        if (bytes / align > dma::DescriptorRam::kEntries ||
+            !find_free(rd, dst_pages, &dfirst, &dn) || dn < dst_pages) {
+            claims.release(rs, sfirst, sn);
+            return false;
+        }
+        claims.claim(rd, dfirst, dst_pages);
+        *out = MovSpec{core::MovOp::kReplicate, rs,    sfirst, sn,
+                       rd,  dfirst, false,  Malform::kNone};
+        return true;
+    };
+
+    auto make_malformed_mov = [&]() -> MovSpec {
+        MovSpec m;
+        m.src_region = static_cast<std::uint32_t>(
+            rng.next_below(w.regions.size()));
+        m.src_page = 0;
+        m.num_pages = 1;
+        switch (rng.next_below(5)) {
+            case 0: m.malform = Malform::kUnmappedSrc; break;
+            case 1: m.malform = Malform::kZeroPages; break;
+            case 2:
+                m.malform = Malform::kTooManyPages;
+                m.num_pages = dma::DescriptorRam::kEntries + 7;
+                break;
+            case 3: m.malform = Malform::kBadNode; break;
+            default:
+                m.malform = Malform::kOverlap;
+                m.op = core::MovOp::kReplicate;
+                m.dst_region = m.src_region;
+                m.dst_page = m.src_page;
+                break;
+        }
+        return m;
+    };
+
+    const std::size_t total_ops = 48 + rng.next_below(17);
+    std::uint32_t since_barrier = 0;
+    for (std::size_t i = 0; i < total_ops; ++i) {
+        WorkloadOp op;
+        op.cpu = static_cast<std::uint32_t>(rng.next_below(kWorkloadCpus));
+        op.delay_us = static_cast<std::uint32_t>(rng.next_below(40));
+
+        const std::uint64_t dice = rng.next_below(100);
+        if (since_barrier >= 12 || dice < 8) {
+            op.kind = OpKind::kBarrier;
+            claims.release_all();
+            since_barrier = 0;
+        } else if (dice < 30) {
+            op.kind = OpKind::kTouch;
+            const std::uint32_t r = static_cast<std::uint32_t>(
+                rng.next_below(w.regions.size()));
+            op.touch = TouchSpec{
+                r,
+                static_cast<std::uint32_t>(
+                    rng.next_below(w.regions[r].pages)),
+                rng.next_below(2) == 1};
+            ++since_barrier;
+        } else if (dice < 45) {
+            op.kind = OpKind::kMovMany;
+            const std::uint32_t batch = 2 + static_cast<std::uint32_t>(
+                                                rng.next_below(3));
+            for (std::uint32_t b = 0; b < batch; ++b) {
+                MovSpec m;
+                // One in six batch slots is deliberately malformed so
+                // mixed-outcome batches are routine.
+                if (rng.next_below(6) == 0)
+                    op.movs.push_back(make_malformed_mov());
+                else if (make_valid_mov(&m))
+                    op.movs.push_back(m);
+            }
+            if (op.movs.empty()) {
+                op.kind = OpKind::kBarrier;
+                claims.release_all();
+                since_barrier = 0;
+            } else {
+                ++since_barrier;
+            }
+        } else {
+            op.kind = OpKind::kMov;
+            MovSpec m;
+            if (rng.next_below(10) == 0) {
+                op.movs.push_back(make_malformed_mov());
+                ++since_barrier;
+            } else if (make_valid_mov(&m)) {
+                op.movs.push_back(m);
+                ++since_barrier;
+            } else {
+                op.kind = OpKind::kBarrier;
+                claims.release_all();
+                since_barrier = 0;
+            }
+        }
+        w.ops.push_back(std::move(op));
+    }
+    // Always end quiesced: the runner's invariant sweep assumes the
+    // final op drained every outstanding request.
+    w.ops.push_back(WorkloadOp{OpKind::kBarrier, {}, {}, 0, 0});
+    return w;
+}
+
+Workload
+drop_ops(const Workload &w, std::size_t begin, std::size_t count)
+{
+    Workload out;
+    out.seed = w.seed;
+    out.regions = w.regions;
+    out.ops.reserve(w.ops.size());
+    for (std::size_t i = 0; i < w.ops.size(); ++i)
+        if (i < begin || i >= begin + count) out.ops.push_back(w.ops[i]);
+    // Preserve the trailing quiesce barrier no matter what was cut.
+    if (out.ops.empty() || out.ops.back().kind != OpKind::kBarrier)
+        out.ops.push_back(WorkloadOp{OpKind::kBarrier, {}, {}, 0, 0});
+    return out;
+}
+
+}  // namespace memif::check

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Randomized-but-replayable workloads for the differential model
+ * checker (tests/model): a plain-data description of everything one
+ * checker run does to a memif instance — regions to map, requests to
+ * submit (single and batched), CPU touches that may race in-flight
+ * migrations, and barriers that drain to quiescence.
+ *
+ * The description is deliberately dumb data: the generator fills it
+ * from a seed, the reference model interprets it against plain byte
+ * arrays, the differential runner replays it through the real stack,
+ * and the minimizer shrinks it by dropping ops. Tests can also build
+ * workloads by hand (pinned regression cases).
+ *
+ * Disjointness invariant: between two barriers, the pages any two
+ * *valid* generated requests operate on (sources and destinations)
+ * never overlap, except that replications may share read-only source
+ * pages. Migrations preserve content and replications have exclusive
+ * destinations, so the final bytes of every region are independent of
+ * completion order — which is what lets one sequential reference model
+ * predict the outcome of four differently-scheduled presets.
+ * CPU touches are exempt (they never modify content, only PTE state)
+ * and are the designated way to race an in-flight migration.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memif/mov_req.h"
+#include "vm/page_size.h"
+
+namespace memif::check {
+
+/** One mapped region of the workload's address space. */
+struct RegionSpec {
+    std::uint32_t pages = 0;
+    vm::PageSize psize = vm::PageSize::k4K;
+    /** Seed byte of the initial fill pattern (pattern + i * 13). */
+    std::uint8_t pattern = 0;
+
+    bool operator==(const RegionSpec &) const = default;
+};
+
+/** Deliberate malformations the generator can emit (the expected
+ *  validation error is derived from the kind). */
+enum class Malform : std::uint8_t {
+    kNone = 0,
+    kUnmappedSrc,   ///< src outside every vma -> kBadAddress
+    kZeroPages,     ///< num_pages == 0 -> kBadRequest
+    kTooManyPages,  ///< num_pages > PaRAM -> kBadRequest
+    kBadNode,       ///< unknown dst_node -> kBadNode
+    kOverlap,       ///< replication src/dst overlap -> kBadRequest
+};
+
+/** One mov_req to submit. Page indices are region-relative. */
+struct MovSpec {
+    core::MovOp op = core::MovOp::kMigrate;
+    std::uint32_t src_region = 0;
+    std::uint32_t src_page = 0;
+    std::uint32_t num_pages = 1;
+    /** Replication destination (region + start page in ITS page size). */
+    std::uint32_t dst_region = 0;
+    std::uint32_t dst_page = 0;
+    /** Migration destination: fast node (true) or slow node. */
+    bool to_fast = true;
+    Malform malform = Malform::kNone;
+
+    bool operator==(const MovSpec &) const = default;
+};
+
+/** One simulated CPU access. Touches never change memory contents —
+ *  only PTE state — so they are free to race in-flight migrations. */
+struct TouchSpec {
+    std::uint32_t region = 0;
+    std::uint32_t page = 0;
+    bool write = false;
+
+    bool operator==(const TouchSpec &) const = default;
+};
+
+enum class OpKind : std::uint8_t {
+    kMov,      ///< submit movs[0] via MemifUser::submit()
+    kMovMany,  ///< submit all movs in one submit_many() batch
+    kTouch,    ///< one CPU access (may race an in-flight migration)
+    kBarrier,  ///< drain every outstanding completion, then verify memory
+};
+
+struct WorkloadOp {
+    OpKind kind = OpKind::kBarrier;
+    std::vector<MovSpec> movs;
+    TouchSpec touch;
+    /** Simulated CPU the op runs from (selects the MemifUser handle,
+     *  i.e. the submission ring / contention-model slot). */
+    std::uint32_t cpu = 0;
+    /** Virtual-time pause before the op (microseconds). */
+    std::uint32_t delay_us = 0;
+
+    bool operator==(const WorkloadOp &) const = default;
+};
+
+struct Workload {
+    std::uint64_t seed = 0;
+    std::vector<RegionSpec> regions;
+    std::vector<WorkloadOp> ops;
+
+    bool operator==(const Workload &) const = default;
+};
+
+/** Simulated submission CPUs a workload uses (MemifUser handles). */
+inline constexpr std::uint32_t kWorkloadCpus = 4;
+
+/**
+ * Generate the seeded randomized workload for @p seed: mixed 4 KB /
+ * 64 KB regions, migrations bouncing between nodes, replications with
+ * exclusive destinations, batched submits, malformed requests, racing
+ * touches, and periodic barriers. Deterministic: the same seed always
+ * yields the same workload, on any host.
+ */
+Workload generate_workload(std::uint64_t seed);
+
+/** Copy of @p w with ops [begin, begin+count) removed (minimizer). */
+Workload drop_ops(const Workload &w, std::size_t begin, std::size_t count);
+
+}  // namespace memif::check

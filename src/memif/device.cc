@@ -126,6 +126,102 @@ MemifDevice::idle() const
            region.submission_queue().empty();
 }
 
+bool
+MemifDevice::check_quiesced(std::string *why) const
+{
+    bool ok = true;
+    auto fail = [&](const std::string &msg) {
+        ok = false;
+        if (!why) return;
+        if (!why->empty()) *why += "; ";
+        *why += msg;
+    };
+
+    if (!in_flight_.empty())
+        fail("flight table holds " + std::to_string(in_flight_.size()) +
+             " record(s)");
+    for (std::uint32_t s = 0; s < kMaxSubmitRings; ++s)
+        if (!flight_shards_[s].empty())
+            fail("flight shard " + std::to_string(s) + " holds " +
+                 std::to_string(flight_shards_[s].size()) + " record(s)");
+    if (!pending_release_.empty())
+        fail("pending-release list holds " +
+             std::to_string(pending_release_.size()) + " record(s)");
+
+    auto &region = const_cast<SharedRegion &>(region_);
+    if (!region.staging_queue().empty()) fail("staging queue not drained");
+    if (!region.submission_queue().empty())
+        fail("submission queue not drained");
+    for (std::uint32_t r = 0; r < region.num_rings(); ++r)
+        if (!region.ring_queue(r).empty())
+            fail("submission ring " + std::to_string(r) + " not drained");
+
+    for (std::uint32_t i = 0; i < region_.capacity(); ++i) {
+        const MovStatus st = region_.request(i).load_status();
+        if (st == MovStatus::kSubmitted || st == MovStatus::kInFlight)
+            fail("request " + std::to_string(i) +
+                 " stuck in non-terminal status " +
+                 std::to_string(static_cast<int>(st)));
+    }
+
+    // Descriptor leases: at quiesce every chain has been returned, so
+    // the cache sees its full PaRAM capacity. (With several instances
+    // on one kernel this only holds once ALL of them are idle, which
+    // is the state test teardown checks.)
+    const dma::ChainCache &cache = kernel_.dma().cache();
+    if (cache.available() != cache.capacity())
+        fail(std::to_string(cache.capacity() - cache.available()) +
+             " DMA descriptor(s) still leased");
+
+    mem::PhysicalMemory &pm = kernel_.phys();
+    for (const auto &[key, mag] : magazines_) {
+        if (mag.size() > config_.magazine_capacity)
+            fail("magazine (" + std::to_string(key.first) + ", order " +
+                 std::to_string(key.second) + ") over capacity");
+        for (const mem::Pfn head : mag) {
+            const mem::PageFrame &frame = pm.frame(head);
+            if (!frame.allocated) {
+                fail("magazine parks unallocated frame " +
+                     std::to_string(head));
+                continue;
+            }
+            if (!frame.rmaps.empty())
+                fail("magazine parks still-mapped frame " +
+                     std::to_string(head));
+        }
+    }
+
+    if (xlate_cache_) {
+        for (const XlateCache::Entry &e : xlate_cache_->entries()) {
+            if (e.generation > xlate_cache_->generation()) {
+                fail("xlate entry from the future (generation " +
+                     std::to_string(e.generation) + " > " +
+                     std::to_string(xlate_cache_->generation()) + ")");
+                continue;
+            }
+            for (std::uint64_t i = 0; i < e.num_pages(); ++i) {
+                if (e.ptes[i].pack() ==
+                    e.vma->pte(e.first_page + i).pack())
+                    continue;
+                fail("stale xlate entry: vma page " +
+                     std::to_string(e.first_page + i) +
+                     " diverged from the live PTE");
+                break;
+            }
+        }
+    }
+    return ok;
+}
+
+std::uint64_t
+MemifDevice::magazine_pages() const
+{
+    std::uint64_t pages = 0;
+    for (const auto &[key, mag] : magazines_)
+        pages += mag.size() * (std::uint64_t{1} << key.second);
+    return pages;
+}
+
 // --------------------------------------------------------------------
 // Validation (§4.2 safety: the driver trusts nothing in the region).
 // --------------------------------------------------------------------
@@ -854,10 +950,13 @@ MemifDevice::drain_completions(InFlightPtr first)
         fl->completion_claimed = true;
         // A claimed sibling whose delivery is still held on another
         // TC's timer must not cost a second (empty) IRQ when that
-        // timer fires; drop the delivery and return its lease (the
-        // discarded callback was what would have returned it).
-        if (kernel_.dma().discard_moderated(fl->tid))
-            kernel_.dma().reclaim(fl->tid);
+        // timer fires; drop the delivery and return its lease. The
+        // reclaim is unconditional: if the sibling's interrupt was
+        // lost (not merely held), no callback will ever return the
+        // lease for us — and if the callback already ran, the lease
+        // is back in the cache and reclaim is a no-op.
+        kernel_.dma().discard_moderated(fl->tid);
+        kernel_.dma().reclaim(fl->tid);
         disarm_watchdog(fl);
         batch.push_back(fl);
     }
@@ -1005,6 +1104,14 @@ MemifDevice::handle_dma_failure(InFlightPtr fl, ExecContext ctx,
                                 MovError reason)
 {
     if (fl->aborted) co_return;
+    // The recovery ladder owns this flight until trigger_dma starts the
+    // next attempt (which resets the claim). Without this, a drain or
+    // reap pass scanning the flight table during the retry backoff can
+    // mistake the dead transfer for a successful one — once the engine
+    // purges the failed flight's record, is_complete()/status() on the
+    // stale id report a clean completion — and release the request a
+    // second time.
+    fl->completion_claimed = true;
     if (fl->dma_attempts <= config_.dma_max_retries) {
         ++stats_.dma_retries;
         kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaRetry,
@@ -1174,6 +1281,15 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
                         // authoritative.
                         if (!benign) page_raced = true;
                     }
+                    // The CAS rewrites a live PTE with no TLB flush, so
+                    // no invalidate hook fires — but a concurrent gang
+                    // walk may have cached the semi-final translation
+                    // (prefetch reaches into neighbouring requests'
+                    // pages). Drop any such entry; the write-through
+                    // below re-records the final one for our own range.
+                    if (xlate_cache_)
+                        stats_.xlate_invalidations +=
+                            xlate_cache_->invalidate(m.vma, m.page_idx, 1);
                 }
                 // The new frame inherits this reverse mapping.
                 pm.frame(fl->new_pfns[i])

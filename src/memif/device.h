@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -317,6 +318,34 @@ class MemifDevice {
 
     /** True when no request is anywhere between submit and notify. */
     bool idle() const;
+
+    /**
+     * Debug quiesce check: verifies every driver invariant that must
+     * hold once the instance has gone idle —
+     *
+     *  - the flight table (and every per-CPU flight shard) is empty and
+     *    no deferred release is pending;
+     *  - the staging, submission, and per-CPU ring queues are drained;
+     *  - no request slot is stuck in kSubmitted / kInFlight;
+     *  - every DMA descriptor lease has been returned to the chain
+     *    cache (no leaked PaRAM entries);
+     *  - every frame parked in a bulk-alloc magazine is a real,
+     *    allocated, unmapped frame and no magazine exceeds its cap;
+     *  - every surviving gang-translation-cache entry still matches
+     *    the live page tables (eager invalidation did its job).
+     *
+     * @param why when non-null, receives a human-readable description
+     *        of every violated invariant.
+     * @return true when fully quiesced. Call it from test teardown and
+     *         from the differential runner after each workload.
+     */
+    bool check_quiesced(std::string *why = nullptr) const;
+
+    /** Total 4 KB frames currently parked in bulk-alloc magazines.
+     *  Parked frames stay "allocated" in PhysicalMemory terms, so the
+     *  frame-accounting invariant at quiesce is
+     *  outstanding_pages == baseline + magazine_pages(). */
+    std::uint64_t magazine_pages() const;
 
   private:
     friend class MemifUser;

@@ -79,6 +79,11 @@ class XlateCache {
     std::size_t size() const { return entries_.size(); }
     std::uint64_t generation() const { return generation_; }
 
+    /** All live entries (diagnostics / invariant checks: eager
+     *  invalidation means every surviving entry must still match the
+     *  live page tables). */
+    const std::vector<Entry> &entries() const { return entries_; }
+
   private:
     std::size_t max_entries_;
     std::uint64_t generation_ = 0;

@@ -12,7 +12,8 @@ EventQueue::schedule_at(SimTime when, Callback cb)
     MEMIF_ASSERT(cb != nullptr);
     if (when < now_) when = now_;  // never schedule into the past
     const EventId id = next_seq_++;
-    events_.push(Event{when, id, std::move(cb)});
+    const std::uint64_t key = fuzzing_ ? tie_rng_.next() : id;
+    events_.push(Event{when, key, id, std::move(cb)});
     live_.insert(id);
     return id;
 }

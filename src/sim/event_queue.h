@@ -3,9 +3,21 @@
  * The discrete-event core: a virtual clock plus a priority queue of
  * timestamped callbacks.
  *
- * Events scheduled for the same instant fire in FIFO order (a monotonically
- * increasing sequence number breaks ties), which makes simulations fully
- * deterministic.
+ * Ordering guarantee: events scheduled for the same instant fire in
+ * FIFO order by default — each event carries a monotonically increasing
+ * sequence number assigned at schedule time, and the dispatch order is
+ * (timestamp, sequence). The tie-break is total and stable, so two runs
+ * of the same program are event-for-event identical; nothing about the
+ * dispatch order depends on heap internals, iteration order, or host
+ * addresses. Code may rely on it: an event scheduled before another at
+ * the same timestamp runs first.
+ *
+ * The schedule fuzzer (src/check) deliberately perturbs exactly — and
+ * only — this tie-break: set_tie_break_seed() makes same-timestamp
+ * events dispatch in a seeded pseudo-random order instead of FIFO.
+ * Cross-timestamp ordering is never affected, and a given seed always
+ * produces the same permutation, so any interleaving found by the
+ * fuzzer replays deterministically from its seed.
  */
 #pragma once
 
@@ -15,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/random.h"
 #include "sim/types.h"
 
 namespace memif::sim {
@@ -84,9 +97,38 @@ class EventQueue {
     /** Total events executed since construction. */
     std::uint64_t events_executed() const { return executed_; }
 
+    /**
+     * Schedule-fuzzer hook: dispatch same-timestamp events in a seeded
+     * pseudo-random order instead of FIFO. Each event scheduled from
+     * now on draws a random tie-break key from a stream seeded with
+     * @p seed (sequence number remains the final tie-break, so the
+     * order stays total and a seed always reproduces the same
+     * permutation). Events already in the queue keep their FIFO keys.
+     * Cross-timestamp ordering is unaffected.
+     */
+    void
+    set_tie_break_seed(std::uint64_t seed)
+    {
+        fuzzing_ = true;
+        tie_rng_ = Rng(seed);
+    }
+
+    /** Restore the default FIFO tie-break for newly scheduled events. */
+    void
+    clear_tie_break()
+    {
+        fuzzing_ = false;
+    }
+
+    /** True while the fuzzer tie-break is active. */
+    bool tie_break_fuzzed() const { return fuzzing_; }
+
   private:
     struct Event {
         SimTime when;
+        /** Tie-break among same-timestamp events: == seq (FIFO) by
+         *  default, a seeded random draw under the schedule fuzzer. */
+        std::uint64_t key;
         std::uint64_t seq;
         Callback cb;
     };
@@ -98,6 +140,7 @@ class EventQueue {
         operator()(const Event &a, const Event &b) const
         {
             if (a.when != b.when) return a.when > b.when;
+            if (a.key != b.key) return a.key > b.key;
             return a.seq > b.seq;
         }
     };
@@ -108,6 +151,8 @@ class EventQueue {
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    bool fuzzing_ = false;
+    Rng tie_rng_;
 };
 
 }  // namespace memif::sim

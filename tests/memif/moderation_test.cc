@@ -232,6 +232,20 @@ struct Fixture {
     {
     }
 
+    ~Fixture()
+    {
+        // Every test must hand the driver back fully quiesced: no
+        // in-flight records, leased descriptors, stuck slots, parked
+        // frames unaccounted for, or stale xlate entries. Tests that
+        // intentionally end mid-flight opt out via the flag.
+        if (!check_quiesce_on_teardown) return;
+        std::string why;
+        EXPECT_TRUE(dev.check_quiesced(&why)) << "teardown: " << why;
+    }
+
+    /** Opt-out for tests that deliberately leave work in flight. */
+    bool check_quiesce_on_teardown = true;
+
     sim::FaultInjector &faults() { return kernel.faults(); }
 
     void

@@ -28,6 +28,20 @@ struct Fixture {
         : proc(kernel.create_process()), dev(kernel, proc, cfg), user(dev)
     {
     }
+
+    ~Fixture()
+    {
+        // Every test must hand the driver back fully quiesced: no
+        // in-flight records, leased descriptors, stuck slots, parked
+        // frames unaccounted for, or stale xlate entries. Tests that
+        // intentionally end mid-flight opt out via the flag.
+        if (!check_quiesce_on_teardown) return;
+        std::string why;
+        EXPECT_TRUE(dev.check_quiesced(&why)) << "teardown: " << why;
+    }
+
+    /** Opt-out for tests that deliberately leave work in flight. */
+    bool check_quiesce_on_teardown = true;
 };
 
 TEST(UserApi, AllocGivesDistinctOwnedRequests)

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The differential suite proper: seeded random workloads replayed
+ * through all four presets (levers-off, pipelined, moderated, scaled)
+ * must match the reference model byte-for-byte and leave the driver
+ * fully quiesced — under FIFO scheduling, fuzzed schedules, and
+ * injected faults.
+ *
+ * Seed count scales with the MEMIF_CHECK_SEEDS environment variable
+ * (default 16; CI quick mode runs 64, nightly can run thousands).
+ * Every failure message leads with the (workload_seed, schedule_seed)
+ * pair that reproduces it; the minimizer shrinks the op list for the
+ * pair before the test reports it.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "check/differential.h"
+#include "check/minimize.h"
+#include "check/reference_model.h"
+#include "check/workload.h"
+
+namespace memif::check {
+namespace {
+
+std::uint64_t
+seeds_from_env(std::uint64_t fallback)
+{
+    const char *env = std::getenv("MEMIF_CHECK_SEEDS");
+    if (!env) return fallback;
+    const long long v = std::atoll(env);
+    return v > 0 ? static_cast<std::uint64_t>(v) : fallback;
+}
+
+/** On failure: shrink the workload and report the repro coordinates. */
+std::string
+diagnose(const Workload &w, const RunOptions &opt)
+{
+    const MinimizeOutcome m = minimize_workload(w, opt, 120);
+    return "reproduce with " + seed_pair(w, opt) + "\n  failure: " +
+           m.failure + "\n  minimized " +
+           std::to_string(m.original_ops) + " -> " +
+           std::to_string(m.minimized_ops) + " ops in " +
+           std::to_string(m.runs) + " runs";
+}
+
+TEST(Differential, AllPresetsMatchTheModel)
+{
+    const std::uint64_t nseeds = seeds_from_env(16);
+    for (std::uint64_t seed = 1; seed <= nseeds; ++seed) {
+        const Workload w = generate_workload(seed);
+        std::uint64_t mem_digest = 0;
+        const char *digest_from = nullptr;
+        for (const Preset &p : presets()) {
+            RunOptions opt;
+            opt.config = p.config;
+            const RunResult r = run_workload(w, opt);
+            ASSERT_TRUE(r.ok)
+                << "preset " << p.name << ": " << r.failure << "\n"
+                << diagnose(w, opt);
+            // Byte-identical across presets: migrations preserve
+            // content and replication effects are order-independent,
+            // so lever choice must never show up in memory.
+            if (!digest_from) {
+                mem_digest = r.mem_digest;
+                digest_from = p.name;
+            } else {
+                ASSERT_EQ(r.mem_digest, mem_digest)
+                    << "seed " << seed << ": preset " << p.name
+                    << " memory diverges from preset " << digest_from;
+            }
+        }
+    }
+}
+
+TEST(Differential, FuzzedSchedulesMatchTheModel)
+{
+    const std::uint64_t nseeds = seeds_from_env(16) / 2 + 1;
+    for (std::uint64_t seed = 1; seed <= nseeds; ++seed) {
+        const Workload w = generate_workload(seed);
+        for (const Preset &p : presets()) {
+            std::uint64_t fifo_digest = 0;
+            for (std::uint64_t sched : {0ull, 11ull, 97ull}) {
+                RunOptions opt;
+                opt.config = p.config;
+                opt.schedule_seed = sched;
+                const RunResult r = run_workload(w, opt);
+                ASSERT_TRUE(r.ok)
+                    << "preset " << p.name << ": " << r.failure << "\n"
+                    << diagnose(w, opt);
+                if (sched == 0)
+                    fifo_digest = r.mem_digest;
+                else
+                    ASSERT_EQ(r.mem_digest, fifo_digest)
+                        << seed_pair(w, opt) << " preset " << p.name
+                        << ": fuzzed schedule changed final memory";
+            }
+        }
+    }
+}
+
+TEST(Differential, FaultedRunsMatchTheModel)
+{
+    const std::uint64_t nseeds = seeds_from_env(16) / 2 + 1;
+    for (std::uint64_t seed = 1; seed <= nseeds; ++seed) {
+        const Workload w = generate_workload(seed);
+        for (const Preset &p : presets()) {
+            RunOptions opt;
+            opt.config = p.config;
+            opt.arm_faults = true;
+            opt.schedule_seed = seed * 3 + 1;
+            const RunResult r = run_workload(w, opt);
+            ASSERT_TRUE(r.ok)
+                << "preset " << p.name << " (faults armed): "
+                << r.failure << "\n"
+                << diagnose(w, opt);
+        }
+    }
+}
+
+TEST(Differential, ReplayIsBitIdentical)
+{
+    const Workload w = generate_workload(12345);
+    for (const Preset &p : presets()) {
+        RunOptions opt;
+        opt.config = p.config;
+        opt.schedule_seed = 777;
+        opt.arm_faults = true;
+        const RunResult a = run_workload(w, opt);
+        const RunResult b = run_workload(w, opt);
+        EXPECT_EQ(a.ok, b.ok) << p.name;
+        EXPECT_EQ(a.full_digest, b.full_digest)
+            << "preset " << p.name
+            << ": same (workload, schedule, preset) triple produced "
+               "different runs";
+        EXPECT_EQ(a.end_time, b.end_time) << p.name;
+    }
+}
+
+// The checker must be able to see its own injected bug: an undeclared
+// deterministic DMA fault makes the driver report kDmaError while the
+// model expects success -> the run fails and the minimizer shrinks the
+// repro to a handful of ops that still replay from the same seed pair.
+TEST(Differential, MinimizerShrinksAnInjectedDivergence)
+{
+    const Workload w = generate_workload(4242);
+    RunOptions opt;
+    opt.config.cpu_copy_fallback = false;  // let the fault surface
+    opt.config.dma_max_retries = 0;        // ... on the first attempt
+    opt.inject_undeclared_fault_nth = 1;
+
+    const RunResult r = run_workload(w, opt);
+    ASSERT_FALSE(r.ok) << "injected fault was not caught";
+    EXPECT_NE(r.failure.find("workload_seed=4242"), std::string::npos)
+        << "failure must print the repro seed pair: " << r.failure;
+
+    const MinimizeOutcome m = minimize_workload(w, opt, 200);
+    EXPECT_FALSE(m.failure.empty());
+    EXPECT_LT(m.minimized_ops, m.original_ops);
+    // The first DMA chain always carries the fault, so one valid mov
+    // plus the mandatory trailing barrier must survive minimization.
+    EXPECT_LE(m.minimized_ops, 4u);
+    // The minimized workload still reproduces, deterministically.
+    const RunResult again = run_workload(m.workload, opt);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.failure, m.failure);
+}
+
+// Preset-coverage tripwire (see CONTRIBUTING.md "Adding a config
+// lever"): a behaviour lever the differential suite never turns on is
+// a lever the model checker never exercises. The size check fires when
+// MemifConfig grows a field; fix it by wiring the new lever into a
+// preset (src/check/differential.cc) and updating both expectations.
+TEST(Differential, EveryConfigLeverAppearsInAPreset)
+{
+    EXPECT_EQ(sizeof(core::MemifConfig), 128u)
+        << "MemifConfig changed shape: add the new lever to a preset "
+           "in src/check/differential.cc, then update this size";
+
+    const core::MemifConfig &top = presets().back().config;
+    EXPECT_STREQ(presets().back().name, "scaled");
+    // Default-on levers are exercised by every preset...
+    EXPECT_TRUE(top.gang_lookup);
+    EXPECT_TRUE(top.cpu_copy_fallback);
+    // ...and every default-off behaviour lever must be on by the top
+    // of the preset ladder.
+    EXPECT_TRUE(top.sg_coalescing);
+    EXPECT_TRUE(top.multi_tc_dispatch);
+    EXPECT_TRUE(top.batched_tlb_shootdown);
+    EXPECT_TRUE(top.irq_moderation);
+    EXPECT_TRUE(top.completion_drain);
+    EXPECT_TRUE(top.adaptive_polling);
+    EXPECT_TRUE(top.xlate_cache);
+    EXPECT_TRUE(top.bulk_alloc);
+    EXPECT_TRUE(top.percpu_rings);
+}
+
+}  // namespace
+}  // namespace memif::check
