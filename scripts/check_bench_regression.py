@@ -18,6 +18,10 @@ Checks that the optimisation levers actually pay off:
   stream's pages, and 4 submitting CPUs over per-CPU rings must
   sustain at least MIN_RING_SCALING_4CPU times the 1-CPU deposit
   throughput.
+* Multi-tenant fairness: at 16 equal-weight tenants under overload
+  the max/min per-tenant throughput ratio must stay at most
+  MAX_FAIRNESS_16, and the 4:1 weighted pair's observed bandwidth
+  split must land inside [MIN_WEIGHTED_SPLIT, MAX_WEIGHTED_SPLIT].
 
 Pure stdlib so it runs anywhere CI does.
 
@@ -46,6 +50,13 @@ X_GBPS, X_IRQS, X_WAKES = 1, 2, 3
 MIN_SCALED_SPEEDUP = 1.20
 MIN_XLATE_HIT_RATIO = 0.90
 MIN_RING_SCALING_4CPU = 2.0
+
+# Multi-tenant gates (bench_multitenant).  The WRR dispatcher must keep
+# 16 equal-weight tenants within 2x of each other, and a 4:1 weight
+# pair must split bandwidth roughly 4:1 while both still compete.
+MAX_FAIRNESS_16 = 2.0
+MIN_WEIGHTED_SPLIT = 3.0
+MAX_WEIGHTED_SPLIT = 5.0
 
 
 def fail(msg):
@@ -126,6 +137,33 @@ def check_submission_scaling(where):
         return fail(f"4-CPU ring submit scaling {rings[4]:.2f}x "
                     f"< {MIN_RING_SCALING_4CPU}x")
     print("check_bench_regression: submission scaling OK")
+    return check_multitenant(where)
+
+
+def check_multitenant(where):
+    """WRR fairness and the weighted bandwidth split must hold."""
+    report, err = load_report(where, "BENCH_multitenant.json")
+    if err:
+        return fail(err)
+    series = report.get("series", {})
+
+    fairness = dict(series.get("fairness", []))
+    if 16 not in fairness:
+        return fail("fairness series missing the 16-tenant point")
+    print(f"  16 equal-weight tenants: max/min throughput "
+          f"{fairness[16]:.2f}x")
+    if fairness[16] > MAX_FAIRNESS_16:
+        return fail(f"16-tenant fairness ratio {fairness[16]:.2f} "
+                    f"> {MAX_FAIRNESS_16}")
+
+    split = dict(series.get("weighted_split", []))
+    if 4 not in split:
+        return fail("weighted_split series missing from the artifact")
+    print(f"  4:1 weighted pair: observed split {split[4]:.2f}:1")
+    if not MIN_WEIGHTED_SPLIT <= split[4] <= MAX_WEIGHTED_SPLIT:
+        return fail(f"weighted split {split[4]:.2f} outside "
+                    f"[{MIN_WEIGHTED_SPLIT}, {MAX_WEIGHTED_SPLIT}]")
+    print("check_bench_regression: multitenant OK")
     return 0
 
 

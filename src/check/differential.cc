@@ -1,5 +1,6 @@
 #include "check/differential.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -28,6 +29,7 @@ presets()
         {"pipelined", MemifConfig::pipelined()},
         {"moderated", MemifConfig::moderated()},
         {"scaled", MemifConfig::scaled()},
+        {"tenanted", MemifConfig::tenanted()},
     };
     return kPresets;
 }
@@ -88,12 +90,28 @@ run_workload(const Workload &w, const RunOptions &opt)
         kernel.faults().arm_nth(dma::kFaultTcError,
                                 opt.inject_undeclared_fault_nth);
 
+    // Multi-tenant presets give every workload tenant its own process
+    // (address space) and register it with the device; otherwise all
+    // regions live in the single owner process and tenancy is inert.
+    const bool mt = opt.config.multi_tenant;
+    const std::uint32_t ntenants =
+        mt ? std::max<std::uint32_t>(w.num_tenants, 1) : 1;
+
     os::Process &proc = kernel.create_process();
+    std::vector<os::Process *> procs{&proc};
+    for (std::uint32_t t = 1; t < ntenants; ++t)
+        procs.push_back(&kernel.create_process());
+    auto proc_for_region = [&](std::uint32_t r) -> os::Process & {
+        return mt ? *procs[w.regions[r].tenant % ntenants] : proc;
+    };
+
     std::vector<vm::VAddr> bases;
     std::vector<std::uint64_t> pbs;
-    for (const RegionSpec &r : w.regions) {
+    for (std::uint32_t ri = 0; ri < w.regions.size(); ++ri) {
+        const RegionSpec &r = w.regions[ri];
+        os::Process &rp = proc_for_region(ri);
         const std::uint64_t pb = vm::page_bytes(r.psize);
-        const vm::VAddr base = proc.mmap(r.pages * pb, r.psize);
+        const vm::VAddr base = rp.mmap(r.pages * pb, r.psize);
         if (base == 0) {
             fail("mmap failed during setup");
             return res;
@@ -101,7 +119,7 @@ run_workload(const Workload &w, const RunOptions &opt)
         std::vector<std::uint8_t> buf(r.pages * pb);
         for (std::uint64_t i = 0; i < buf.size(); ++i)
             buf[i] = pat_byte(r.pattern, i);
-        if (!proc.as().write(base, buf.data(), buf.size())) {
+        if (!rp.as().write(base, buf.data(), buf.size())) {
             fail("initial fill failed during setup");
             return res;
         }
@@ -110,13 +128,29 @@ run_workload(const Workload &w, const RunOptions &opt)
     }
 
     MemifDevice dev(kernel, proc, opt.config);
+    for (std::uint32_t t = 1; t < ntenants; ++t)
+        if (dev.register_tenant(*procs[t]) != t) {
+            fail("register_tenant returned an unexpected asid");
+            return res;
+        }
+
+    // One handle per (tenant, cpu); lever off collapses to one row.
     std::vector<std::unique_ptr<MemifUser>> users;
-    for (std::uint32_t cpu = 0; cpu < kWorkloadCpus; ++cpu)
-        users.push_back(std::make_unique<MemifUser>(dev, cpu));
+    for (std::uint32_t t = 0; t < ntenants; ++t)
+        for (std::uint32_t cpu = 0; cpu < kWorkloadCpus; ++cpu)
+            users.push_back(std::make_unique<MemifUser>(dev, cpu, t));
+    auto user_for = [&](std::uint32_t asid,
+                        std::uint32_t cpu) -> MemifUser & {
+        return *users[asid * kWorkloadCpus + cpu % kWorkloadCpus];
+    };
+    auto tenant_of = [&](const WorkloadOp &op) -> std::uint32_t {
+        if (!mt || op.movs.empty()) return 0;
+        return w.regions[op.movs.front().src_region].tenant;
+    };
 
     ReferenceModel model(w);
     const OutcomeContext ctx{opt.config.race_policy, opt.arm_faults,
-                             opt.config.cpu_copy_fallback};
+                             opt.config.cpu_copy_fallback, mt};
     const std::uint64_t baseline = kernel.phys().outstanding_pages();
 
     // Terminal (status, error) per mov id; doubles as the
@@ -128,11 +162,26 @@ run_workload(const Workload &w, const RunOptions &opt)
     };
     std::vector<Outcome> outcomes(model.num_movs());
 
+    // Requests bounced by admission control (kFailed/kNoSpace) with a
+    // positive retry-after hint: not a terminal outcome — the driver
+    // loop honors retry_after_us and resubmits, so transient quota
+    // pressure cannot change final memory and the exactly-once ledger
+    // only ever sees real completions. A zero hint means the request
+    // can never fit the quota (its frame estimate alone exceeds it);
+    // that IS terminal, and the model's multi-tenant clause admits it.
+    std::vector<std::uint32_t> retries;
+
     auto handle_completion = [&](MemifUser &u, std::uint32_t idx) {
         MovReq &req = u.request(idx);
         const std::uint64_t tag = req.user_tag;
         const MovStatus st = req.load_status();
         const MovError err = req.error;
+        if (mt && st == MovStatus::kFailed &&
+            err == MovError::kNoSpace && req.retry_after_us != 0) {
+            ++res.rejected;
+            retries.push_back(idx);
+            return;
+        }
         if (tag >= outcomes.size()) {
             fail("completion with unknown user_tag " +
                  std::to_string(tag));
@@ -149,13 +198,29 @@ run_workload(const Workload &w, const RunOptions &opt)
         ++res.completed;
     };
 
+    // Resubmit every bounced request through its own tenant's handle
+    // after the device's retry-after hint has elapsed.
+    auto drain_retries = [&]() -> sim::Task {
+        std::vector<std::uint32_t> batch = std::move(retries);
+        retries.clear();
+        for (const std::uint32_t idx : batch) {
+            // Hint-0 rejections never land here (they are terminal),
+            // so the wait below is always positive.
+            MovReq &req = users[0]->request(idx);
+            co_await sim::Delay{kernel.eq(),
+                                sim::microseconds(req.retry_after_us)};
+            co_await user_for(req.asid, req.submit_cpu).submit(idx);
+        }
+    };
+
     // Compare live memory against the model (barriers + final check).
     auto check_memory = [&](const char *where) {
         std::vector<std::uint8_t> buf;
         for (std::uint32_t r = 0; r < w.regions.size(); ++r) {
             const std::vector<std::uint8_t> &want = model.memory(r);
             buf.resize(want.size());
-            if (!proc.as().read(bases[r], buf.data(), buf.size())) {
+            if (!proc_for_region(r).as().read(bases[r], buf.data(),
+                                              buf.size())) {
                 fail(std::string(where) + ": region " +
                      std::to_string(r) + " unreadable");
                 continue;
@@ -177,7 +242,7 @@ run_workload(const Workload &w, const RunOptions &opt)
             if (op.delay_us != 0)
                 co_await sim::Delay{kernel.eq(),
                                     sim::microseconds(op.delay_us)};
-            MemifUser &u = *users[op.cpu % users.size()];
+            MemifUser &u = user_for(tenant_of(op), op.cpu);
             switch (op.kind) {
                 case OpKind::kMov:
                 case OpKind::kMovMany: {
@@ -191,6 +256,8 @@ run_workload(const Workload &w, const RunOptions &opt)
                                 u.retrieve_completed();
                             if (done != kNoRequest)
                                 handle_completion(u, done);
+                            else if (!retries.empty())
+                                co_await drain_retries();
                             else
                                 co_await u.poll();
                         }
@@ -240,11 +307,11 @@ run_workload(const Workload &w, const RunOptions &opt)
                 }
                 case OpKind::kTouch: {
                     os::TouchOutcome out;
-                    co_await proc.touch(
-                        bases[op.touch.region] +
-                            std::uint64_t{op.touch.page} *
-                                pbs[op.touch.region],
-                        op.touch.write, &out);
+                    co_await proc_for_region(op.touch.region)
+                        .touch(bases[op.touch.region] +
+                                   std::uint64_t{op.touch.page} *
+                                       pbs[op.touch.region],
+                               op.touch.write, &out);
                     break;
                 }
                 case OpKind::kBarrier: {
@@ -253,6 +320,8 @@ run_workload(const Workload &w, const RunOptions &opt)
                             users[0]->retrieve_completed();
                         if (idx != kNoRequest)
                             handle_completion(*users[0], idx);
+                        else if (!retries.empty())
+                            co_await drain_retries();
                         else
                             co_await users[0]->poll();
                     }
@@ -301,7 +370,8 @@ run_workload(const Workload &w, const RunOptions &opt)
         std::vector<std::uint8_t> buf;
         for (std::uint32_t r = 0; r < w.regions.size(); ++r) {
             buf.resize(w.regions[r].pages * pbs[r]);
-            if (proc.as().read(bases[r], buf.data(), buf.size()))
+            if (proc_for_region(r).as().read(bases[r], buf.data(),
+                                             buf.size()))
                 fnv(mem_h, buf.data(), buf.size());
         }
     }

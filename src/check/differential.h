@@ -37,8 +37,8 @@ struct Preset {
     core::MemifConfig config;
 };
 
-/** The four standard presets: levers-off, pipelined, moderated,
- *  scaled (each a superset of the previous one's levers). */
+/** The five standard presets: levers-off, pipelined, moderated,
+ *  scaled, tenanted (each a superset of the previous one's levers). */
 const std::vector<Preset> &presets();
 
 struct RunOptions {
@@ -66,6 +66,9 @@ struct RunResult {
     std::string failure;
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
+    /** Admission-control bounces (kNoSpace) the runner retried;
+     *  multi_tenant presets only. */
+    std::uint64_t rejected = 0;
     /** Virtual end time of the run. */
     std::uint64_t end_time = 0;
     /** FNV-1a over final region bytes only: must be identical across

@@ -93,6 +93,15 @@ ReferenceModel::outcome_allowed(std::size_t id, MovStatus st,
         return false;
     };
 
+    // Admission backpressure (multi_tenant): a quota rejection is a
+    // legal terminal for ANY request — it fires at submit, before
+    // validation, so even malformed requests can see it. The runner
+    // normally retries these instead of recording them, but a client
+    // that gives up on kNoSpace is within its rights.
+    if (ctx.multi_tenant && st == MovStatus::kFailed &&
+        err == MovError::kNoSpace)
+        return true;
+
     if (rec.spec.malform != Malform::kNone) {
         if (st == MovStatus::kFailed && err == rec.expect_error)
             return true;
@@ -182,6 +191,7 @@ error_name(MovError err)
         case MovError::kFileBacked: return "kFileBacked";
         case MovError::kDmaError: return "kDmaError";
         case MovError::kTimeout: return "kTimeout";
+        case MovError::kNoSpace: return "kNoSpace";
     }
     return "?";
 }

@@ -21,6 +21,9 @@
  *   replication kDone always; kFailed(kDmaError | kTimeout) under the
  *               same fault condition. Never raced, never aborted.
  *   malformed   exactly kFailed(expected validation error).
+ *   any         kFailed(kNoSpace) under multi_tenant presets only:
+ *               admission backpressure strikes at submit, before
+ *               validation (the runner retries instead of recording).
  *
  * Memory, by contrast, IS fully predicted: migrations and touches are
  * content-inert under every policy and every outcome (raced, aborted,
@@ -58,6 +61,16 @@ struct OutcomeContext {
     bool faults_armed = false;
     /** MemifConfig::cpu_copy_fallback (on: DMA faults are absorbed). */
     bool cpu_copy_fallback = true;
+    /** MemifConfig::multi_tenant: admission control may reject any
+     *  request — malformed ones included, rejection precedes
+     *  validation — with kFailed/kNoSpace. The differential runner
+     *  treats a rejection with a positive retry_after_us as
+     *  backpressure, not a terminal outcome: it waits out the hint and
+     *  resubmits, so transient kNoSpace never reaches the exactly-once
+     *  ledger and final memory stays preset-independent. A zero hint
+     *  (frame estimate alone exceeds the quota) IS terminal — a failed
+     *  request moves no memory, so the digests still converge. */
+    bool multi_tenant = false;
 };
 
 /** One flattened request. Its index in submission order is the

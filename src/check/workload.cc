@@ -76,7 +76,22 @@ generate_workload(std::uint64_t seed)
                    static_cast<std::uint8_t>(1 + rng.next_below(250))},
     };
 
+    // Partition the regions over 2-4 tenants (round-robin, so every
+    // tenant owns at least one region). Ops are generated per-tenant
+    // below; only multi_tenant presets act on the partition.
+    w.num_tenants = 2 + static_cast<std::uint32_t>(rng.next_below(3));
+    for (std::uint32_t r = 0; r < w.regions.size(); ++r)
+        w.regions[r].tenant = r % w.num_tenants;
+
     Claims claims(w.regions);
+
+    // Region indices owned by `tenant` (never empty: round-robin).
+    auto regions_of = [&](std::uint32_t tenant) {
+        std::vector<std::uint32_t> owned;
+        for (std::uint32_t r = 0; r < w.regions.size(); ++r)
+            if (w.regions[r].tenant == tenant) owned.push_back(r);
+        return owned;
+    };
 
     // Pick an unclaimed run of up to `want` pages anywhere in `region`.
     auto find_free = [&](std::uint32_t region, std::uint32_t want,
@@ -97,12 +112,14 @@ generate_workload(std::uint64_t seed)
         return false;
     };
 
-    // One valid migration or replication with freshly claimed pages,
-    // or nullopt-equivalent (returns false) when everything is claimed.
-    auto make_valid_mov = [&](MovSpec *out) -> bool {
+    // One valid migration or replication with freshly claimed pages
+    // inside @p tenant's regions, or nullopt-equivalent (returns false)
+    // when everything is claimed.
+    auto make_valid_mov = [&](std::uint32_t tenant, MovSpec *out) -> bool {
+        const std::vector<std::uint32_t> owned = regions_of(tenant);
         const bool replicate = rng.next_below(3) == 0;
-        const std::uint32_t rs = static_cast<std::uint32_t>(
-            rng.next_below(w.regions.size()));
+        const std::uint32_t rs =
+            owned[rng.next_below(owned.size())];
         const std::uint32_t want =
             w.regions[rs].psize == vm::PageSize::k64K
                 ? 1 + static_cast<std::uint32_t>(rng.next_below(4))
@@ -123,8 +140,8 @@ generate_workload(std::uint64_t seed)
         // on failure).
         claims.claim(rs, sfirst, sn);
         const std::uint64_t src_pb = vm::page_bytes(w.regions[rs].psize);
-        const std::uint32_t rd = static_cast<std::uint32_t>(
-            rng.next_below(w.regions.size()));
+        const std::uint32_t rd =
+            owned[rng.next_below(owned.size())];
         const std::uint64_t dst_pb = vm::page_bytes(w.regions[rd].psize);
         const std::uint64_t bytes = sn * src_pb;
         const std::uint32_t dst_pages = static_cast<std::uint32_t>(
@@ -144,10 +161,10 @@ generate_workload(std::uint64_t seed)
         return true;
     };
 
-    auto make_malformed_mov = [&]() -> MovSpec {
+    auto make_malformed_mov = [&](std::uint32_t tenant) -> MovSpec {
+        const std::vector<std::uint32_t> owned = regions_of(tenant);
         MovSpec m;
-        m.src_region = static_cast<std::uint32_t>(
-            rng.next_below(w.regions.size()));
+        m.src_region = owned[rng.next_below(owned.size())];
         m.src_page = 0;
         m.num_pages = 1;
         switch (rng.next_below(5)) {
@@ -175,6 +192,10 @@ generate_workload(std::uint64_t seed)
         op.cpu = static_cast<std::uint32_t>(rng.next_below(kWorkloadCpus));
         op.delay_us = static_cast<std::uint32_t>(rng.next_below(40));
 
+        // The tenant this op acts as; a batch stays within one tenant
+        // (one MemifUser handle submits the whole submit_many() call).
+        const std::uint32_t tenant = static_cast<std::uint32_t>(
+            rng.next_below(w.num_tenants));
         const std::uint64_t dice = rng.next_below(100);
         if (since_barrier >= 12 || dice < 8) {
             op.kind = OpKind::kBarrier;
@@ -199,8 +220,8 @@ generate_workload(std::uint64_t seed)
                 // One in six batch slots is deliberately malformed so
                 // mixed-outcome batches are routine.
                 if (rng.next_below(6) == 0)
-                    op.movs.push_back(make_malformed_mov());
-                else if (make_valid_mov(&m))
+                    op.movs.push_back(make_malformed_mov(tenant));
+                else if (make_valid_mov(tenant, &m))
                     op.movs.push_back(m);
             }
             if (op.movs.empty()) {
@@ -214,9 +235,9 @@ generate_workload(std::uint64_t seed)
             op.kind = OpKind::kMov;
             MovSpec m;
             if (rng.next_below(10) == 0) {
-                op.movs.push_back(make_malformed_mov());
+                op.movs.push_back(make_malformed_mov(tenant));
                 ++since_barrier;
-            } else if (make_valid_mov(&m)) {
+            } else if (make_valid_mov(tenant, &m)) {
                 op.movs.push_back(m);
                 ++since_barrier;
             } else {
@@ -238,6 +259,7 @@ drop_ops(const Workload &w, std::size_t begin, std::size_t count)
 {
     Workload out;
     out.seed = w.seed;
+    out.num_tenants = w.num_tenants;
     out.regions = w.regions;
     out.ops.reserve(w.ops.size());
     for (std::size_t i = 0; i < w.ops.size(); ++i)

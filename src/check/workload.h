@@ -18,7 +18,7 @@
  * pages. Migrations preserve content and replications have exclusive
  * destinations, so the final bytes of every region are independent of
  * completion order — which is what lets one sequential reference model
- * predict the outcome of four differently-scheduled presets.
+ * predict the outcome of every differently-scheduled preset.
  * CPU touches are exempt (they never modify content, only PTE state)
  * and are the designated way to race an in-flight migration.
  */
@@ -38,6 +38,14 @@ struct RegionSpec {
     vm::PageSize psize = vm::PageSize::k4K;
     /** Seed byte of the initial fill pattern (pattern + i * 13). */
     std::uint8_t pattern = 0;
+    /** Owning tenant. Under a multi_tenant preset the differential
+     *  runner maps each region into its tenant's process and submits
+     *  its requests through that tenant's MemifUser handle; presets
+     *  with the lever off map everything into the owner process and
+     *  ignore this field. The generator keeps every request (source
+     *  AND destination) within one tenant's regions, so tenancy never
+     *  changes which requests are valid. */
+    std::uint32_t tenant = 0;
 
     bool operator==(const RegionSpec &) const = default;
 };
@@ -101,6 +109,9 @@ struct WorkloadOp {
 
 struct Workload {
     std::uint64_t seed = 0;
+    /** Tenants the regions are partitioned over (>= 1). Only
+     *  multi_tenant presets instantiate more than one address space. */
+    std::uint32_t num_tenants = 1;
     std::vector<RegionSpec> regions;
     std::vector<WorkloadOp> ops;
 
@@ -112,10 +123,11 @@ inline constexpr std::uint32_t kWorkloadCpus = 4;
 
 /**
  * Generate the seeded randomized workload for @p seed: mixed 4 KB /
- * 64 KB regions, migrations bouncing between nodes, replications with
- * exclusive destinations, batched submits, malformed requests, racing
- * touches, and periodic barriers. Deterministic: the same seed always
- * yields the same workload, on any host.
+ * 64 KB regions partitioned over 2-4 tenants, migrations bouncing
+ * between nodes, replications with exclusive destinations, batched
+ * submits, malformed requests, racing touches, and periodic barriers.
+ * Every op stays within one tenant's regions. Deterministic: the same
+ * seed always yields the same workload, on any host.
  */
 Workload generate_workload(std::uint64_t seed);
 

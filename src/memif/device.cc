@@ -1,6 +1,7 @@
 #include "memif/device.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/cost_model.h"
 #include "sim/log.h"
@@ -79,6 +80,15 @@ MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
                     xlate_cache_->invalidate(vma, first, n);
             });
     }
+    if (config_.multi_tenant) {
+        // The owning process is tenant 0; its hooks (young-fault,
+        // xlate invalidation) were just installed above.
+        Tenant t;
+        t.proc = &proc_;
+        t.stats.weight = std::max<std::uint32_t>(
+            config_.tenant_default_weight, 1);
+        tenants_.push_back(std::move(t));
+    }
     kthread_task_ = kthread_loop();
 }
 
@@ -104,6 +114,14 @@ MemifDevice::~MemifDevice()
         proc_.as().set_young_fault_hook(nullptr);
     if (config_.xlate_cache)
         proc_.as().set_xlate_invalidate_hook(nullptr);
+    // Tenant address spaces outlive the device (the kernel owns the
+    // processes); unhook them so no dangling callback survives.
+    for (std::size_t i = 1; i < tenants_.size(); ++i) {
+        if (config_.race_policy == RacePolicy::kRecover)
+            tenants_[i].proc->as().set_young_fault_hook(nullptr);
+        if (config_.xlate_cache)
+            tenants_[i].proc->as().set_xlate_invalidate_hook(nullptr);
+    }
     drain_magazines();
     // The kernel thread may be destroyed mid-suspension while holding
     // its moderation mask; rebalance so the engine (which the kernel
@@ -121,6 +139,8 @@ MemifDevice::idle() const
     auto &region = const_cast<SharedRegion &>(region_);
     for (std::uint32_t r = 0; r < region.num_rings(); ++r)
         if (!region.ring_queue(r).empty()) return false;
+    for (const Tenant &t : tenants_)
+        if (!t.pending.empty()) return false;
     return in_flight_.empty() && pending_release_.empty() &&
            region.staging_queue().empty() &&
            region.submission_queue().empty();
@@ -191,12 +211,12 @@ MemifDevice::check_quiesced(std::string *why) const
         }
     }
 
-    if (xlate_cache_) {
-        for (const XlateCache::Entry &e : xlate_cache_->entries()) {
-            if (e.generation > xlate_cache_->generation()) {
+    auto check_cache = [&](const XlateCache &cache) {
+        for (const XlateCache::Entry &e : cache.entries()) {
+            if (e.generation > cache.generation()) {
                 fail("xlate entry from the future (generation " +
                      std::to_string(e.generation) + " > " +
-                     std::to_string(xlate_cache_->generation()) + ")");
+                     std::to_string(cache.generation()) + ")");
                 continue;
             }
             for (std::uint64_t i = 0; i < e.num_pages(); ++i) {
@@ -209,6 +229,25 @@ MemifDevice::check_quiesced(std::string *why) const
                 break;
             }
         }
+    };
+    if (xlate_cache_) check_cache(*xlate_cache_);
+
+    // Per-ASID quiesce: every tenant has returned its quota charges and
+    // drained its pending queue, and its private cache is consistent.
+    for (std::size_t a = 0; a < tenants_.size(); ++a) {
+        const Tenant &t = tenants_[a];
+        if (t.stats.outstanding != 0)
+            fail("tenant " + std::to_string(a) + " still holds " +
+                 std::to_string(t.stats.outstanding) +
+                 " in-flight quota slot(s)");
+        if (t.stats.frames_charged != 0)
+            fail("tenant " + std::to_string(a) + " still charged " +
+                 std::to_string(t.stats.frames_charged) +
+                 " transient frame(s)");
+        if (!t.pending.empty())
+            fail("tenant " + std::to_string(a) + " pending queue holds " +
+                 std::to_string(t.pending.size()) + " request(s)");
+        if (t.xcache) check_cache(*t.xcache);
     }
     return ok;
 }
@@ -220,6 +259,368 @@ MemifDevice::magazine_pages() const
     for (const auto &[key, mag] : magazines_)
         pages += mag.size() * (std::uint64_t{1} << key.second);
     return pages;
+}
+
+// --------------------------------------------------------------------
+// Multi-tenant service layer: registry, admission control, weighted
+// round-robin dispatch, load shedding (multi_tenant lever).
+// --------------------------------------------------------------------
+
+MemifDevice::Tenant *
+MemifDevice::tenant_for(std::uint32_t asid)
+{
+    if (asid >= tenants_.size()) return nullptr;
+    return &tenants_[asid];
+}
+
+const MemifDevice::Tenant *
+MemifDevice::tenant_for(std::uint32_t asid) const
+{
+    if (asid >= tenants_.size()) return nullptr;
+    return &tenants_[asid];
+}
+
+vm::AddressSpace &
+MemifDevice::request_as(const MovReq &req) const
+{
+    if (config_.multi_tenant && req.asid < tenants_.size())
+        return tenants_[req.asid].proc->as();
+    return const_cast<os::Process &>(proc_).as();
+}
+
+XlateCache *
+MemifDevice::xlate_for(std::uint32_t asid)
+{
+    if (Tenant *t = tenant_for(asid); t && t->xcache)
+        return t->xcache.get();
+    return xlate_cache_.get();
+}
+
+void
+MemifDevice::invalidate_xlate(const vm::Vma *vma, std::uint64_t first,
+                              std::uint64_t n)
+{
+    if (xlate_cache_)
+        stats_.xlate_invalidations +=
+            xlate_cache_->invalidate(vma, first, n);
+    for (Tenant &t : tenants_)
+        if (t.xcache)
+            stats_.xlate_invalidations +=
+                t.xcache->invalidate(vma, first, n);
+}
+
+std::uint32_t
+MemifDevice::register_tenant(os::Process &proc, std::uint32_t weight)
+{
+    MEMIF_ASSERT(config_.multi_tenant,
+                 "register_tenant requires the multi_tenant lever");
+    const auto asid = static_cast<std::uint32_t>(tenants_.size());
+    Tenant t;
+    t.proc = &proc;
+    t.stats.weight = weight != 0
+                         ? weight
+                         : std::max<std::uint32_t>(
+                               config_.tenant_default_weight, 1);
+    if (config_.race_policy == RacePolicy::kRecover) {
+        proc.as().set_young_fault_hook(
+            [this](vm::Vma &vma, std::uint64_t idx) {
+                return handle_young_fault(vma, idx);
+            });
+    }
+    if (config_.xlate_cache) {
+        t.xcache = std::make_unique<XlateCache>(config_.xlate_cache_entries);
+        XlateCache *cache = t.xcache.get();
+        proc.as().set_xlate_invalidate_hook(
+            [this, cache](const vm::Vma *vma, std::uint64_t first,
+                          std::uint64_t n) {
+                stats_.xlate_invalidations +=
+                    cache->invalidate(vma, first, n);
+            });
+    }
+    tenants_.push_back(std::move(t));
+    return asid;
+}
+
+void
+MemifDevice::set_tenant_weight(std::uint32_t asid, std::uint32_t weight)
+{
+    Tenant *t = tenant_for(asid);
+    MEMIF_ASSERT(t != nullptr, "set_tenant_weight: unknown ASID");
+    t->stats.weight = std::max<std::uint32_t>(weight, 1);
+}
+
+const TenantStats &
+MemifDevice::tenant_stats(std::uint32_t asid) const
+{
+    const Tenant *t = tenant_for(asid);
+    MEMIF_ASSERT(t != nullptr, "tenant_stats: unknown ASID");
+    return t->stats;
+}
+
+double
+MemifDevice::fairness_ratio() const
+{
+    std::uint64_t lo = 0, hi = 0;
+    bool have = false;
+    for (const Tenant &t : tenants_) {
+        if (t.stats.admitted == 0) continue;
+        if (!have) {
+            lo = hi = t.stats.bytes_moved;
+            have = true;
+            continue;
+        }
+        lo = std::min(lo, t.stats.bytes_moved);
+        hi = std::max(hi, t.stats.bytes_moved);
+    }
+    if (!have || hi == 0 || lo == hi) return 1.0;
+    if (lo == 0) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+void
+MemifDevice::print_stats(std::FILE *out) const
+{
+    const DeviceStats &s = stats_;
+    std::fprintf(out, "memif device stats\n");
+    std::fprintf(out, "  requests_completed    %12llu\n",
+                 static_cast<unsigned long long>(s.requests_completed));
+    std::fprintf(out, "  replications          %12llu\n",
+                 static_cast<unsigned long long>(s.replications));
+    std::fprintf(out, "  migrations            %12llu\n",
+                 static_cast<unsigned long long>(s.migrations));
+    std::fprintf(out, "  pages_moved           %12llu\n",
+                 static_cast<unsigned long long>(s.pages_moved));
+    std::fprintf(out, "  bytes_moved           %12llu\n",
+                 static_cast<unsigned long long>(s.bytes_moved));
+    std::fprintf(out, "  validation_failures   %12llu\n",
+                 static_cast<unsigned long long>(s.validation_failures));
+    std::fprintf(out, "  dma_errors/retries    %8llu/%llu\n",
+                 static_cast<unsigned long long>(s.dma_errors),
+                 static_cast<unsigned long long>(s.dma_retries));
+    std::fprintf(out, "  watchdog_timeouts     %12llu\n",
+                 static_cast<unsigned long long>(s.watchdog_timeouts));
+    std::fprintf(out, "  fallback_copies       %12llu\n",
+                 static_cast<unsigned long long>(s.fallback_copies));
+    std::fprintf(out, "  rollbacks             %12llu\n",
+                 static_cast<unsigned long long>(s.rollbacks));
+    if (!config_.multi_tenant) return;
+    // kErrNoSpace used to vanish from the caller's view; the admission
+    // counters make every refused or shed request visible.
+    std::fprintf(out, "  admission_rejections  %12llu\n",
+                 static_cast<unsigned long long>(s.admission_rejections));
+    std::fprintf(out, "  quota_hits_inflight   %12llu\n",
+                 static_cast<unsigned long long>(s.quota_hits_inflight));
+    std::fprintf(out, "  quota_hits_frames     %12llu\n",
+                 static_cast<unsigned long long>(s.quota_hits_frames));
+    std::fprintf(out, "  shed_requests         %12llu\n",
+                 static_cast<unsigned long long>(s.shed_requests));
+    std::fprintf(out, "  wrr_dispatches        %12llu\n",
+                 static_cast<unsigned long long>(s.wrr_dispatches));
+    std::fprintf(out, "  fairness_ratio        %12.3f\n",
+                 fairness_ratio());
+    std::fprintf(out,
+                 "  asid  weight   admitted  completed   rejected"
+                 "       shed  bytes_moved  max_wait_us\n");
+    for (std::size_t a = 0; a < tenants_.size(); ++a) {
+        const TenantStats &t = tenants_[a].stats;
+        std::fprintf(out,
+                     "  %4zu  %6u %10llu %10llu %10llu %10llu %12llu "
+                     "%12.1f\n",
+                     a, t.weight,
+                     static_cast<unsigned long long>(t.admitted),
+                     static_cast<unsigned long long>(t.completed),
+                     static_cast<unsigned long long>(t.rejected),
+                     static_cast<unsigned long long>(t.shed),
+                     static_cast<unsigned long long>(t.bytes_moved),
+                     static_cast<double>(t.max_slot_wait) / 1000.0);
+    }
+}
+
+void
+MemifDevice::charge_frames(const InFlightPtr &fl)
+{
+    if (!config_.multi_tenant || fl->frames_charged != 0) return;
+    Tenant *t = tenant_for(fl->asid);
+    if (!t) return;
+    fl->frames_charged =
+        std::uint64_t{fl->num_pages} << fl->order;
+    t->stats.frames_charged += fl->frames_charged;
+}
+
+void
+MemifDevice::uncharge_frames(const InFlightPtr &fl)
+{
+    if (fl->frames_charged == 0) return;
+    if (Tenant *t = tenant_for(fl->asid)) {
+        MEMIF_ASSERT(t->stats.frames_charged >= fl->frames_charged,
+                     "tenant frame charge underflow");
+        t->stats.frames_charged -= fl->frames_charged;
+    }
+    fl->frames_charged = 0;
+}
+
+void
+MemifDevice::reject_no_space(std::uint32_t idx, Tenant &t, bool permanent)
+{
+    MovReq &req = region_.request(idx);
+    // Back-off hint: roughly one service interval per request already
+    // ahead of this tenant (a heuristic, monotone in the backlog). A
+    // zero hint means the rejection is permanent — the request can
+    // never fit this tenant's quota, so retrying is pointless.
+    const std::uint64_t backlog =
+        std::uint64_t{t.stats.outstanding} + t.pending.size();
+    req.retry_after_us =
+        permanent ? 0
+                  : static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                        20 * (backlog + 1), 10000));
+    ++t.stats.rejected;
+    notify(idx, MovStatus::kFailed, MovError::kNoSpace);
+}
+
+bool
+MemifDevice::admit_request(std::uint32_t idx)
+{
+    if (!config_.multi_tenant) return true;
+    MovReq &req = region_.request(idx);
+    Tenant *t = tenant_for(req.asid);
+    if (!t) {
+        // Unknown ASID: not a quota matter — a malformed request.
+        notify(idx, MovStatus::kFailed, MovError::kBadRequest);
+        return false;
+    }
+    if (config_.tenant_inflight_quota != 0 &&
+        t->stats.outstanding >= config_.tenant_inflight_quota) {
+        ++stats_.admission_rejections;
+        ++stats_.quota_hits_inflight;
+        reject_no_space(idx, *t);
+        return false;
+    }
+    if (config_.tenant_frame_quota != 0 && req.op == MovOp::kMigrate) {
+        // Estimate the transient doubled-frame window against the
+        // quota. An unmapped src_base is admitted — validation fails
+        // it with the precise error.
+        if (const vm::Vma *vma = t->proc->as().find_vma(req.src_base)) {
+            const std::uint64_t est =
+                std::uint64_t{req.num_pages}
+                << vm::page_order(vma->page_size());
+            if (t->stats.frames_charged + est >
+                config_.tenant_frame_quota) {
+                ++stats_.admission_rejections;
+                ++stats_.quota_hits_frames;
+                // An estimate that exceeds the whole quota can never
+                // fit no matter how far the tenant drains: reject it
+                // permanently (hint 0) so callers don't retry forever.
+                reject_no_space(idx, *t,
+                                est > config_.tenant_frame_quota);
+                return false;
+            }
+        }
+    }
+    req.admitted = 1;
+    ++t->stats.outstanding;
+    ++t->stats.admitted;
+    return true;
+}
+
+void
+MemifDevice::route_to_pending(bool take_staging)
+{
+    const sim::CostModel &cm = kernel_.costs();
+    auto route = [&](std::uint32_t idx) {
+        if (!region_.valid_index(idx)) {
+            MEMIF_WARN("memif: dropping corrupt request index %u", idx);
+            return;
+        }
+        MovReq &req = region_.request(idx);
+        Tenant *t = tenant_for(req.asid);
+        if (!t) {
+            notify(idx, MovStatus::kFailed, MovError::kBadRequest);
+            return;
+        }
+        // Graceful degradation: a tenant whose unserved queue outgrows
+        // its weight-scaled bound is shed instead of letting it stall
+        // everyone behind a fault storm or frame exhaustion.
+        const std::uint64_t bound =
+            std::uint64_t{config_.tenant_queue_depth} * t->stats.weight;
+        if (config_.tenant_queue_depth != 0 && t->pending.size() >= bound) {
+            ++stats_.shed_requests;
+            ++t->stats.shed;
+            reject_no_space(idx, *t);
+            return;
+        }
+        t->pending.push_back(idx);
+    };
+    for (;;) {
+        lockfree::DequeueResult d = region_.submission_queue().dequeue();
+        if (!d.ok && take_staging) d = region_.staging_queue().dequeue();
+        if (!d.ok && region_.num_rings() > 0) {
+            const std::uint32_t nr = region_.num_rings();
+            for (std::uint32_t i = 0; i < nr && !d.ok; ++i) {
+                const std::uint32_t r = (ring_rr_ + i) % nr;
+                d = region_.ring_queue(r).dequeue();
+                if (d.ok) ring_rr_ = (r + 1) % nr;
+            }
+        }
+        if (!d.ok) return;
+        kernel_.cpu().charge(sim::ExecContext::kKthread, Op::kQueue,
+                             cm.queue_op);
+        route(d.value);
+    }
+}
+
+bool
+MemifDevice::wrr_pick(std::uint32_t *out)
+{
+    // Smooth weighted round-robin: every active tenant earns its
+    // weight, the richest serves, then pays the active-weight total.
+    // Under continuous backlog this interleaves tenants in exact
+    // weight proportion (descriptor slots and TC bandwidth follow).
+    std::int64_t active_weight = 0;
+    Tenant *best = nullptr;
+    for (Tenant &t : tenants_) {
+        if (t.pending.empty()) continue;
+        active_weight += t.stats.weight;
+        t.wrr_credit += t.stats.weight;
+        if (!best || t.wrr_credit > best->wrr_credit) best = &t;
+    }
+    if (!best) return false;
+    best->wrr_credit -= active_weight;
+    *out = best->pending.front();
+    best->pending.erase(best->pending.begin());
+    ++stats_.wrr_dispatches;
+    // Starvation tripwire: worst wait from submit to service start.
+    const MovReq &req = region_.request(*out);
+    const sim::SimTime now = kernel_.eq().now();
+    if (now >= req.submit_time) {
+        const sim::Duration wait = now - req.submit_time;
+        if (wait > best->stats.max_slot_wait)
+            best->stats.max_slot_wait = wait;
+    }
+    return true;
+}
+
+bool
+MemifDevice::next_request(std::uint32_t *out, bool take_staging)
+{
+    if (config_.multi_tenant) {
+        route_to_pending(take_staging);
+        return wrr_pick(out);
+    }
+    lockfree::DequeueResult d = region_.submission_queue().dequeue();
+    if (!d.ok && take_staging) d = region_.staging_queue().dequeue();
+    if (!d.ok && region_.num_rings() > 0) {
+        // Per-CPU rings: round-robin scan so no submitting CPU can
+        // starve the others.
+        const std::uint32_t nr = region_.num_rings();
+        for (std::uint32_t i = 0; i < nr && !d.ok; ++i) {
+            const std::uint32_t r = (ring_rr_ + i) % nr;
+            d = region_.ring_queue(r).dequeue();
+            if (d.ok) ring_rr_ = (r + 1) % nr;
+        }
+    }
+    if (!d.ok) return false;
+    *out = d.value;
+    return true;
 }
 
 // --------------------------------------------------------------------
@@ -236,7 +637,7 @@ MemifDevice::validate(const MovReq &req, vm::Vma **src_vma,
         req.num_pages > dma::DescriptorRam::kEntries)
         return MovError::kBadRequest;
 
-    vm::AddressSpace &as = const_cast<os::Process &>(proc_).as();
+    vm::AddressSpace &as = request_as(req);
     vm::Vma *src = as.find_vma(req.src_base);
     if (!src) return MovError::kBadAddress;
     const std::uint64_t pb = vm::page_bytes(src->page_size());
@@ -286,6 +687,17 @@ MemifDevice::notify(std::uint32_t idx, MovStatus status, MovError error)
     req.error = error;
     req.complete_time = kernel_.eq().now();
     req.store_status(status);
+    // Return the tenant's in-flight quota slot exactly once per
+    // admitted request (rejections never held one).
+    if (config_.multi_tenant && req.admitted) {
+        req.admitted = 0;
+        if (Tenant *t = tenant_for(req.asid)) {
+            MEMIF_ASSERT(t->stats.outstanding > 0,
+                         "tenant in-flight quota underflow");
+            --t->stats.outstanding;
+            ++t->stats.completed;
+        }
+    }
     if (status == MovStatus::kDone)
         region_.completion_ok_queue().enqueue(idx);
     else
@@ -337,12 +749,13 @@ MemifDevice::xlate_writethrough(const InFlightPtr &fl, ExecContext ctx)
     // while the request was in flight; with the final PTEs now live
     // (and, under kDetect, never flushed again), re-record them so the
     // next move over the region starts from a hit.
-    if (!xlate_cache_) return;
+    XlateCache *const xcache = xlate_for(fl->asid);
+    if (!xcache) return;
     std::vector<vm::Pte> ptes;
     ptes.reserve(fl->num_pages);
     for (std::uint32_t i = 0; i < fl->num_pages; ++i)
         ptes.push_back(fl->vma->pte(fl->first_page + i));
-    xlate_cache_->record(fl->vma, fl->first_page, std::move(ptes));
+    xcache->record(fl->vma, fl->first_page, std::move(ptes));
     kernel_.cpu().charge(ctx, Op::kRelease, kernel_.costs().xlate_probe);
 }
 
@@ -498,6 +911,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     auto fl = std::make_shared<InFlight>();
     fl->req_idx = idx;
     fl->op = req.op;
+    fl->asid = req.asid;
     fl->submit_cpu = req.submit_cpu;
     fl->vma = src_vma;
     fl->num_pages = req.num_pages;
@@ -530,7 +944,8 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         lookup_regions = 2;
     }
     sim::Duration lookup_cost = 0;
-    vm::PageTable &table = proc_.as().page_table();
+    vm::PageTable &table = request_as(req).page_table();
+    XlateCache *const xcache = xlate_for(req.asid);
     // Source translations snapshotted from a gang-cache hit; validated
     // against the cache generation after the Prep charge below (any
     // invalidation in between falls back to live PTE reads).
@@ -539,13 +954,13 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     for (std::uint64_t r = 0; r < lookup_regions; ++r) {
         const LookupRegion &lr = lookups[r];
         std::uint64_t walk_pages = lr.pages;
-        if (xlate_cache_) {
+        if (xcache) {
             // One hashed probe against the per-VMA generation, hit or
             // miss (the cache's only cost on the submission path).
             lookup_cost += cm.xlate_probe;
             const std::uint64_t first = lr.vma->page_index(lr.base);
             const XlateCache::Entry *e =
-                xlate_cache_->lookup(lr.vma, first, lr.pages);
+                xcache->lookup(lr.vma, first, lr.pages);
             if (e) {
                 stats_.xlate_hits += lr.pages;
                 if (r == 0) {
@@ -554,7 +969,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                         e->ptes.begin() + static_cast<std::ptrdiff_t>(off),
                         e->ptes.begin() +
                             static_cast<std::ptrdiff_t>(off + lr.pages));
-                    cached_src_gen = xlate_cache_->generation();
+                    cached_src_gen = xcache->generation();
                 }
                 continue;  // walk skipped entirely (§5.1 eliminated)
             }
@@ -572,21 +987,21 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                 : vm::PageTable::per_page_cost(walk_pages);
         lookup_cost += wc.full_descents * cm.page_walk_full +
                        wc.adjacent_steps * cm.page_walk_adjacent;
-        if (xlate_cache_) {
+        if (xcache) {
             const std::uint64_t first = lr.vma->page_index(lr.base);
             std::vector<vm::Pte> ptes;
             ptes.reserve(walk_pages);
             for (std::uint64_t i = 0; i < walk_pages; ++i)
                 ptes.push_back(lr.vma->pte(first + i));
-            xlate_cache_->record(lr.vma, first, std::move(ptes));
+            xcache->record(lr.vma, first, std::move(ptes));
         }
     }
     co_await cpu.busy(ctx, Op::kPrep, lookup_cost);
     tr.record(kernel_.eq().now(), TracePoint::kPrepDone, ctx, idx);
 
     const bool use_cached_src =
-        !cached_src.empty() && xlate_cache_ &&
-        xlate_cache_->generation() == cached_src_gen;
+        !cached_src.empty() && xcache &&
+        xcache->generation() == cached_src_gen;
     fl->old_pfns.reserve(req.num_pages);
     for (std::uint32_t i = 0; i < req.num_pages; ++i) {
         const vm::Pte pte = use_cached_src
@@ -645,6 +1060,10 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
             notify(idx, MovStatus::kFailed, MovError::kNoMemory);
             co_return;
         }
+        // The doubled-frame window opens here: both the old and the new
+        // copy exist until Release (or a rollback) frees one of them.
+        // Charge it to the tenant's frame quota for the duration.
+        charge_frames(fl);
         // Collect every mapping of every page from the reverse-map
         // chains (shared anonymous pages have several, §6.7) — the
         // caller's own mapping is forced to the front.
@@ -676,7 +1095,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                 m.vma = mvma;
                 m.page_idx = mvma->page_index(re.vaddr);
                 m.old_pte = mvma->pte(m.page_idx).pack();
-                if (as == &proc_.as() && mvma == src_vma)
+                if (as == &request_as(req) && mvma == src_vma)
                     fl->mappings[i].insert(fl->mappings[i].begin(), m);
                 else
                     fl->mappings[i].push_back(m);
@@ -687,6 +1106,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         if (busy) {
             // Frees are uncharged here, as on the non-bulk path (the
             // reject happens before the Remap charge).
+            uncharge_frames(fl);
             sim::Duration scratch = 0;
             for (const mem::Pfn pfn : fl->new_pfns)
                 free_frames(pfn, fl->order, scratch);
@@ -893,6 +1313,12 @@ MemifDevice::on_dma_complete(InFlightPtr fl)
     if (fl->completion_claimed) co_return;
     if (kernel_.dma().status(fl->tid) == dma::TransferStatus::kError) {
         // CC error interrupt (EDMA3 EMR): no bytes moved; recover.
+        // Claim the flight BEFORE charging interrupt time: the engine
+        // purges the errored record during that suspension, after which
+        // a drain/reap pass querying the stale id would read a clean
+        // completion and release the request while the recovery ladder
+        // is still on its way to retry it.
+        fl->completion_claimed = true;
         const sim::CostModel &cm = kernel_.costs();
         ++stats_.dma_errors;
         kernel_.tracer().record(kernel_.eq().now(), TracePoint::kDmaError,
@@ -1137,6 +1563,11 @@ MemifDevice::restart_dma(InFlightPtr fl, ExecContext ctx)
         static_cast<std::uint32_t>(fl->sg.size()), &fl->aborted,
         &stopping_);
     if (fl->aborted || stopping_) co_return;
+    // Another path may have resolved the request while the retry was
+    // backing off (it is no longer kInFlight then); restarting DMA for
+    // it would leak the new chain and double-release the pages.
+    if (region_.request(fl->req_idx).load_status() != MovStatus::kInFlight)
+        co_return;
     dma::DmaDriver::Prepared p = kernel_.dma().prepare(fl->sg);
     co_await kernel_.cpu().busy(ctx, Op::kDmaConfig, p.cpu_time);
     if (fl->aborted || stopping_) {
@@ -1209,6 +1640,8 @@ MemifDevice::rollback_remap(const InFlightPtr &fl, ExecContext ctx)
         // bulk-alloc lever is on, buddy otherwise).
         free_frames(fl->new_pfns[i], fl->order, cost);
     }
+    // The rolled-back migration returns its transient frame charge.
+    uncharge_frames(fl);
     kernel_.cpu().charge(ctx, Op::kRelease, cost);
     // Under race prevention accessors may be blocked on the migration
     // PTEs we just replaced; let them re-check.
@@ -1287,9 +1720,7 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
                     // (prefetch reaches into neighbouring requests'
                     // pages). Drop any such entry; the write-through
                     // below re-records the final one for our own range.
-                    if (xlate_cache_)
-                        stats_.xlate_invalidations +=
-                            xlate_cache_->invalidate(m.vma, m.page_idx, 1);
+                    invalidate_xlate(m.vma, m.page_idx, 1);
                 }
                 // The new frame inherits this reverse mapping.
                 pm.frame(fl->new_pfns[i])
@@ -1316,6 +1747,8 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
             // or parked in its magazine under the bulk-alloc lever.
             free_frames(fl->old_pfns[i], fl->order, release_cost);
         }
+        // The doubled-frame window closed with the old frames freed.
+        uncharge_frames(fl);
         co_await cpu.busy(ctx, Op::kRelease, release_cost);
         if (config_.race_policy == RacePolicy::kPrevent)
             kernel_.migration_waitq().notify_all();
@@ -1341,6 +1774,12 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
                             ctx, fl->req_idx);
     stats_.pages_moved += fl->num_pages;
     stats_.bytes_moved += fl->total_bytes;
+    if (config_.multi_tenant && !raced) {
+        if (Tenant *t = tenant_for(fl->asid)) {
+            t->stats.pages_moved += fl->num_pages;
+            t->stats.bytes_moved += fl->total_bytes;
+        }
+    }
     if (raced)
         notify(fl->req_idx, MovStatus::kRaceDetected, MovError::kRace);
     else
@@ -1468,29 +1907,29 @@ MemifDevice::kthread_loop()
 
         // Serve the oldest queued request: submission first, then any
         // requests still parked in staging (the queue is red, so the
-        // kernel owns them).
-        lockfree::DequeueResult d = region_.submission_queue().dequeue();
-        if (!d.ok) d = region_.staging_queue().dequeue();
-        if (!d.ok && region_.num_rings() > 0) {
-            // Per-CPU rings: round-robin scan so no submitting CPU can
-            // starve the others.
-            const std::uint32_t nr = region_.num_rings();
-            for (std::uint32_t i = 0; i < nr && !d.ok; ++i) {
-                const std::uint32_t r = (ring_rr_ + i) % nr;
-                d = region_.ring_queue(r).dequeue();
-                if (d.ok) ring_rr_ = (r + 1) % nr;
-            }
-        }
+        // kernel owns them). Under multi_tenant the deposited order is
+        // re-ranked by the weighted round-robin instead.
+        std::uint32_t next = 0;
+        // Under multi_tenant the engine backlog is bounded: the WRR
+        // can only arbitrate work that is still in the pending lists,
+        // so overload must queue there, not in the FIFO TC queues.
+        // Completion interrupts wake the loop as slots free up.
+        const bool gated = config_.multi_tenant &&
+                           config_.tenant_dispatch_window != 0 &&
+                           in_flight_.size() >=
+                               config_.tenant_dispatch_window;
+        const bool got =
+            !gated && next_request(&next, /*take_staging=*/true);
         cpu.charge(ExecContext::kKthread, Op::kQueue, cm.queue_op);
 
-        if (d.ok) {
-            if (!region_.valid_index(d.value)) {
+        if (got) {
+            if (!region_.valid_index(next)) {
                 MEMIF_WARN("memif: dropping corrupt request index %u",
-                           d.value);
+                           next);
                 continue;
             }
-            MovReq &req = region_.request(d.value);
-            const vm::Vma *vma = proc_.as().find_vma(req.src_base);
+            MovReq &req = region_.request(next);
+            const vm::Vma *vma = request_as(req).find_vma(req.src_base);
             const std::uint64_t bytes =
                 vma ? req.num_pages * vm::page_bytes(vma->page_size()) : 0;
             // Completion-mode decision. The static rule is the paper's:
@@ -1531,7 +1970,7 @@ MemifDevice::kthread_loop()
             }
             const bool polled = mode == CompletionMode::kPolled;
             InFlightPtr fl;
-            co_await serve_request(d.value, ExecContext::kKthread,
+            co_await serve_request(next, ExecContext::kKthread,
                                    /*irq_mode=*/!polled, &fl,
                                    mode == CompletionMode::kModerated);
             if (polled && fl) {
@@ -1682,31 +2121,32 @@ MemifDevice::ioctl_mov_one()
     co_await kernel_.syscall_crossing();
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kKickIoctl,
                             ExecContext::kSyscall);
-    lockfree::DequeueResult d = region_.submission_queue().dequeue();
-    if (!d.ok && region_.num_rings() > 0) {
-        const std::uint32_t nr = region_.num_rings();
-        for (std::uint32_t i = 0; i < nr && !d.ok; ++i) {
-            const std::uint32_t r = (ring_rr_ + i) % nr;
-            d = region_.ring_queue(r).dequeue();
-            if (d.ok) ring_rr_ = (r + 1) % nr;
-        }
-    }
+    std::uint32_t next = 0;
+    // The syscall fast path must honour the dispatch window too, or a
+    // kicking tenant could push past the WRR's standing queue. Leave
+    // the request deposited; the worker serves it as slots free up.
+    const bool gated = config_.multi_tenant &&
+                       config_.tenant_dispatch_window != 0 &&
+                       in_flight_.size() >=
+                           config_.tenant_dispatch_window;
+    const bool got = !gated && next_request(&next, /*take_staging=*/false);
     kernel_.cpu().charge(ExecContext::kSyscall, Op::kQueue,
                          kernel_.costs().queue_op);
-    if (!d.ok) {
-        // Nothing queued (the kernel thread may have raced us to it);
-        // make sure the worker is running and return.
+    if (!got) {
+        // Nothing queued (the kernel thread may have raced us to it),
+        // or the dispatch window is full; make sure the worker is
+        // running and return.
         wake_kthread();
         co_return;
     }
-    if (!region_.valid_index(d.value)) {
-        MEMIF_WARN("memif: dropping corrupt request index %u", d.value);
+    if (!region_.valid_index(next)) {
+        MEMIF_WARN("memif: dropping corrupt request index %u", next);
         co_return;
     }
     // Serve exactly one request in the caller's context, interrupt-
     // driven, and return as soon as the DMA is started.
     InFlightPtr fl;
-    co_await serve_request(d.value, ExecContext::kSyscall,
+    co_await serve_request(next, ExecContext::kSyscall,
                            /*irq_mode=*/true, &fl,
                            /*moderated=*/config_.irq_moderation);
     // If no transfer started (validation/resource failure), there is no

@@ -44,6 +44,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -189,6 +190,38 @@ struct MemifConfig {
     std::uint32_t num_submit_cpus = 4;
     ///@}
 
+    /**
+     * @name Multi-tenant service layer (this PR; off by default —
+     * single-tenant behaviour is byte-identical with the lever off;
+     * tenanted() turns it on atop scaled() for the preset matrix).
+     */
+    ///@{
+    /** Serve several address spaces (ASIDs) through one instance:
+     *  per-tenant admission quotas, weighted round-robin dispatch, and
+     *  bounded per-tenant queues with load shedding under pressure. */
+    bool multi_tenant = false;
+    /** Per-tenant cap on requests between admission and the terminal
+     *  notification; 0 = unlimited. Exceeding it rejects the submit
+     *  with kNoSpace and a retry-after hint. */
+    std::uint32_t tenant_inflight_quota = 32;
+    /** Per-tenant cap on transient 4 KB frames held by in-flight
+     *  migrations (the doubled-frame window); 0 = unlimited. */
+    std::uint64_t tenant_frame_quota = 4096;
+    /** Bound on a tenant's dispatched-but-unserved queue, scaled by its
+     *  weight; excess is shed with kNoSpace. 0 = unbounded. */
+    std::uint32_t tenant_queue_depth = 64;
+    /** WRR weight given to tenants registered without an explicit one
+     *  (and to the owning process, tenant 0). */
+    std::uint32_t tenant_default_weight = 1;
+    /** Cap on requests dispatched to the engines at once; further
+     *  backlog waits in the per-tenant pending lists where the WRR
+     *  can re-rank it. 0 = unbounded — overload then drains straight
+     *  into the FIFO TC queues, whose bandwidth sharing ignores
+     *  tenant weights. A bit above the engine's 6 TCs keeps the
+     *  hardware fed without flooding it. */
+    std::uint32_t tenant_dispatch_window = 8;
+    ///@}
+
     /** All three pipeline levers on (the "memif-pipelined" series). */
     static MemifConfig
     pipelined()
@@ -223,6 +256,33 @@ struct MemifConfig {
         c.percpu_rings = true;
         return c;
     }
+
+    /** scaled() plus the multi-tenant service layer (the
+     *  "memif-tenanted" series). */
+    static MemifConfig
+    tenanted()
+    {
+        MemifConfig c = scaled();
+        c.multi_tenant = true;
+        return c;
+    }
+};
+
+/** Per-tenant accounting (multi_tenant lever; all zero otherwise). */
+struct TenantStats {
+    std::uint32_t weight = 1;
+    std::uint64_t admitted = 0;       ///< requests past admission
+    std::uint64_t completed = 0;      ///< terminal notifications
+    std::uint64_t rejected = 0;       ///< admission rejections (kNoSpace)
+    std::uint64_t shed = 0;           ///< dropped at dispatch (queue bound)
+    std::uint64_t bytes_moved = 0;
+    std::uint64_t pages_moved = 0;
+    /** Starvation tripwire: worst submit-to-service wait observed. */
+    sim::Duration max_slot_wait = 0;
+    /** Requests currently charged against the in-flight quota. */
+    std::uint32_t outstanding = 0;
+    /** Transient 4 KB frames currently charged against the quota. */
+    std::uint64_t frames_charged = 0;
 };
 
 /** Driver event counters. */
@@ -280,6 +340,12 @@ struct DeviceStats {
     std::array<std::uint64_t, kMaxSubmitRings> ring_submits{};
     /** Shared-queue submit CAS retries charged (contention model). */
     std::uint64_t shared_submit_retries = 0;
+    // ----- Multi-tenant service layer ---------------------------------
+    std::uint64_t admission_rejections = 0;  ///< submits refused outright
+    std::uint64_t quota_hits_inflight = 0;   ///< ... at the request quota
+    std::uint64_t quota_hits_frames = 0;     ///< ... at the frame quota
+    std::uint64_t shed_requests = 0;   ///< dropped at the queue-depth bound
+    std::uint64_t wrr_dispatches = 0;  ///< requests picked by the WRR
 };
 
 class MemifDevice {
@@ -299,6 +365,47 @@ class MemifDevice {
     SharedRegion &region() { return region_; }
     const MemifConfig &config() const { return config_; }
     const DeviceStats &stats() const { return stats_; }
+
+    /**
+     * @name Tenancy (multi_tenant lever).
+     * The owning process is tenant 0, registered implicitly; every
+     * further address space joins through register_tenant(). A
+     * MemifUser bound to the returned ASID then submits against that
+     * tenant's page tables, quotas, and WRR weight.
+     */
+    ///@{
+    /** Register @p proc as a tenant; @p weight 0 takes the config
+     *  default. Returns the new ASID. */
+    std::uint32_t register_tenant(os::Process &proc,
+                                  std::uint32_t weight = 0);
+    /** Retune one tenant's WRR weight (takes effect on the next pick). */
+    void set_tenant_weight(std::uint32_t asid, std::uint32_t weight);
+    /** Registered tenants (0 with the lever off). */
+    std::uint32_t num_tenants() const
+    {
+        return static_cast<std::uint32_t>(tenants_.size());
+    }
+    const TenantStats &tenant_stats(std::uint32_t asid) const;
+    /**
+     * Starvation tripwire: max/min completed bytes across tenants that
+     * were admitted at least once. 1.0 is perfect fairness; a starved
+     * tenant (admitted but zero bytes moved) yields +infinity. Fewer
+     * than two participating tenants report 1.0.
+     */
+    double fairness_ratio() const;
+    ///@}
+
+    /**
+     * Admission control (multi_tenant): charge @p idx against its
+     * tenant's quotas. On rejection the request is completed
+     * immediately as kFailed/kNoSpace with a retry-after hint and
+     * false is returned — the caller must not deposit it. Always
+     * admits with the lever off.
+     */
+    bool admit_request(std::uint32_t idx);
+
+    /** Print the driver counters (and per-tenant table) to @p out. */
+    void print_stats(std::FILE *out) const;
     /** The adaptive completion controller (test/diag introspection). */
     const CompletionController &completion_controller() const
     {
@@ -399,6 +506,11 @@ class MemifDevice {
         sim::SimTime dma_start_at = 0;   ///< trigger time of the attempt
         sim::Duration predicted = 0;     ///< engine quote for fl->sg
         sim::EventQueue::EventId watchdog_id = sim::EventQueue::kInvalidEvent;
+        /** Tenant the request (and its frame charge) belongs to. */
+        std::uint32_t asid = 0;
+        /** Transient 4 KB frames charged to the tenant's quota; zeroed
+         *  when the charge is returned (release or rollback). */
+        std::uint64_t frames_charged = 0;
     };
     using InFlightPtr = std::shared_ptr<InFlight>;
 
@@ -509,6 +621,52 @@ class MemifDevice {
      *  per-submit-CPU flight shard when rings are on). */
     void add_in_flight(const InFlightPtr &fl);
     void remove_in_flight(const InFlightPtr &fl);
+
+    // ----- Multi-tenant service layer ---------------------------------
+    /** One registered address space: its quotas, WRR state, and (when
+     *  the xlate lever is on) a private gang translation cache, so the
+     *  PR 4 sharding extends per ASID instead of adding locks. */
+    struct Tenant {
+        os::Process *proc = nullptr;
+        /** Per-ASID translation cache (tenant 0 keeps the device-level
+         *  xlate_cache_, so this stays null for it). */
+        std::unique_ptr<XlateCache> xcache;
+        /** Dispatched-but-unserved request indices (WRR input). */
+        std::vector<std::uint32_t> pending;
+        /** Smooth-WRR running credit. */
+        std::int64_t wrr_credit = 0;
+        TenantStats stats;
+    };
+    /** Tenant record for @p asid, or null (lever off / unknown ASID). */
+    Tenant *tenant_for(std::uint32_t asid);
+    const Tenant *tenant_for(std::uint32_t asid) const;
+    /** The address space serving @p req (the owner's when the lever is
+     *  off or the ASID is unknown — validation then rejects cleanly). */
+    vm::AddressSpace &request_as(const MovReq &req) const;
+    /** Per-ASID gang translation cache (null when the lever is off). */
+    XlateCache *xlate_for(std::uint32_t asid);
+    /** Drop (vma, range) from every tenant's cache (rmap chains may
+     *  cross address spaces). */
+    void invalidate_xlate(const vm::Vma *vma, std::uint64_t first,
+                          std::uint64_t n);
+    /** Charge / return a migration's transient frames against its
+     *  tenant's quota (idempotent via fl->frames_charged). */
+    void charge_frames(const InFlightPtr &fl);
+    void uncharge_frames(const InFlightPtr &fl);
+    /** Route every deposited index into its tenant's pending queue,
+     *  shedding past the weight-scaled depth bound. */
+    void route_to_pending(bool take_staging);
+    /** Smooth weighted round-robin over the non-empty pending queues;
+     *  false when all are empty. Records the slot-wait tripwire. */
+    bool wrr_pick(std::uint32_t *out);
+    /** Dequeue the next index to serve on either execution path:
+     *  single-tenant order with the lever off, route + WRR with it on. */
+    bool next_request(std::uint32_t *out, bool take_staging);
+    /** Complete @p idx as kFailed/kNoSpace with a retry-after hint;
+     *  @p permanent zeroes the hint, meaning the request can never be
+     *  admitted under this tenant's quota and must not be retried. */
+    void reject_no_space(std::uint32_t idx, Tenant &t,
+                         bool permanent = false);
     /** Contention model for the single shared deposit queue: a second
      *  CPU depositing within queue_contention_window of another pays a
      *  CAS retry. Per-CPU rings never call this. */
@@ -533,8 +691,12 @@ class MemifDevice {
     std::array<std::vector<InFlightPtr>, kMaxSubmitRings> flight_shards_;
     /** kPrevent: releases deferred from the interrupt handler. */
     std::vector<InFlightPtr> pending_release_;
-    /** Gang translation cache (xlate_cache lever; null when off). */
+    /** Gang translation cache (xlate_cache lever; null when off).
+     *  Tenant 0's cache; further tenants carry their own. */
     std::unique_ptr<XlateCache> xlate_cache_;
+    /** Tenant registry (multi_tenant only; index == ASID, entry 0 is
+     *  the owning process). Empty with the lever off. */
+    std::vector<Tenant> tenants_;
     /** Per-(node, order) free-frame magazines (bulk_alloc lever). */
     std::map<std::pair<mem::NodeId, unsigned>, std::vector<mem::Pfn>>
         magazines_;

@@ -143,7 +143,14 @@ SubmitRequest(int memfd, mov_req *req, int *out_rc)
         co_return;
     }
     co_await f->user->submit(f->device->region().index_of(*req));
-    if (out_rc) *out_rc = kOk;
+    // Admission control (multi_tenant) completes a rejected request
+    // synchronously as kFailed/kNoSpace; surface that as the paper's
+    // ENOSPC-style return so callers can honor req->retry_after_us.
+    if (out_rc)
+        *out_rc = (req->load_status() == MovStatus::kFailed &&
+                   req->error == MovError::kNoSpace)
+                      ? kErrNoSpace
+                      : kOk;
 }
 
 sim::Task

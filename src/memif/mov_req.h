@@ -46,6 +46,7 @@ enum class MovError : std::uint32_t {
     kFileBacked,     ///< file-backed pages (rejected unless enabled, §6.7)
     kDmaError,       ///< unrecoverable DMA failure (retries exhausted)
     kTimeout,        ///< watchdog expired: transfer stuck or irq lost
+    kNoSpace,        ///< admission control: tenant quota exhausted
 };
 
 /**
@@ -75,6 +76,19 @@ struct MovReq {
     /** Simulated CPU the request was deposited from (per-CPU rings:
      *  selects the ring and the flight-table shard). */
     std::uint32_t submit_cpu = 0;
+
+    /** Tenant address-space id; 0 is the device owner. Stamped by the
+     *  submitting MemifUser; ignored unless multi_tenant is on. */
+    std::uint32_t asid = 0;
+    /** Set on admission rejection (error == kNoSpace): a hint, in
+     *  virtual microseconds, for how long the caller should back off
+     *  before retrying. Scales with the tenant's backlog. Zero means
+     *  the rejection is permanent — the request's frame estimate alone
+     *  exceeds the tenant's whole quota — and retrying is pointless. */
+    std::uint32_t retry_after_us = 0;
+    /** Driver-internal: request passed admission and holds a slot in
+     *  its tenant's in-flight quota (cleared at terminal notify). */
+    std::uint8_t admitted = 0;
 
     /** Diagnostics (virtual time): set by the library/driver. */
     std::uint64_t submit_time = 0;

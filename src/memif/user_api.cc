@@ -46,6 +46,15 @@ MemifUser::submit(std::uint32_t idx, bool *kicked)
     MovReq &req = region_.request(idx);
     req.submit_time = dev_.kernel().eq().now();
     req.submit_cpu = cpu_id_;
+    req.asid = asid_;
+    // Admission control runs here, in the caller's context, before the
+    // request becomes visible to the kernel: a rejected request is
+    // completed as kFailed/kNoSpace immediately (with a retry-after
+    // hint) and never enters a queue.
+    if (!dev_.admit_request(idx)) {
+        ++stats_.rejected;
+        co_return;
+    }
     req.store_status(MovStatus::kSubmitted);
     dev_.kernel().tracer().record(req.submit_time, sim::TracePoint::kSubmit,
                                   sim::ExecContext::kUser, idx);
@@ -149,6 +158,11 @@ MemifUser::submit_many(const std::vector<std::uint32_t> &idxs, bool *kicked)
         MovReq &req = region_.request(idx);
         req.submit_time = dev_.kernel().eq().now();
         req.submit_cpu = cpu_id_;
+        req.asid = asid_;
+        if (!dev_.admit_request(idx)) {
+            ++stats_.rejected;
+            continue;
+        }
         req.store_status(MovStatus::kSubmitted);
         dev_.kernel().tracer().record(req.submit_time,
                                       sim::TracePoint::kSubmit,

@@ -44,6 +44,7 @@ struct UserStats {
     std::uint64_t completions = 0;
     std::uint64_t polls = 0;
     std::uint64_t batch_submits = 0; ///< submit_many() calls
+    std::uint64_t rejected = 0;      ///< submits refused at admission
 };
 
 /**
@@ -59,14 +60,20 @@ class MemifUser {
      *        per-CPU rings enabled it selects the submission ring (and
      *        the device's flight-table shard); with the classic shared
      *        path it feeds the contention model.
+     * @param asid tenant this handle submits as (multi_tenant lever;
+     *        obtain via MemifDevice::register_tenant). 0 — the
+     *        default — is the device's owning process.
      */
-    explicit MemifUser(MemifDevice &device, std::uint32_t cpu_id = 0)
-        : dev_(device), region_(device.region()), cpu_id_(cpu_id)
+    explicit MemifUser(MemifDevice &device, std::uint32_t cpu_id = 0,
+                       std::uint32_t asid = 0)
+        : dev_(device), region_(device.region()), cpu_id_(cpu_id),
+          asid_(asid)
     {
     }
 
     MemifDevice &device() { return dev_; }
     std::uint32_t cpu_id() const { return cpu_id_; }
+    std::uint32_t asid() const { return asid_; }
 
     /**
      * AllocRequest(): take a blank mov_req off the free list.
@@ -125,6 +132,7 @@ class MemifUser {
     MemifDevice &dev_;
     SharedRegion &region_;
     std::uint32_t cpu_id_ = 0;
+    std::uint32_t asid_ = 0;
     UserStats stats_;
 };
 

@@ -43,6 +43,11 @@ FaultInjector::should_fire(std::string_view site)
     if (st.spec.nth != 0 && n >= st.spec.nth &&
         n < st.spec.nth + st.spec.count)
         fire = true;
+    if (st.spec.burst_period != 0 && n >= st.spec.burst_start) {
+        const std::uint64_t phase =
+            (n - st.spec.burst_start) % st.spec.burst_period;
+        if (phase < st.spec.burst_len) fire = true;
+    }
     // The probability draw is taken whenever configured, even if the
     // occurrence trigger already decided, so the random stream advances
     // identically no matter how triggers are combined.

@@ -53,6 +53,19 @@ struct FaultSpec {
     std::uint64_t count = 1;
     /** Independent per-occurrence firing probability (seeded stream). */
     double probability = 0.0;
+    /**
+     * Sustained-pressure burst trigger: with burst_period > 0 the site
+     * fires on the first burst_len occurrences of every burst_period
+     * occurrences, starting at occurrence burst_start (1-based). A
+     * square wave over the occurrence counter — a duty cycle of
+     * burst_len / burst_period — that needs no random draw, so overload
+     * scenarios replay bit-identically from the arm alone.
+     */
+    std::uint64_t burst_period = 0;
+    /** Occurrences that fire at the head of each period. */
+    std::uint64_t burst_len = 0;
+    /** 1-based occurrence at which the first burst begins. */
+    std::uint64_t burst_start = 1;
 };
 
 /**
@@ -84,6 +97,22 @@ class FaultInjector {
     arm_probability(std::string_view site, double p)
     {
         arm(site, FaultSpec{0, 0, p});
+    }
+
+    /**
+     * Arm: sustained-pressure bursts — fire the first @p burst_len of
+     * every @p burst_period occurrences, starting at occurrence
+     * @p burst_start. Deterministic (no probability stream consumed).
+     */
+    void
+    arm_burst(std::string_view site, std::uint64_t burst_period,
+              std::uint64_t burst_len, std::uint64_t burst_start = 1)
+    {
+        FaultSpec spec;
+        spec.burst_period = burst_period;
+        spec.burst_len = burst_len;
+        spec.burst_start = burst_start;
+        arm(site, spec);
     }
 
     /** Disarm one site (its counters are kept for inspection). */

@@ -1,9 +1,9 @@
 /**
  * @file
  * The differential suite proper: seeded random workloads replayed
- * through all four presets (levers-off, pipelined, moderated, scaled)
- * must match the reference model byte-for-byte and leave the driver
- * fully quiesced — under FIFO scheduling, fuzzed schedules, and
+ * through all five presets (levers-off, pipelined, moderated, scaled,
+ * tenanted) must match the reference model byte-for-byte and leave the
+ * driver fully quiesced — under FIFO scheduling, fuzzed schedules, and
  * injected faults.
  *
  * Seed count scales with the MEMIF_CHECK_SEEDS environment variable
@@ -175,12 +175,12 @@ TEST(Differential, MinimizerShrinksAnInjectedDivergence)
 // preset (src/check/differential.cc) and updating both expectations.
 TEST(Differential, EveryConfigLeverAppearsInAPreset)
 {
-    EXPECT_EQ(sizeof(core::MemifConfig), 128u)
+    EXPECT_EQ(sizeof(core::MemifConfig), 160u)
         << "MemifConfig changed shape: add the new lever to a preset "
            "in src/check/differential.cc, then update this size";
 
     const core::MemifConfig &top = presets().back().config;
-    EXPECT_STREQ(presets().back().name, "scaled");
+    EXPECT_STREQ(presets().back().name, "tenanted");
     // Default-on levers are exercised by every preset...
     EXPECT_TRUE(top.gang_lookup);
     EXPECT_TRUE(top.cpu_copy_fallback);
@@ -195,6 +195,7 @@ TEST(Differential, EveryConfigLeverAppearsInAPreset)
     EXPECT_TRUE(top.xlate_cache);
     EXPECT_TRUE(top.bulk_alloc);
     EXPECT_TRUE(top.percpu_rings);
+    EXPECT_TRUE(top.multi_tenant);
 }
 
 }  // namespace
