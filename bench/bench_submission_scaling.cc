@@ -195,7 +195,8 @@ main()
         std::printf("%-10s %10.1f %9.2f %9.1f %9llu %9llu %9llu\n",
                     cfg.name, sim::to_us(out.elapsed), out.gb_per_sec(),
                     100.0 * ratio,
-                    static_cast<unsigned long long>(ds.xlate_prefetched),
+                    static_cast<unsigned long long>(
+                        ds.xlate_gang_prefetched),
                     static_cast<unsigned long long>(ds.bulk_allocs),
                     static_cast<unsigned long long>(ds.magazine_spills));
         report.add(std::string("stream-256x4KB-") + cfg.name, 1,

@@ -22,6 +22,10 @@ Checks that the optimisation levers actually pay off:
   the max/min per-tenant throughput ratio must stay at most
   MAX_FAIRNESS_16, and the 4:1 weighted pair's observed bandwidth
   split must land inside [MIN_WEIGHTED_SPLIT, MAX_WEIGHTED_SPLIT].
+* MMU-aware DMA: on the cold large-SG sweep the SVA-routed +
+  prefetch-ahead configuration must stay within 5% of the pre-pinned
+  scaled() path (>= MIN_SVA_PREFETCH_RATIO) at every SG size, with a
+  prefetch hit ratio of at least MIN_PREFETCH_HIT_RATIO.
 
 Pure stdlib so it runs anywhere CI does.
 
@@ -57,6 +61,14 @@ MIN_RING_SCALING_4CPU = 2.0
 MAX_FAIRNESS_16 = 2.0
 MIN_WEIGHTED_SPLIT = 3.0
 MAX_WEIGHTED_SPLIT = 5.0
+
+# MMU-aware DMA gates (bench_xlate_prefetch).  Measured: sva+prefetch
+# 1.03-1.04x pre-pinned with hit ratio 1.000 at every SG size (full
+# and quick mode) — deterministic simulation, so the margins hold
+# exactly.  Pure SVA without prefetch sits at ~0.65x, which is the
+# gap the prefetcher must keep closed.
+MIN_SVA_PREFETCH_RATIO = 0.95
+MIN_PREFETCH_HIT_RATIO = 0.90
 
 
 def fail(msg):
@@ -164,6 +176,35 @@ def check_multitenant(where):
         return fail(f"weighted split {split[4]:.2f} outside "
                     f"[{MIN_WEIGHTED_SPLIT}, {MAX_WEIGHTED_SPLIT}]")
     print("check_bench_regression: multitenant OK")
+    return check_xlate_prefetch(where)
+
+
+def check_xlate_prefetch(where):
+    """SVA routing with prefetch-ahead must match the pre-pinned path."""
+    report, err = load_report(where, "BENCH_xlate_prefetch.json")
+    if err:
+        return fail(err)
+    series = report.get("series", {})
+
+    ratios = series.get("sva-prefetch-ratio", [])
+    hits = series.get("prefetch-hit-ratio", [])
+    if not ratios or not hits:
+        return fail("sva-prefetch series missing from the artifact")
+    for pages, ratio in ratios:
+        print(f"  SG {int(pages)}x4KB: sva+prefetch {ratio:.2f}x "
+              f"pre-pinned")
+        if ratio < MIN_SVA_PREFETCH_RATIO:
+            return fail(f"sva+prefetch throughput {ratio:.2f}x "
+                        f"< {MIN_SVA_PREFETCH_RATIO}x pre-pinned "
+                        f"at {int(pages)} pages")
+    for pages, hit in hits:
+        print(f"  SG {int(pages)}x4KB: prefetch hit ratio {hit:.3f}")
+        if hit < MIN_PREFETCH_HIT_RATIO:
+            return fail(f"prefetch hit ratio {hit:.3f} "
+                        f"< {MIN_PREFETCH_HIT_RATIO} "
+                        f"at {int(pages)} pages")
+    print(f"check_bench_regression: xlate prefetch OK "
+          f"({len(ratios)} points)")
     return 0
 
 

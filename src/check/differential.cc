@@ -30,6 +30,7 @@ presets()
         {"moderated", MemifConfig::moderated()},
         {"scaled", MemifConfig::scaled()},
         {"tenanted", MemifConfig::tenanted()},
+        {"mmu_aware", MemifConfig::mmu_aware()},
     };
     return kPresets;
 }

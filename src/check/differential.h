@@ -37,8 +37,9 @@ struct Preset {
     core::MemifConfig config;
 };
 
-/** The five standard presets: levers-off, pipelined, moderated,
- *  scaled, tenanted (each a superset of the previous one's levers). */
+/** The six standard presets: levers-off, pipelined, moderated,
+ *  scaled, tenanted, mmu_aware (each a superset of the previous one's
+ *  levers). */
 const std::vector<Preset> &presets();
 
 struct RunOptions {

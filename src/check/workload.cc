@@ -56,11 +56,12 @@ class Claims {
 }  // namespace
 
 Workload
-generate_workload(std::uint64_t seed)
+generate_workload(std::uint64_t seed, bool invalidation_storm)
 {
     sim::Rng rng(seed);
     Workload w;
     w.seed = seed;
+    w.invalidation_storm = invalidation_storm;
 
     // Mixed-granularity regions (≈ 832 KB total — comfortably inside
     // the 6 MB fast node, so clean-run migrations essentially always
@@ -247,6 +248,56 @@ generate_workload(std::uint64_t seed)
             }
         }
         w.ops.push_back(std::move(op));
+        // Invalidation storm: chase every valid mov with same-instant
+        // touches on its own pages. Each touch young/dirty-CASes a PTE
+        // the request translated (or is still prefetching), firing the
+        // xlate-invalidate hook mid-flight. Touches are exempt from the
+        // disjointness invariant, so this only perturbs PTE/cache
+        // state, never final bytes.
+        const WorkloadOp &placed = w.ops.back();
+        if (invalidation_storm && (placed.kind == OpKind::kMov ||
+                                   placed.kind == OpKind::kMovMany)) {
+            std::vector<WorkloadOp> burst;
+            for (const MovSpec &m : placed.movs) {
+                if (m.malform != Malform::kNone) continue;
+                const std::uint32_t hits =
+                    1 + static_cast<std::uint32_t>(rng.next_below(3));
+                for (std::uint32_t h = 0; h < hits; ++h) {
+                    std::uint32_t region = m.src_region;
+                    std::uint32_t base = m.src_page;
+                    std::uint32_t span = m.num_pages;
+                    if (m.op == core::MovOp::kReplicate &&
+                        rng.next_below(2) == 0) {
+                        // Destination side, at its own granularity.
+                        const std::uint64_t bytes =
+                            std::uint64_t{m.num_pages} *
+                            vm::page_bytes(w.regions[m.src_region].psize);
+                        const std::uint64_t dst_pb =
+                            vm::page_bytes(w.regions[m.dst_region].psize);
+                        region = m.dst_region;
+                        base = m.dst_page;
+                        span = static_cast<std::uint32_t>(
+                            (bytes + dst_pb - 1) / dst_pb);
+                    }
+                    WorkloadOp t;
+                    t.kind = OpKind::kTouch;
+                    t.cpu = placed.cpu;
+                    t.delay_us = 0;
+                    t.touch = TouchSpec{
+                        region,
+                        std::min<std::uint32_t>(
+                            base + static_cast<std::uint32_t>(
+                                       rng.next_below(span)),
+                            w.regions[region].pages - 1),
+                        rng.next_below(2) == 1};
+                    burst.push_back(std::move(t));
+                }
+            }
+            for (WorkloadOp &t : burst) {
+                w.ops.push_back(std::move(t));
+                ++since_barrier;
+            }
+        }
     }
     // Always end quiesced: the runner's invariant sweep assumes the
     // final op drained every outstanding request.
@@ -260,6 +311,7 @@ drop_ops(const Workload &w, std::size_t begin, std::size_t count)
     Workload out;
     out.seed = w.seed;
     out.num_tenants = w.num_tenants;
+    out.invalidation_storm = w.invalidation_storm;
     out.regions = w.regions;
     out.ops.reserve(w.ops.size());
     for (std::size_t i = 0; i < w.ops.size(); ++i)

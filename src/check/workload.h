@@ -112,6 +112,15 @@ struct Workload {
     /** Tenants the regions are partitioned over (>= 1). Only
      *  multi_tenant presets instantiate more than one address space. */
     std::uint32_t num_tenants = 1;
+    /** Invalidation-storm knob: the generator chases every mov with a
+     *  burst of zero-delay touches aimed at the mov's own pages, so
+     *  young/dirty PTE CASes fire the xlate-invalidate hook while the
+     *  request's translations are still in flight — prefetched entries
+     *  (and pending prefetches) get shot down between issue and
+     *  consumption. Stress for the mmu_aware() preset; pure PTE-state
+     *  noise, so the reference model is unaffected beyond the usual
+     *  may-race marking of migrations. */
+    bool invalidation_storm = false;
     std::vector<RegionSpec> regions;
     std::vector<WorkloadOp> ops;
 
@@ -128,8 +137,13 @@ inline constexpr std::uint32_t kWorkloadCpus = 4;
  * submits, malformed requests, racing touches, and periodic barriers.
  * Every op stays within one tenant's regions. Deterministic: the same
  * seed always yields the same workload, on any host.
+ *
+ * With @p invalidation_storm set, every generated mov is chased by a
+ * burst of same-instant touches on its own pages (see
+ * Workload::invalidation_storm).
  */
-Workload generate_workload(std::uint64_t seed);
+Workload generate_workload(std::uint64_t seed,
+                           bool invalidation_storm = false);
 
 /** Copy of @p w with ops [begin, begin+count) removed (minimizer). */
 Workload drop_ops(const Workload &w, std::size_t begin, std::size_t count);

@@ -94,7 +94,7 @@ DmaDriver::reserve_descriptors(std::uint32_t need, const bool *abandon_a,
 
 TransferId
 DmaDriver::start(Prepared prepared, bool irq_mode, CompletionFn on_complete,
-                 unsigned tc, bool moderated)
+                 unsigned tc, bool moderated, XlateGate gate)
 {
     const DescIndex head = prepared.lease.head();
     MEMIF_ASSERT(head != kNullLink, "starting an empty chain");
@@ -106,7 +106,7 @@ DmaDriver::start(Prepared prepared, bool irq_mode, CompletionFn on_complete,
             retire(tid);
             if (cb) cb(tid);
         },
-        moderated);
+        moderated, std::move(gate));
     leases_.emplace(id, std::move(prepared.lease));
     return id;
 }

@@ -100,6 +100,9 @@ MemifDevice::~MemifDevice()
     // it too, so disarm them all before the device goes away.
     for (const InFlightPtr &fl : in_flight_) {
         disarm_watchdog(fl);
+        // Prefetch-fill events capture this device; drop them too.
+        if (!fl->prefetch_events.empty() || !fl->prefetch_tokens.empty())
+            cancel_stream_prefetch(fl);
         if (fl->tid == dma::kInvalidTransfer) continue;
         if (kernel_.dma().discard_moderated(fl->tid)) {
             // Completed but its moderated delivery was still held: the
@@ -403,6 +406,33 @@ MemifDevice::print_stats(std::FILE *out) const
                  static_cast<unsigned long long>(s.fallback_copies));
     std::fprintf(out, "  rollbacks             %12llu\n",
                  static_cast<unsigned long long>(s.rollbacks));
+    if (config_.xlate_cache) {
+        // The two prefetchers are distinct machines: the gang cache's
+        // reactive neighbour expansion vs. the ahead-of-stream walks.
+        std::fprintf(out, "  xlate_gang_prefetched %12llu\n",
+                     static_cast<unsigned long long>(
+                         s.xlate_gang_prefetched));
+    }
+    if (config_.sva_dma || config_.xlate_prefetch_ahead) {
+        std::fprintf(
+            out, "  stream_prefetch i/h/l/w %6llu/%llu/%llu/%llu\n",
+            static_cast<unsigned long long>(s.stream_prefetch_issued),
+            static_cast<unsigned long long>(s.stream_prefetch_hits),
+            static_cast<unsigned long long>(s.stream_prefetch_late),
+            static_cast<unsigned long long>(s.stream_prefetch_wasted));
+        std::fprintf(out, "  prefetch_fills_dropped%12llu\n",
+                     static_cast<unsigned long long>(
+                         s.prefetch_fills_dropped));
+        std::fprintf(out, "  consumer_stalls       %12llu (%.1f us)\n",
+                     static_cast<unsigned long long>(s.consumer_stalls),
+                     static_cast<double>(s.consumer_stall_time) / 1000.0);
+        std::fprintf(
+            out, "  sva res/walk/rexl/flt %6llu/%llu/%llu/%llu\n",
+            static_cast<unsigned long long>(s.sva_resolved),
+            static_cast<unsigned long long>(s.sva_demand_walks),
+            static_cast<unsigned long long>(s.sva_retranslated),
+            static_cast<unsigned long long>(s.sva_faults));
+    }
     if (!config_.multi_tenant) return;
     // kErrNoSpace used to vanish from the caller's view; the admission
     // counters make every refused or shed request visible.
@@ -861,6 +891,10 @@ MemifDevice::remove_in_flight(const InFlightPtr &fl)
     if (config_.percpu_rings && region_.num_rings() > 0)
         std::erase(flight_shards_[fl->submit_cpu % region_.num_rings()],
                    fl);
+    // An SVA stream may retire with prefetch walks still in flight
+    // (gate fault, rollback); drop them and their pending tokens.
+    if (!fl->prefetch_events.empty() || !fl->prefetch_tokens.empty())
+        cancel_stream_prefetch(fl);
 }
 
 sim::Duration
@@ -878,6 +912,260 @@ MemifDevice::shared_submit_penalty(std::uint32_t cpu)
     last_shared_submit_ = now;
     last_shared_cpu_ = cpu;
     return penalty;
+}
+
+// --------------------------------------------------------------------
+// MMU-aware DMA: ahead-of-stream translation prefetch + SVA routing.
+// --------------------------------------------------------------------
+
+bool
+MemifDevice::resolve_span(const vm::Vma *vma, vm::VAddr va,
+                          std::uint64_t bytes, std::uint64_t *out)
+{
+    const std::uint64_t pb = vm::page_bytes(vma->page_size());
+    std::uint64_t idx = vma->page_index(va);
+    const std::uint64_t off = va - vma->page_vaddr(idx);
+    vm::Pte pte = vma->pte(idx);
+    if (!pte.present || pte.migration) return false;
+    const std::uint64_t base = (pte.pfn << mem::kPageShift) + off;
+    std::uint64_t covered = pb - off;
+    std::uint64_t expect = (pte.pfn << mem::kPageShift) + pb;
+    while (covered < bytes) {
+        ++idx;
+        if (idx >= vma->num_pages()) return false;
+        pte = vma->pte(idx);
+        if (!pte.present || pte.migration) return false;
+        // A remap broke the physical contiguity the descriptor needs;
+        // the gate reports a walk fault rather than split the chain.
+        if ((pte.pfn << mem::kPageShift) != expect) return false;
+        covered += pb;
+        expect += pb;
+    }
+    *out = base;
+    return true;
+}
+
+void
+MemifDevice::issue_stream_prefetch(const InFlightPtr &fl,
+                                   std::uint64_t batch)
+{
+    const std::uint32_t w =
+        std::max<std::uint32_t>(config_.prefetch_window, 1);
+    const std::uint64_t lo = batch * w;
+    if (lo >= fl->slots.size()) return;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(lo + w, fl->slots.size());
+    const sim::CostModel &cm = kernel_.costs();
+    const vm::Vma *const svma = fl->vma;
+    const vm::Vma *const dvma = fl->dst_vma;
+    const XlateSlot &head = fl->slots[lo];
+    const XlateSlot &tail = fl->slots[hi - 1];
+    const std::uint64_t s0 = svma->page_index(head.src_va);
+    const std::uint64_t sn =
+        svma->page_index(tail.src_va + tail.bytes - 1) - s0 + 1;
+    const std::uint64_t d0 = dvma->page_index(head.dst_va);
+    const std::uint64_t dn =
+        dvma->page_index(tail.dst_va + tail.bytes - 1) - d0 + 1;
+
+    // The asynchronous walker: one full descent then adjacent steps
+    // per run (the gang-walk cost shape), elapsed as walker time on
+    // the event queue — no CPU is charged, which is the whole point:
+    // the walk overlaps in-flight DMA instead of serialising in prep.
+    const sim::Duration walk = 2 * cm.page_walk_full +
+                               (sn - 1 + dn - 1) * cm.page_walk_adjacent;
+    const sim::SimTime ready = kernel_.eq().now() + walk;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+        fl->slots[i].ready_at = ready;
+        fl->slots[i].prefetched = true;
+    }
+    stats_.stream_prefetch_issued += hi - lo;
+
+    XlateCache *const cache = xlate_for(fl->asid);
+    std::uint64_t stok = 0, dtok = 0;
+    if (cache) {
+        // Pending entries: an invalidation landing before the fill
+        // kills the token and the stale walk result is dropped.
+        stok = cache->begin_prefetch(svma, s0, sn);
+        dtok = cache->begin_prefetch(dvma, d0, dn);
+        fl->prefetch_tokens.push_back(stok);
+        fl->prefetch_tokens.push_back(dtok);
+    }
+    std::weak_ptr<InFlight> weak = fl;
+    const sim::EventQueue::EventId ev = kernel_.eq().schedule_at(
+        ready, [this, weak, stok, dtok, svma, dvma, s0, sn, d0, dn] {
+            InFlightPtr alive = weak.lock();
+            if (!alive || stopping_) return;
+            XlateCache *const xc = xlate_for(alive->asid);
+            if (!xc) return;
+            // Fill from the PTEs live *now*: the walk result delivered
+            // is whatever the tables say at completion time, and the
+            // generation check drops it if an invalidation raced ahead.
+            const auto fill = [&](std::uint64_t tok, const vm::Vma *vma,
+                                  std::uint64_t p0, std::uint64_t n) {
+                std::vector<vm::Pte> ptes;
+                ptes.reserve(n);
+                for (std::uint64_t i = 0; i < n; ++i)
+                    ptes.push_back(vma->pte(p0 + i));
+                if (!xc->fill_prefetch(tok, std::move(ptes)))
+                    ++stats_.prefetch_fills_dropped;
+            };
+            fill(stok, svma, s0, sn);
+            fill(dtok, dvma, d0, dn);
+        });
+    fl->prefetch_events.push_back(ev);
+}
+
+void
+MemifDevice::cancel_stream_prefetch(const InFlightPtr &fl)
+{
+    for (const sim::EventQueue::EventId ev : fl->prefetch_events)
+        kernel_.eq().cancel(ev);
+    fl->prefetch_events.clear();
+    // Drain any still-pending tokens so no pending-prefetch entry
+    // outlives the move (a fill that already ran erased its own).
+    if (XlateCache *cache = xlate_for(fl->asid))
+        for (const std::uint64_t tok : fl->prefetch_tokens)
+            cache->fill_prefetch(tok, {});
+    fl->prefetch_tokens.clear();
+}
+
+dma::XlateVerdict
+MemifDevice::sva_gate_check(const InFlightPtr &fl, std::uint32_t idx,
+                            dma::TransferDescriptor &d)
+{
+    dma::XlateVerdict v;
+    if (fl->aborted || stopping_ || idx >= fl->slots.size()) return v;
+    const sim::CostModel &cm = kernel_.costs();
+    const sim::SimTime now = kernel_.eq().now();
+    XlateSlot &slot = fl->slots[idx];
+    const std::uint32_t w =
+        std::max<std::uint32_t>(config_.prefetch_window, 1);
+
+    // Keep the prefetcher running ahead of the consumption stream:
+    // entering a new window triggers the walk two windows out, so the
+    // walker (~page_walk_adjacent per page) stays ahead of the copy
+    // stream (~dma_stream_time per page) after the first window.
+    if (config_.xlate_prefetch_ahead && idx % w == 0) {
+        const std::uint64_t target = idx / w + 2;
+        while (fl->next_prefetch_batch <= target &&
+               fl->next_prefetch_batch * w < fl->slots.size()) {
+            issue_stream_prefetch(fl, fl->next_prefetch_batch);
+            ++fl->next_prefetch_batch;
+        }
+    }
+
+    // Injected IOMMU walk fault: the chain terminates mid-stream and
+    // the recovery ladder sees kXlateFault.
+    if (kernel_.faults().should_fire(kFaultSvaWalk)) {
+        ++stats_.sva_faults;
+        v.fault = true;
+        return v;
+    }
+
+    // ALWAYS resolve from the live page tables — the prefetch / cache
+    // state below only decides the stall charged, never the bytes.
+    std::uint64_t src = 0, dst = 0;
+    if (!resolve_span(fl->vma, slot.src_va, slot.bytes, &src) ||
+        !resolve_span(fl->dst_vma, slot.dst_va, slot.bytes, &dst)) {
+        ++stats_.sva_faults;
+        v.fault = true;
+        return v;
+    }
+    ++stats_.sva_resolved;
+    if (src != d.src || dst != d.dst) {
+        // The translation moved since the descriptor was programmed;
+        // rewrite the engine's working copy from the live tables.
+        ++stats_.sva_retranslated;
+        dma::TransferDescriptor nd =
+            dma::TransferDescriptor::contiguous(src, dst, slot.bytes);
+        nd.opt = d.opt;
+        nd.link = d.link;
+        d = nd;
+    }
+
+    // Stall accounting: is the translation already in the cache?
+    XlateCache *const cache = xlate_for(fl->asid);
+    const std::uint64_t s0 = fl->vma->page_index(slot.src_va);
+    const std::uint64_t sn =
+        fl->vma->page_index(slot.src_va + slot.bytes - 1) - s0 + 1;
+    const std::uint64_t d0 = fl->dst_vma->page_index(slot.dst_va);
+    const std::uint64_t dn =
+        fl->dst_vma->page_index(slot.dst_va + slot.bytes - 1) - d0 + 1;
+    const bool covered = cache && cache->lookup(fl->vma, s0, sn) &&
+                         cache->lookup(fl->dst_vma, d0, dn);
+    const auto rec = [&](const vm::Vma *vma, std::uint64_t p0,
+                         std::uint64_t n) {
+        std::vector<vm::Pte> ptes;
+        ptes.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            ptes.push_back(vma->pte(p0 + i));
+        cache->record(vma, p0, std::move(ptes));
+    };
+    const sim::Duration demand_walk =
+        2 * cm.page_walk_full +
+        (sn - 1 + dn - 1) * cm.page_walk_adjacent;
+
+    if (slot.prefetched) {
+        if (now < slot.ready_at) {
+            // Consumer outran the prefetcher: the TC stalls until the
+            // covering walk lands (and then proceeds off its result).
+            v.stall = slot.ready_at - now;
+            ++stats_.stream_prefetch_late;
+            ++stats_.consumer_stalls;
+            stats_.consumer_stall_time += v.stall;
+        } else if (covered) {
+            // Prefetched translation ready and live: the walk fully
+            // overlapped earlier streaming — zero consumption stall.
+            ++stats_.stream_prefetch_hits;
+        } else {
+            // Prefetched but unusable (invalidated after the fill, or
+            // the fill was dropped): demand re-walk in the stream.
+            ++stats_.stream_prefetch_wasted;
+            ++stats_.sva_demand_walks;
+            v.stall = demand_walk;
+            if (cache) {
+                rec(fl->vma, s0, sn);
+                rec(fl->dst_vma, d0, dn);
+            }
+        }
+    } else if (covered) {
+        // Pure SVA routing: every descriptor pays the IOTLB lookup
+        // inline with the stream (prefetched entries are pushed, so
+        // they skip even this).
+        v.stall = cm.xlate_probe;
+    } else {
+        ++stats_.sva_demand_walks;
+        v.stall = demand_walk;
+        if (cache) {
+            rec(fl->vma, s0, sn);
+            rec(fl->dst_vma, d0, dn);
+        }
+    }
+    return v;
+}
+
+void
+MemifDevice::revalidate_stream(const InFlightPtr &fl)
+{
+    // A retried chain (or the CPU fallback) must not trust prefetched
+    // translations from before the failure: re-resolve every entry
+    // from the live page tables. Entries that no longer resolve keep
+    // their programmed addresses — the gate (or the next failure)
+    // handles them; only reachable through injection or a real unmap.
+    MEMIF_ASSERT(fl->slots.size() == fl->sg.size(),
+                 "stream slots out of sync with the SG list");
+    for (std::size_t i = 0; i < fl->slots.size(); ++i) {
+        const XlateSlot &slot = fl->slots[i];
+        std::uint64_t src = 0, dst = 0;
+        if (!resolve_span(fl->vma, slot.src_va, slot.bytes, &src) ||
+            !resolve_span(fl->dst_vma, slot.dst_va, slot.bytes, &dst))
+            continue;
+        if (src != fl->sg[i].src_addr || dst != fl->sg[i].dst_addr) {
+            ++stats_.sva_retranslated;
+            fl->sg[i].src_addr = src;
+            fl->sg[i].dst_addr = dst;
+        }
+    }
 }
 
 // --------------------------------------------------------------------
@@ -951,8 +1239,17 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     // invalidation in between falls back to live PTE reads).
     std::vector<vm::Pte> cached_src;
     std::uint64_t cached_src_gen = 0;
+    // SVA-routed streams defer translation to consumption time (the
+    // engine's per-descriptor gate): prep pays only the submission-side
+    // probe, so large-SG walks no longer serialise before submit.
+    const bool sva_stream =
+        config_.sva_dma && req.op == MovOp::kReplicate;
     for (std::uint64_t r = 0; r < lookup_regions; ++r) {
         const LookupRegion &lr = lookups[r];
+        if (sva_stream) {
+            lookup_cost += cm.xlate_probe;
+            continue;
+        }
         std::uint64_t walk_pages = lr.pages;
         if (xcache) {
             // One hashed probe against the per-VMA generation, hit or
@@ -979,7 +1276,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
             const std::uint64_t room = lr.vma->num_pages() - first;
             walk_pages = std::min<std::uint64_t>(
                 lr.pages + config_.xlate_prefetch, room);
-            stats_.xlate_prefetched += walk_pages - lr.pages;
+            stats_.xlate_gang_prefetched += walk_pages - lr.pages;
         }
         const vm::WalkCost wc =
             config_.gang_lookup
@@ -1183,6 +1480,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                 (fl->old_pfns[src_page] << mem::kPageShift) + src_off,
                 (dst_pte.pfn << mem::kPageShift) + dst_off, chunk});
         }
+        fl->dst_vma = dst_vma;
         ++stats_.replications;
         req.store_status(MovStatus::kInFlight);
         add_in_flight(fl);
@@ -1203,6 +1501,67 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     // The SG list is kept on the in-flight record: retries and the CPU
     // fallback replay it after a transfer failure.
     fl->sg = std::move(sg);
+    if (sva_stream) {
+        // SVA routing: one virtual span per descriptor; the engine's
+        // gate re-resolves each through the live page tables at
+        // consumption time. Chunks were emitted at increasing region
+        // offsets and coalescing preserves that order, so the spans
+        // fall out of the cumulative byte offsets.
+        fl->slots.reserve(fl->sg.size());
+        std::uint64_t off = 0;
+        for (const dma::SgEntry &e : fl->sg) {
+            XlateSlot s;
+            s.src_va = req.src_base + off;
+            s.dst_va = req.dst_base + off;
+            s.bytes = e.bytes;
+            fl->slots.push_back(s);
+            off += e.bytes;
+        }
+        if (config_.xlate_prefetch_ahead && !fl->slots.empty()) {
+            // Walk only the first window synchronously; everything
+            // beyond it is walked by asynchronous prefetch events that
+            // run ahead of the consumption stream (two windows of
+            // lead, sustained by the gate as the stream advances).
+            const std::uint32_t w =
+                std::max<std::uint32_t>(config_.prefetch_window, 1);
+            const std::uint64_t hi =
+                std::min<std::uint64_t>(w, fl->slots.size());
+            const XlateSlot &tail = fl->slots[hi - 1];
+            const std::uint64_t s0 = src_vma->page_index(req.src_base);
+            const std::uint64_t sn =
+                src_vma->page_index(tail.src_va + tail.bytes - 1) - s0 +
+                1;
+            const std::uint64_t d0 = dst_vma->page_index(req.dst_base);
+            const std::uint64_t dn =
+                dst_vma->page_index(tail.dst_va + tail.bytes - 1) - d0 +
+                1;
+            const sim::Duration sync_walk =
+                2 * cm.page_walk_full +
+                (sn - 1 + dn - 1) * cm.page_walk_adjacent;
+            if (XlateCache *cache = xlate_for(req.asid)) {
+                std::vector<vm::Pte> ptes;
+                ptes.reserve(sn);
+                for (std::uint64_t i = 0; i < sn; ++i)
+                    ptes.push_back(src_vma->pte(s0 + i));
+                cache->record(src_vma, s0, std::move(ptes));
+                ptes.clear();
+                ptes.reserve(dn);
+                for (std::uint64_t i = 0; i < dn; ++i)
+                    ptes.push_back(dst_vma->pte(d0 + i));
+                cache->record(dst_vma, d0, std::move(ptes));
+            }
+            co_await cpu.busy(ctx, Op::kPrep, sync_walk);
+            const sim::SimTime ready = kernel_.eq().now();
+            for (std::uint64_t i = 0; i < hi; ++i) {
+                fl->slots[i].ready_at = ready;
+                fl->slots[i].prefetched = true;
+            }
+            stats_.stream_prefetch_issued += hi;
+            issue_stream_prefetch(fl, 1);
+            issue_stream_prefetch(fl, 2);
+            fl->next_prefetch_batch = 3;
+        }
+    }
     fl->irq_mode = irq_mode;
     fl->moderated = moderated && irq_mode && config_.irq_moderation;
     // The PaRAM has 512 entries (Table 2); with several instances (or a
@@ -1249,6 +1608,20 @@ MemifDevice::trigger_dma(const InFlightPtr &fl, dma::DmaDriver::Prepared p,
     const unsigned tc =
         config_.multi_tc_dispatch ? kernel_.dma().pick_tc() : tc_;
     ++stats_.tc_dispatches[tc];
+    // SVA-routed stream: install the per-descriptor translation gate.
+    // The engine then consumes the chain one entry at a time, asking
+    // the gate before each copy; the weak capture keeps a retired
+    // record from being revived by a late engine step.
+    dma::XlateGate gate;
+    if (!fl->slots.empty()) {
+        std::weak_ptr<InFlight> weak = fl;
+        gate = [this, weak](dma::TransferId, std::uint32_t idx,
+                            dma::TransferDescriptor &d) {
+            InFlightPtr alive = weak.lock();
+            if (!alive) return dma::XlateVerdict{};
+            return sva_gate_check(alive, idx, d);
+        };
+    }
     if (fl->irq_mode) {
         // Retries bypass moderation: once the recovery ladder is
         // involved, detection latency matters more than IRQ rate.
@@ -1259,7 +1632,7 @@ MemifDevice::trigger_dma(const InFlightPtr &fl, dma::DmaDriver::Prepared p,
             [this, fl](dma::TransferId) {
                 kernel_.spawn(on_dma_complete(fl));
             },
-            tc, moderated);
+            tc, moderated, std::move(gate));
         fl->predicted =
             kernel_.dma().completion_time(fl->tid) - fl->dma_start_at;
         arm_watchdog(fl);
@@ -1267,7 +1640,8 @@ MemifDevice::trigger_dma(const InFlightPtr &fl, dma::DmaDriver::Prepared p,
         // Polled mode: the kernel thread supervises the transfer itself
         // (its timed wait doubles as the watchdog).
         fl->tid = kernel_.dma().start(std::move(p), /*irq_mode=*/false,
-                                      nullptr, tc);
+                                      nullptr, tc, /*moderated=*/false,
+                                      std::move(gate));
         fl->predicted =
             kernel_.dma().completion_time(fl->tid) - fl->dma_start_at;
     }
@@ -1312,7 +1686,11 @@ MemifDevice::on_dma_complete(InFlightPtr fl)
     // any suspension point, so this check is race-free in the DES).
     if (fl->completion_claimed) co_return;
     if (kernel_.dma().status(fl->tid) == dma::TransferStatus::kError) {
-        // CC error interrupt (EDMA3 EMR): no bytes moved; recover.
+        // CC error interrupt (EDMA3 EMR): recover. A translation-gate
+        // fault (SVA walk error) is distinguished from a TC bus error
+        // here, before any suspension — the engine purges the errored
+        // record later and the stale id would read as faultless.
+        const bool xfault = kernel_.dma().gate_faulted(fl->tid);
         // Claim the flight BEFORE charging interrupt time: the engine
         // purges the errored record during that suspension, after which
         // a drain/reap pass querying the stale id would read a clean
@@ -1326,7 +1704,8 @@ MemifDevice::on_dma_complete(InFlightPtr fl)
         co_await kernel_.cpu().busy(ExecContext::kIrq, Op::kSched,
                                     cm.irq_overhead);
         co_await handle_dma_failure(fl, ExecContext::kIrq,
-                                    MovError::kDmaError);
+                                    xfault ? MovError::kXlateFault
+                                           : MovError::kDmaError);
         wake_kthread();
         co_return;
     }
@@ -1480,6 +1859,20 @@ MemifDevice::watchdog_expired(InFlightPtr fl)
     if (fl->aborted || stopping_) co_return;
     if (region_.request(fl->req_idx).load_status() != MovStatus::kInFlight)
         co_return;  // already resolved by some other path
+    // Gate stalls (SVA demand walks, late prefetches) push a stepped
+    // chain's completion later than the quote the deadline was armed
+    // from. A transfer whose predicted completion still lies ahead is
+    // progressing, not stuck: follow the new quote instead of firing.
+    // Non-gated transfers never move their completion time, so this
+    // re-arm is unreachable for them. A genuinely stuck transfer never
+    // advances completes_at past its original quote, so the margin-
+    // scaled deadline still catches it.
+    if (!fl->slots.empty() && fl->tid != dma::kInvalidTransfer &&
+        !kernel_.dma().is_complete(fl->tid) &&
+        kernel_.dma().completion_time(fl->tid) > kernel_.eq().now()) {
+        arm_watchdog(fl);
+        co_return;
+    }
     const sim::CostModel &cm = kernel_.costs();
     ++stats_.watchdog_timeouts;
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kWatchdogFire,
@@ -1568,6 +1961,9 @@ MemifDevice::restart_dma(InFlightPtr fl, ExecContext ctx)
     // it would leak the new chain and double-release the pages.
     if (region_.request(fl->req_idx).load_status() != MovStatus::kInFlight)
         co_return;
+    // A retried SVA stream re-validates every prefetched translation:
+    // the world may have moved while the chain was down.
+    if (!fl->slots.empty()) revalidate_stream(fl);
     dma::DmaDriver::Prepared p = kernel_.dma().prepare(fl->sg);
     co_await kernel_.cpu().busy(ctx, Op::kDmaConfig, p.cpu_time);
     if (fl->aborted || stopping_) {
@@ -1588,7 +1984,10 @@ MemifDevice::fallback_copy(InFlightPtr fl, ExecContext ctx)
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kFallbackCopy,
                             ctx, fl->req_idx);
     // The CPU replays the scatter-gather list byte-for-byte; correct
-    // but slow — this is the graceful-degradation floor.
+    // but slow — this is the graceful-degradation floor. An SVA
+    // stream's list may hold translations from before the failure;
+    // re-resolve it so the copy lands where the live tables point.
+    if (!fl->slots.empty()) revalidate_stream(fl);
     for (const dma::SgEntry &e : fl->sg)
         pm.copy(e.dst_addr >> mem::kPageShift,
                 e.src_addr >> mem::kPageShift, e.bytes);
@@ -2000,6 +2399,15 @@ MemifDevice::kthread_loop()
                         co_await sim::Yield{k.eq()};
                     }
                     if (fl->aborted) break;
+                    if (!fl->slots.empty() &&
+                        !k.dma().is_complete(fl->tid) &&
+                        k.dma().completion_time(fl->tid) > k.eq().now()) {
+                        // Gate stalls pushed an SVA stream's completion
+                        // out past the quote this wait slept on; it is
+                        // progressing, not stuck — sleep to the new
+                        // quote. (Stuck transfers never advance it.)
+                        continue;
+                    }
                     if (!k.dma().is_complete(fl->tid)) {
                         // Stuck: the predicted completion time passed
                         // with the transfer still running.
@@ -2015,6 +2423,8 @@ MemifDevice::kthread_loop()
                     }
                     if (k.dma().status(fl->tid) ==
                         dma::TransferStatus::kError) {
+                        const bool xfault =
+                            k.dma().gate_faulted(fl->tid);
                         ++stats_.dma_errors;
                         k.tracer().record(k.eq().now(),
                                           TracePoint::kDmaError,
@@ -2022,7 +2432,8 @@ MemifDevice::kthread_loop()
                                           fl->req_idx);
                         co_await handle_dma_failure(
                             fl, ExecContext::kKthread,
-                            MovError::kDmaError);
+                            xfault ? MovError::kXlateFault
+                                   : MovError::kDmaError);
                         continue;
                     }
                     k.tracer().record(k.eq().now(),

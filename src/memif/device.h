@@ -68,6 +68,11 @@ namespace memif::core {
  *  as if the destination node were exhausted (see sim/fault.h). */
 inline constexpr std::string_view kFaultAllocFail = "memif.alloc_fail";
 
+/** Injection site: an SVA-routed descriptor's consumption-time page
+ *  walk faults (IOMMU walk error), terminating the chain mid-stream
+ *  and feeding the recovery ladder with kXlateFault. */
+inline constexpr std::string_view kFaultSvaWalk = "memif.sva_walk";
+
 /** Race-handling policy (§5.2). */
 enum class RacePolicy : std::uint8_t {
     kDetect = 0,  ///< proceed and fail (memif default)
@@ -222,6 +227,35 @@ struct MemifConfig {
     std::uint32_t tenant_dispatch_window = 8;
     ///@}
 
+    /**
+     * @name MMU-aware DMA levers (this PR; off by default so every
+     * earlier series keeps its exact shape; mmu_aware() turns them on
+     * atop tenanted() for the "memif-mmu-aware" series).
+     */
+    ///@{
+    /** Translation prefetch ahead of TC consumption: walk only the
+     *  first prefetch_window descriptors synchronously at chain prep,
+     *  then issue asynchronous translation-prefetch walks (EventQueue
+     *  events at page-walk cost) that run ahead of the consumption
+     *  stream, so walks overlap in-flight DMA instead of serialising
+     *  before submit. The TC-side consumer stalls (counted) only when
+     *  it outruns the prefetcher. Effective on SVA-routed streams
+     *  (sva_dma), where translation actually happens at consumption. */
+    bool xlate_prefetch_ahead = false;
+    /** Descriptors walked synchronously at prep; also the batch size
+     *  of each asynchronous prefetch walk. */
+    std::uint32_t prefetch_window = 8;
+    /** SVA-routed DMA (IOMMU-SVA framing): replication streams drop
+     *  the pre-pinned physical SG contract — the engine resolves each
+     *  descriptor through the per-tenant XlateCache / page walk at
+     *  consumption time. Walk miss = engine stall + demand walk;
+     *  invalidation mid-flight = re-walk; a descriptor whose pages
+     *  went away faults the chain (kXlateFault) into the recovery
+     *  ladder. Never stale bytes: the gate always resolves from the
+     *  live page tables — cache state only decides the stall charged. */
+    bool sva_dma = false;
+    ///@}
+
     /** All three pipeline levers on (the "memif-pipelined" series). */
     static MemifConfig
     pipelined()
@@ -264,6 +298,17 @@ struct MemifConfig {
     {
         MemifConfig c = scaled();
         c.multi_tenant = true;
+        return c;
+    }
+
+    /** tenanted() plus the MMU-aware DMA levers (the "memif-mmu-aware"
+     *  series). */
+    static MemifConfig
+    mmu_aware()
+    {
+        MemifConfig c = tenanted();
+        c.sva_dma = true;
+        c.xlate_prefetch_ahead = true;
         return c;
     }
 };
@@ -332,7 +377,10 @@ struct DeviceStats {
     std::uint64_t xlate_hits = 0;    ///< pages translated from the cache
     std::uint64_t xlate_misses = 0;  ///< pages that paid the radix walk
     std::uint64_t xlate_invalidations = 0;  ///< entries dropped by the hook
-    std::uint64_t xlate_prefetched = 0;     ///< extra pages walked ahead
+    /** Extra pages walked by the *reactive* gang-prefetch (cache-miss
+     *  neighbour expansion). Distinct from the ahead-of-stream prefetch
+     *  counters below, which this field historically conflated. */
+    std::uint64_t xlate_gang_prefetched = 0;
     std::uint64_t bulk_allocs = 0;     ///< magazine refills (bulk calls)
     std::uint64_t magazine_pops = 0;   ///< frames handed out of a magazine
     std::uint64_t magazine_spills = 0; ///< frees past capacity, to buddy
@@ -346,6 +394,34 @@ struct DeviceStats {
     std::uint64_t quota_hits_frames = 0;     ///< ... at the frame quota
     std::uint64_t shed_requests = 0;   ///< dropped at the queue-depth bound
     std::uint64_t wrr_dispatches = 0;  ///< requests picked by the WRR
+    // ----- MMU-aware DMA (ahead-of-stream prefetch / SVA routing) -----
+    /** Descriptors covered by an issued translation prefetch (the sync
+     *  window plus every scheduled asynchronous walk). */
+    std::uint64_t stream_prefetch_issued = 0;
+    /** Gate found the prefetched translation ready and live (zero
+     *  consumption-time stall). */
+    std::uint64_t stream_prefetch_hits = 0;
+    /** Consumer outran the prefetcher: the covering walk was still in
+     *  flight, so the TC stalled until it landed. */
+    std::uint64_t stream_prefetch_late = 0;
+    /** Prefetched translation unusable at consumption (invalidated
+     *  after fill, or the fill itself was dropped). */
+    std::uint64_t stream_prefetch_wasted = 0;
+    /** Prefetch fills discarded by the generation check (invalidation
+     *  landed between issue and fill). */
+    std::uint64_t prefetch_fills_dropped = 0;
+    /** TC-side consumer stalls (late prefetch) and their total time. */
+    std::uint64_t consumer_stalls = 0;
+    sim::Duration consumer_stall_time = 0;
+    /** SVA-routed descriptors resolved through the MMU at consumption. */
+    std::uint64_t sva_resolved = 0;
+    /** ... that paid a demand walk in the stream (cache miss). */
+    std::uint64_t sva_demand_walks = 0;
+    /** ... whose translation changed since prep (descriptor rewritten
+     *  from the live PTEs before the copy). */
+    std::uint64_t sva_retranslated = 0;
+    /** Consumption-time walk faults (chain terminated, kXlateFault). */
+    std::uint64_t sva_faults = 0;
 };
 
 class MemifDevice {
@@ -471,6 +547,19 @@ class MemifDevice {
         std::uint64_t file_page = 0;
     };
 
+    /** One SVA-routed descriptor's virtual span: what the engine's
+     *  translation gate re-resolves through the live page tables at
+     *  consumption time (sva_dma replication streams only). */
+    struct XlateSlot {
+        vm::VAddr src_va = 0;
+        vm::VAddr dst_va = 0;
+        std::uint64_t bytes = 0;
+        /** When the covering prefetch walk completes (prefetch-ahead
+         *  only; 0 = no prefetch covers this slot). */
+        sim::SimTime ready_at = 0;
+        bool prefetched = false;
+    };
+
     /** Per-page state of one request being served. */
     struct InFlight {
         std::uint32_t req_idx = 0;
@@ -511,6 +600,18 @@ class MemifDevice {
         /** Transient 4 KB frames charged to the tenant's quota; zeroed
          *  when the charge is returned (release or rollback). */
         std::uint64_t frames_charged = 0;
+        /** Replication destination region (SVA gate re-resolution). */
+        vm::Vma *dst_vma = nullptr;
+        /** SVA-routed stream: one entry per descriptor in fl->sg.
+         *  Empty = pre-pinned transfer (no gate installed). */
+        std::vector<XlateSlot> slots;
+        /** Next prefetch batch to issue (stream prefetcher cursor). */
+        std::uint64_t next_prefetch_batch = 0;
+        /** Outstanding prefetch-fill events (cancelled at retire). */
+        std::vector<sim::EventQueue::EventId> prefetch_events;
+        /** Pending-prefetch tokens registered with the xlate cache
+         *  (drained at retire so no pending entry outlives the move). */
+        std::vector<std::uint64_t> prefetch_tokens;
     };
     using InFlightPtr = std::shared_ptr<InFlight>;
 
@@ -621,6 +722,32 @@ class MemifDevice {
      *  per-submit-CPU flight shard when rings are on). */
     void add_in_flight(const InFlightPtr &fl);
     void remove_in_flight(const InFlightPtr &fl);
+
+    // ----- MMU-aware DMA (stream prefetch / SVA routing) --------------
+    /** Resolve the span [@p va, @p va + @p bytes) of @p vma through the
+     *  live PTEs. False when any page is absent / mid-migration or the
+     *  resolved frames are not physically contiguous; otherwise @p out
+     *  receives the physical byte address of @p va. */
+    static bool resolve_span(const vm::Vma *vma, vm::VAddr va,
+                             std::uint64_t bytes, std::uint64_t *out);
+    /** Issue the asynchronous translation-prefetch walk for batch
+     *  @p batch of @p fl's stream (prefetch_window descriptors): marks
+     *  the slots' ready_at, registers pending-prefetch tokens, and
+     *  schedules the fill at walker (not CPU) cost. */
+    void issue_stream_prefetch(const InFlightPtr &fl, std::uint64_t batch);
+    /** The engine's per-descriptor translation gate (sva_dma): always
+     *  re-resolves @p d from the live page tables; prefetch / cache
+     *  state only decides the stall charged. Keeps the prefetcher
+     *  running ahead of the consumption stream. */
+    dma::XlateVerdict sva_gate_check(const InFlightPtr &fl,
+                                     std::uint32_t idx,
+                                     dma::TransferDescriptor &d);
+    /** Re-resolve @p fl->sg from the live page tables (retry-ladder
+     *  restart and CPU fallback of an SVA-routed stream re-validate
+     *  every prefetched translation before touching bytes). */
+    void revalidate_stream(const InFlightPtr &fl);
+    /** Cancel outstanding prefetch-fill events (retire / teardown). */
+    void cancel_stream_prefetch(const InFlightPtr &fl);
 
     // ----- Multi-tenant service layer ---------------------------------
     /** One registered address space: its quotas, WRR state, and (when

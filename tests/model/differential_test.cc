@@ -1,10 +1,11 @@
 /**
  * @file
  * The differential suite proper: seeded random workloads replayed
- * through all five presets (levers-off, pipelined, moderated, scaled,
- * tenanted) must match the reference model byte-for-byte and leave the
- * driver fully quiesced — under FIFO scheduling, fuzzed schedules, and
- * injected faults.
+ * through all six presets (levers-off, pipelined, moderated, scaled,
+ * tenanted, mmu_aware) must match the reference model byte-for-byte
+ * and leave the driver fully quiesced — under FIFO scheduling, fuzzed
+ * schedules, injected faults, and invalidation storms racing TLB
+ * shootdowns against in-flight translation prefetches.
  *
  * Seed count scales with the MEMIF_CHECK_SEEDS environment variable
  * (default 16; CI quick mode runs 64, nightly can run thousands).
@@ -175,12 +176,12 @@ TEST(Differential, MinimizerShrinksAnInjectedDivergence)
 // preset (src/check/differential.cc) and updating both expectations.
 TEST(Differential, EveryConfigLeverAppearsInAPreset)
 {
-    EXPECT_EQ(sizeof(core::MemifConfig), 160u)
+    EXPECT_EQ(sizeof(core::MemifConfig), 168u)
         << "MemifConfig changed shape: add the new lever to a preset "
            "in src/check/differential.cc, then update this size";
 
     const core::MemifConfig &top = presets().back().config;
-    EXPECT_STREQ(presets().back().name, "tenanted");
+    EXPECT_STREQ(presets().back().name, "mmu_aware");
     // Default-on levers are exercised by every preset...
     EXPECT_TRUE(top.gang_lookup);
     EXPECT_TRUE(top.cpu_copy_fallback);
@@ -196,6 +197,44 @@ TEST(Differential, EveryConfigLeverAppearsInAPreset)
     EXPECT_TRUE(top.bulk_alloc);
     EXPECT_TRUE(top.percpu_rings);
     EXPECT_TRUE(top.multi_tenant);
+    EXPECT_TRUE(top.xlate_prefetch_ahead);
+    EXPECT_TRUE(top.sva_dma);
+}
+
+// Invalidation storm: every mov is chased by same-instant touches on
+// its own pages, so young/dirty PTE CASes fire the xlate-invalidate
+// hook while translations are in flight — pending prefetches are
+// killed between issue and fill, filled entries between fill and
+// consumption. The SVA gate must re-walk (never serve stale bytes)
+// and the generation check must drop the dead fills; final memory
+// stays byte-identical across every preset.
+TEST(Differential, InvalidationStormsMatchTheModel)
+{
+    const std::uint64_t nseeds = seeds_from_env(16) / 2 + 1;
+    for (std::uint64_t seed = 1; seed <= nseeds; ++seed) {
+        const Workload w =
+            generate_workload(seed, /*invalidation_storm=*/true);
+        std::uint64_t mem_digest = 0;
+        const char *digest_from = nullptr;
+        for (const Preset &p : presets()) {
+            RunOptions opt;
+            opt.config = p.config;
+            opt.schedule_seed = seed * 7 + 3;
+            const RunResult r = run_workload(w, opt);
+            ASSERT_TRUE(r.ok)
+                << "preset " << p.name << " (storm): " << r.failure
+                << "\n"
+                << diagnose(w, opt);
+            if (!digest_from) {
+                mem_digest = r.mem_digest;
+                digest_from = p.name;
+            } else {
+                ASSERT_EQ(r.mem_digest, mem_digest)
+                    << "storm seed " << seed << ": preset " << p.name
+                    << " memory diverges from preset " << digest_from;
+            }
+        }
+    }
 }
 
 }  // namespace
