@@ -31,6 +31,7 @@ presets()
         {"scaled", MemifConfig::scaled()},
         {"tenanted", MemifConfig::tenanted()},
         {"mmu_aware", MemifConfig::mmu_aware()},
+        {"managed", MemifConfig::managed()},
     };
     return kPresets;
 }
@@ -135,6 +136,20 @@ run_workload(const Workload &w, const RunOptions &opt)
             return res;
         }
 
+    // Managed preset: hand every region to the heat scanner so the
+    // migration daemon's device-originated movs run concurrently with
+    // the workload's own requests. Migration is placement, not
+    // mutation — the reference model's byte predictions must hold
+    // unchanged with the daemon active.
+    if (opt.config.auto_migrate)
+        for (std::uint32_t r = 0; r < w.regions.size(); ++r)
+            if (!dev.manage_region(bases[r],
+                                   mt ? w.regions[r].tenant % ntenants
+                                      : 0)) {
+                fail("manage_region failed during setup");
+                return res;
+            }
+
     // One handle per (tenant, cpu); lever off collapses to one row.
     std::vector<std::unique_ptr<MemifUser>> users;
     for (std::uint32_t t = 0; t < ntenants; ++t)
@@ -151,7 +166,8 @@ run_workload(const Workload &w, const RunOptions &opt)
 
     ReferenceModel model(w);
     const OutcomeContext ctx{opt.config.race_policy, opt.arm_faults,
-                             opt.config.cpu_copy_fallback, mt};
+                             opt.config.cpu_copy_fallback, mt,
+                             opt.config.auto_migrate};
     const std::uint64_t baseline = kernel.phys().outstanding_pages();
 
     // Terminal (status, error) per mov id; doubles as the
@@ -179,6 +195,18 @@ run_workload(const Workload &w, const RunOptions &opt)
         const MovError err = req.error;
         if (mt && st == MovStatus::kFailed &&
             err == MovError::kNoSpace && req.retry_after_us != 0) {
+            ++res.rejected;
+            retries.push_back(idx);
+            return;
+        }
+        // Managed preset: an app request that collides with a daemon
+        // mov in flight fails fast with kBusy. Like quota
+        // backpressure, that is transient, not terminal — the daemon
+        // mov completes in bounded virtual time, so wait out a short
+        // copy window and resubmit.
+        if (opt.config.auto_migrate && st == MovStatus::kFailed &&
+            err == MovError::kBusy) {
+            req.retry_after_us = 25;
             ++res.rejected;
             retries.push_back(idx);
             return;

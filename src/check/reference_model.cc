@@ -111,6 +111,16 @@ ReferenceModel::outcome_allowed(std::size_t id, MovStatus st,
                 .c_str());
     }
 
+    // Managed mode: any valid request can collide with a
+    // device-originated daemon mov and fail fast with kBusy
+    // (validation precedes the gate, so malformed requests never see
+    // it). The runner retries these like quota backpressure, but a
+    // client that gives up is within its rights — a bounced request
+    // moves no memory.
+    if (ctx.auto_migrate && st == MovStatus::kFailed &&
+        err == MovError::kBusy)
+        return true;
+
     const bool dma_fault_visible =
         ctx.faults_armed && !ctx.cpu_copy_fallback;
     if (rec.spec.op == MovOp::kMigrate) {

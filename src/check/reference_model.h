@@ -24,6 +24,9 @@
  *   any         kFailed(kNoSpace) under multi_tenant presets only:
  *               admission backpressure strikes at submit, before
  *               validation (the runner retries instead of recording).
+ *   valid       kFailed(kBusy) under auto_migrate presets only: the
+ *               request collided with a device-originated daemon mov
+ *               (the runner retries instead of recording).
  *
  * Memory, by contrast, IS fully predicted: migrations and touches are
  * content-inert under every policy and every outcome (raced, aborted,
@@ -71,6 +74,14 @@ struct OutcomeContext {
      *  (frame estimate alone exceeds the quota) IS terminal — a failed
      *  request moves no memory, so the digests still converge. */
     bool multi_tenant = false;
+    /** MemifConfig::auto_migrate: the heat scanner and migration
+     *  daemon are live, so any valid request may collide with a
+     *  device-originated daemon mov and fail fast with
+     *  kFailed/kBusy. The runner treats that as transient (the
+     *  daemon mov completes in bounded virtual time) and resubmits,
+     *  but a terminal kBusy is admissible: the bounced request moved
+     *  no memory, and the daemon's own migration is content-inert. */
+    bool auto_migrate = false;
 };
 
 /** One flattened request. Its index in submission order is the

@@ -56,12 +56,14 @@ class Claims {
 }  // namespace
 
 Workload
-generate_workload(std::uint64_t seed, bool invalidation_storm)
+generate_workload(std::uint64_t seed, bool invalidation_storm,
+                  bool heat_churn)
 {
     sim::Rng rng(seed);
     Workload w;
     w.seed = seed;
     w.invalidation_storm = invalidation_storm;
+    w.heat_churn = heat_churn;
 
     // Mixed-granularity regions (≈ 832 KB total — comfortably inside
     // the 6 MB fast node, so clean-run migrations essentially always
@@ -83,6 +85,18 @@ generate_workload(std::uint64_t seed, bool invalidation_storm)
     w.num_tenants = 2 + static_cast<std::uint32_t>(rng.next_below(3));
     for (std::uint32_t r = 0; r < w.regions.size(); ++r)
         w.regions[r].tenant = r % w.num_tenants;
+
+    // Heat-churn hot window: one small page run the whole run keeps
+    // re-touching (see Workload::heat_churn). Drawn only when the
+    // knob is on so existing seeds stay byte-identical without it.
+    std::uint32_t hot_region = 0, hot_base = 0, hot_span = 0;
+    if (heat_churn) {
+        hot_region = static_cast<std::uint32_t>(
+            rng.next_below(w.regions.size()));
+        hot_span = std::min<std::uint32_t>(8, w.regions[hot_region].pages);
+        hot_base = static_cast<std::uint32_t>(
+            rng.next_below(w.regions[hot_region].pages - hot_span + 1));
+    }
 
     Claims claims(w.regions);
 
@@ -247,6 +261,7 @@ generate_workload(std::uint64_t seed, bool invalidation_storm)
                 since_barrier = 0;
             }
         }
+        const OpKind placed_kind = op.kind;
         w.ops.push_back(std::move(op));
         // Invalidation storm: chase every valid mov with same-instant
         // touches on its own pages. Each touch young/dirty-CASes a PTE
@@ -298,6 +313,29 @@ generate_workload(std::uint64_t seed, bool invalidation_storm)
                 ++since_barrier;
             }
         }
+        // Heat churn: after every non-barrier op, hammer the hot
+        // window so its buckets stay hot across scan epochs and the
+        // managed preset's daemon has something to promote while app
+        // requests are in flight. Content-inert (touches only).
+        if (heat_churn && placed_kind != OpKind::kBarrier) {
+            const std::uint32_t hits =
+                2 + static_cast<std::uint32_t>(rng.next_below(3));
+            for (std::uint32_t h = 0; h < hits; ++h) {
+                WorkloadOp t;
+                t.kind = OpKind::kTouch;
+                t.cpu = static_cast<std::uint32_t>(
+                    rng.next_below(kWorkloadCpus));
+                t.delay_us =
+                    static_cast<std::uint32_t>(rng.next_below(3));
+                t.touch = TouchSpec{
+                    hot_region,
+                    hot_base + static_cast<std::uint32_t>(
+                                   rng.next_below(hot_span)),
+                    rng.next_below(2) == 1};
+                w.ops.push_back(std::move(t));
+                ++since_barrier;
+            }
+        }
     }
     // Always end quiesced: the runner's invariant sweep assumes the
     // final op drained every outstanding request.
@@ -312,6 +350,7 @@ drop_ops(const Workload &w, std::size_t begin, std::size_t count)
     out.seed = w.seed;
     out.num_tenants = w.num_tenants;
     out.invalidation_storm = w.invalidation_storm;
+    out.heat_churn = w.heat_churn;
     out.regions = w.regions;
     out.ops.reserve(w.ops.size());
     for (std::size_t i = 0; i < w.ops.size(); ++i)

@@ -121,6 +121,15 @@ struct Workload {
      *  noise, so the reference model is unaffected beyond the usual
      *  may-race marking of migrations. */
     bool invalidation_storm = false;
+    /** Heat-churn knob: the generator hammers one small per-seed "hot
+     *  window" of pages with repeated touches throughout the run, so
+     *  the managed preset's scanner sees the same buckets accessed
+     *  epoch after epoch and the migration daemon actually promotes
+     *  (and, once the churn moves on, demotes) them concurrently with
+     *  the workload's own requests. Touches are content-inert and
+     *  exempt from the disjointness invariant, so the reference
+     *  model's byte predictions are unaffected. */
+    bool heat_churn = false;
     std::vector<RegionSpec> regions;
     std::vector<WorkloadOp> ops;
 
@@ -140,10 +149,13 @@ inline constexpr std::uint32_t kWorkloadCpus = 4;
  *
  * With @p invalidation_storm set, every generated mov is chased by a
  * burst of same-instant touches on its own pages (see
- * Workload::invalidation_storm).
+ * Workload::invalidation_storm). With @p heat_churn set, every op is
+ * followed by a burst of touches on a fixed per-seed hot window (see
+ * Workload::heat_churn).
  */
 Workload generate_workload(std::uint64_t seed,
-                           bool invalidation_storm = false);
+                           bool invalidation_storm = false,
+                           bool heat_churn = false);
 
 /** Copy of @p w with ops [begin, begin+count) removed (minimizer). */
 Workload drop_ops(const Workload &w, std::size_t begin, std::size_t count);

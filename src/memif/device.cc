@@ -1,6 +1,7 @@
 #include "memif/device.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "sim/cost_model.h"
@@ -58,13 +59,20 @@ MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
       completion_ctl_(kernel.costs(), config.poll_threshold_bytes,
                       config.ewma_alpha),
       completion_event_(kernel.eq()),
-      kthread_wq_(kernel.eq())
+      kthread_wq_(kernel.eq()),
+      scan_wq_(kernel.eq()),
+      daemon_wq_(kernel.eq())
 {
     if (config_.irq_moderation &&
         (config_.moderation_batch || config_.moderation_holdoff))
         kernel_.dma().configure_moderation(config_.moderation_batch,
                                            config_.moderation_holdoff);
-    if (config_.race_policy == RacePolicy::kRecover) {
+    // The young-fault hook serves two masters: kRecover's rollback
+    // machinery, and (managed mode) the scanner's activity signal — a
+    // trap on a scanner-armed page means the working set moved, so a
+    // parked scanner must wake. handle_young_fault routes both.
+    if (config_.race_policy == RacePolicy::kRecover ||
+        config_.auto_migrate) {
         proc_.as().set_young_fault_hook(
             [this](vm::Vma &vma, std::uint64_t idx) {
                 return handle_young_fault(vma, idx);
@@ -90,6 +98,15 @@ MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
         tenants_.push_back(std::move(t));
     }
     kthread_task_ = kthread_loop();
+    if (config_.auto_migrate) {
+        // The daemon's service class: a WRR participant with its own
+        // weight and frame accounting, deliberately NOT in tenants_
+        // (its index would collide with a real ASID).
+        daemon_tenant_.stats.weight =
+            std::max<std::uint32_t>(config_.daemon_weight, 1);
+        scan_task_ = scan_loop();
+        daemon_task_ = daemon_loop();
+    }
 }
 
 MemifDevice::~MemifDevice()
@@ -113,14 +130,16 @@ MemifDevice::~MemifDevice()
             kernel_.dma().cancel(fl->tid);
         }
     }
-    if (config_.race_policy == RacePolicy::kRecover)
+    if (config_.race_policy == RacePolicy::kRecover ||
+        config_.auto_migrate)
         proc_.as().set_young_fault_hook(nullptr);
     if (config_.xlate_cache)
         proc_.as().set_xlate_invalidate_hook(nullptr);
     // Tenant address spaces outlive the device (the kernel owns the
     // processes); unhook them so no dangling callback survives.
     for (std::size_t i = 1; i < tenants_.size(); ++i) {
-        if (config_.race_policy == RacePolicy::kRecover)
+        if (config_.race_policy == RacePolicy::kRecover ||
+            config_.auto_migrate)
             tenants_[i].proc->as().set_young_fault_hook(nullptr);
         if (config_.xlate_cache)
             tenants_[i].proc->as().set_xlate_invalidate_hook(nullptr);
@@ -144,6 +163,7 @@ MemifDevice::idle() const
         if (!region.ring_queue(r).empty()) return false;
     for (const Tenant &t : tenants_)
         if (!t.pending.empty()) return false;
+    if (!daemon_tenant_.pending.empty()) return false;
     return in_flight_.empty() && pending_release_.empty() &&
            region.staging_queue().empty() &&
            region.submission_queue().empty();
@@ -252,6 +272,25 @@ MemifDevice::check_quiesced(std::string *why) const
                  std::to_string(t.pending.size()) + " request(s)");
         if (t.xcache) check_cache(*t.xcache);
     }
+
+    // Managed mode: the daemon has no mov between submission and its
+    // terminal handling, its frame charges are returned, and no bucket
+    // is marked busy with nothing in flight for it.
+    if (daemon_outstanding_ != 0 || !daemon_movs_.empty())
+        fail("daemon still has " + std::to_string(daemon_outstanding_) +
+             " mov(s) outstanding");
+    if (daemon_tenant_.stats.frames_charged != 0)
+        fail("daemon still charged " +
+             std::to_string(daemon_tenant_.stats.frames_charged) +
+             " transient frame(s)");
+    if (!daemon_tenant_.pending.empty())
+        fail("daemon pending queue holds " +
+             std::to_string(daemon_tenant_.pending.size()) + " request(s)");
+    for (const auto &mr : managed_)
+        for (std::uint64_t b = 0; b < mr->heat.num_buckets(); ++b)
+            if (mr->busy[b])
+                fail("managed bucket " + std::to_string(b) +
+                     " marked busy with no daemon mov in flight");
     return ok;
 }
 
@@ -324,7 +363,8 @@ MemifDevice::register_tenant(os::Process &proc, std::uint32_t weight)
                          ? weight
                          : std::max<std::uint32_t>(
                                config_.tenant_default_weight, 1);
-    if (config_.race_policy == RacePolicy::kRecover) {
+    if (config_.race_policy == RacePolicy::kRecover ||
+        config_.auto_migrate) {
         proc.as().set_young_fault_hook(
             [this](vm::Vma &vma, std::uint64_t idx) {
                 return handle_young_fault(vma, idx);
@@ -433,6 +473,48 @@ MemifDevice::print_stats(std::FILE *out) const
             static_cast<unsigned long long>(s.sva_retranslated),
             static_cast<unsigned long long>(s.sva_faults));
     }
+    if (config_.auto_migrate) {
+        const double sampled =
+            s.heat_pages_sampled ? static_cast<double>(s.heat_pages_sampled)
+                                 : 1.0;
+        std::fprintf(out, "  heat_scans            %12llu\n",
+                     static_cast<unsigned long long>(s.heat_scans));
+        std::fprintf(out,
+                     "  heat_pages s/a/w/skip %6llu/%llu/%llu/%llu\n",
+                     static_cast<unsigned long long>(s.heat_pages_sampled),
+                     static_cast<unsigned long long>(s.heat_pages_accessed),
+                     static_cast<unsigned long long>(s.heat_pages_written),
+                     static_cast<unsigned long long>(s.heat_pages_skipped));
+        std::fprintf(out, "  heat young/dirty hit  %10.1f%%/%.1f%%\n",
+                     100.0 * static_cast<double>(s.heat_pages_accessed) /
+                         sampled,
+                     100.0 * static_cast<double>(s.heat_pages_written) /
+                         sampled);
+        std::fprintf(out, "  promotions iss/done   %8llu/%llu\n",
+                     static_cast<unsigned long long>(s.promotions_issued),
+                     static_cast<unsigned long long>(
+                         s.promotions_completed));
+        std::fprintf(out, "  demotions iss/done    %8llu/%llu\n",
+                     static_cast<unsigned long long>(s.demotions_issued),
+                     static_cast<unsigned long long>(
+                         s.demotions_completed));
+        std::fprintf(out, "  daemon_movs_dropped   %12llu\n",
+                     static_cast<unsigned long long>(
+                         s.daemon_movs_dropped));
+        std::fprintf(out, "  daemon_busy_backoffs  %12llu\n",
+                     static_cast<unsigned long long>(
+                         s.daemon_busy_backoffs));
+        std::fprintf(out, "  daemon_budget_exhaust %12llu\n",
+                     static_cast<unsigned long long>(
+                         s.daemon_budget_exhausted));
+        std::fprintf(out, "  promotions_skip_full  %12llu\n",
+                     static_cast<unsigned long long>(
+                         s.promotions_skipped_full));
+        std::fprintf(out, "  heat_ping_pongs       %12llu\n",
+                     static_cast<unsigned long long>(heat_ping_pongs()));
+        if (std::getenv("MEMIF_HEAT_HISTOGRAM"))
+            print_heat_histogram(out);
+    }
     if (!config_.multi_tenant) return;
     // kErrNoSpace used to vanish from the caller's view; the admission
     // counters make every refused or shed request visible.
@@ -470,7 +552,10 @@ void
 MemifDevice::charge_frames(const InFlightPtr &fl)
 {
     if (!config_.multi_tenant || fl->frames_charged != 0) return;
-    Tenant *t = tenant_for(fl->asid);
+    // Daemon movs charge the daemon's own service class, never the
+    // tenant whose pages move — managed placement must not eat into an
+    // app's frame quota.
+    Tenant *t = fl->daemon ? &daemon_tenant_ : tenant_for(fl->asid);
     if (!t) return;
     fl->frames_charged =
         std::uint64_t{fl->num_pages} << fl->order;
@@ -481,7 +566,7 @@ void
 MemifDevice::uncharge_frames(const InFlightPtr &fl)
 {
     if (fl->frames_charged == 0) return;
-    if (Tenant *t = tenant_for(fl->asid)) {
+    if (Tenant *t = fl->daemon ? &daemon_tenant_ : tenant_for(fl->asid)) {
         MEMIF_ASSERT(t->stats.frames_charged >= fl->frames_charged,
                      "tenant frame charge underflow");
         t->stats.frames_charged -= fl->frames_charged;
@@ -562,6 +647,13 @@ MemifDevice::route_to_pending(bool take_staging)
             return;
         }
         MovReq &req = region_.request(idx);
+        if (req.daemon) {
+            // Daemon movs have their own service class and are already
+            // bounded by the backlog limit and the epoch budget — the
+            // shedding bound below is for unthrottled app tenants.
+            daemon_tenant_.pending.push_back(idx);
+            return;
+        }
         Tenant *t = tenant_for(req.asid);
         if (!t) {
             notify(idx, MovStatus::kFailed, MovError::kBadRequest);
@@ -607,12 +699,17 @@ MemifDevice::wrr_pick(std::uint32_t *out)
     // weight proportion (descriptor slots and TC bandwidth follow).
     std::int64_t active_weight = 0;
     Tenant *best = nullptr;
-    for (Tenant &t : tenants_) {
-        if (t.pending.empty()) continue;
+    auto offer = [&](Tenant &t) {
+        if (t.pending.empty()) return;
         active_weight += t.stats.weight;
         t.wrr_credit += t.stats.weight;
         if (!best || t.wrr_credit > best->wrr_credit) best = &t;
-    }
+    };
+    for (Tenant &t : tenants_) offer(t);
+    // The migration daemon competes like any tenant, at its configured
+    // weight — background placement never preempts app traffic, it is
+    // interleaved with it.
+    offer(daemon_tenant_);
     if (!best) return false;
     best->wrr_credit -= active_weight;
     *out = best->pending.front();
@@ -714,9 +811,21 @@ void
 MemifDevice::notify(std::uint32_t idx, MovStatus status, MovError error)
 {
     MovReq &req = region_.request(idx);
+    if (req.daemon) {
+        // Daemon movs never surface on the application's completion
+        // queues and hold no tenant quota slot: the daemon recycles
+        // the request slot itself and absorbs the outcome (a failed
+        // promotion is dropped into a cooldown, not retried here).
+        req.error = error;
+        req.complete_time = kernel_.eq().now();
+        req.store_status(status);
+        daemon_request_done(idx, status);
+        return;
+    }
     req.error = error;
     req.complete_time = kernel_.eq().now();
     req.store_status(status);
+    wake_scanner();
     // Return the tenant's in-flight quota slot exactly once per
     // admitted request (rejections never held one).
     if (config_.multi_tenant && req.admitted) {
@@ -1200,6 +1309,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     fl->req_idx = idx;
     fl->op = req.op;
     fl->asid = req.asid;
+    fl->daemon = req.daemon != 0;
     fl->submit_cpu = req.submit_cpu;
     fl->vma = src_vma;
     fl->num_pages = req.num_pages;
@@ -1207,6 +1317,27 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     fl->page_bytes = vm::page_bytes(src_vma->page_size());
     fl->total_bytes = fl->page_bytes * req.num_pages;
     fl->first_page = src_vma->page_index(req.src_base);
+
+    if (config_.auto_migrate) {
+        // Managed mode adds device-originated movs that the app cannot
+        // see coming (and vice versa). Whichever of the two reaches
+        // Prep second fails fast with kBusy: the daemon absorbs it
+        // (cooldown), the app retries like any transient rejection.
+        const bool daemon_only = !fl->daemon;
+        bool busy = page_run_in_flight(src_vma, fl->first_page,
+                                       req.num_pages, daemon_only);
+        if (!busy && dst_vma) {
+            const std::uint64_t dpb = vm::page_bytes(dst_vma->page_size());
+            busy = page_run_in_flight(
+                dst_vma, dst_vma->page_index(req.dst_base),
+                (fl->total_bytes + dpb - 1) / dpb, daemon_only);
+        }
+        if (busy) {
+            co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+            notify(idx, MovStatus::kFailed, MovError::kBusy);
+            co_return;
+        }
+    }
 
     // Page lookup: gang (§5.1) walks the real radix table, descending
     // once and stepping horizontally through adjacent PTEs; the
@@ -1422,7 +1553,7 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
             for (const Mapping &m : fl->mappings[i]) {
                 const vm::Pte old_pte = vm::Pte::unpack(m.old_pte);
                 vm::Pte next = old_pte;
-                if (config_.race_policy == RacePolicy::kPrevent) {
+                if (flight_prevents(*fl)) {
                     // Linux-style: block accessors on the old mapping.
                     next.migration = true;
                 } else {
@@ -1776,8 +1907,7 @@ MemifDevice::drain_completions(InFlightPtr first)
     co_await cpu.busy(ExecContext::kIrq, Op::kSched, cm.irq_overhead);
     for (const InFlightPtr &fl : batch) {
         observe_completion(fl);
-        if (config_.race_policy == RacePolicy::kPrevent &&
-            fl->op == MovOp::kMigrate) {
+        if (flight_prevents(*fl) && fl->op == MovOp::kMigrate) {
             // Release needs sleepable locks under race prevention; the
             // kernel thread drains these in one pass with a shared
             // ranged shootdown.
@@ -1845,10 +1975,10 @@ MemifDevice::reap_moderated()
     }
     // The shared shootdown above invalidated the just-released regions'
     // entries; re-record them now that the flushes are done.
-    if (config_.race_policy == RacePolicy::kPrevent &&
-        config_.batched_tlb_shootdown) {
+    if (config_.batched_tlb_shootdown) {
         for (const InFlightPtr &fl : batch)
-            if (fl->op == MovOp::kMigrate && !fl->aborted)
+            if (flight_prevents(*fl) && fl->op == MovOp::kMigrate &&
+                !fl->aborted)
                 xlate_writethrough(fl, ExecContext::kKthread);
     }
 }
@@ -1993,8 +2123,8 @@ MemifDevice::fallback_copy(InFlightPtr fl, ExecContext ctx)
                 e.src_addr >> mem::kPageShift, e.bytes);
     co_await kernel_.cpu().busy(ctx, Op::kCopy,
                                 cm.cpu_copy_time(fl->total_bytes));
-    if (config_.race_policy == RacePolicy::kPrevent &&
-        fl->op == MovOp::kMigrate && ctx == ExecContext::kIrq) {
+    if (flight_prevents(*fl) && fl->op == MovOp::kMigrate &&
+        ctx == ExecContext::kIrq) {
         // Same constraint as irq_complete: Release needs sleepable
         // locks under race prevention.
         pending_release_.push_back(fl);
@@ -2042,9 +2172,10 @@ MemifDevice::rollback_remap(const InFlightPtr &fl, ExecContext ctx)
     // The rolled-back migration returns its transient frame charge.
     uncharge_frames(fl);
     kernel_.cpu().charge(ctx, Op::kRelease, cost);
-    // Under race prevention accessors may be blocked on the migration
-    // PTEs we just replaced; let them re-check.
-    if (config_.race_policy == RacePolicy::kPrevent)
+    // Under race prevention (or a daemon flight) accessors may be
+    // blocked on the migration PTEs we just replaced; let them
+    // re-check.
+    if (flight_prevents(*fl))
         kernel_.migration_waitq().notify_all();
 }
 
@@ -2066,7 +2197,7 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
             bool page_raced = false;
             for (const Mapping &m : fl->mappings[i]) {
                 vm::PteSlot &slot = m.vma->pte_slot(m.page_idx);
-                if (config_.race_policy == RacePolicy::kPrevent) {
+                if (flight_prevents(*fl)) {
                     // Swap the migration PTE for the final one;
                     // accessors blocked on it can proceed afterwards.
                     vm::Pte final_pte = vm::Pte::unpack(m.old_pte);
@@ -2149,7 +2280,7 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
         // The doubled-frame window closed with the old frames freed.
         uncharge_frames(fl);
         co_await cpu.busy(ctx, Op::kRelease, release_cost);
-        if (config_.race_policy == RacePolicy::kPrevent)
+        if (flight_prevents(*fl))
             kernel_.migration_waitq().notify_all();
         if (raced)
             kernel_.tracer().record(kernel_.eq().now(),
@@ -2160,8 +2291,7 @@ MemifDevice::do_release(InFlightPtr fl, ExecContext ctx,
         // after this return — those callers re-record themselves).
         const bool flush_deferred = shared_plan != nullptr &&
                                     config_.batched_tlb_shootdown &&
-                                    config_.race_policy ==
-                                        RacePolicy::kPrevent;
+                                    flight_prevents(*fl);
         if (!raced && !flush_deferred) xlate_writethrough(fl, ctx);
     }
     kernel_.tracer().record(kernel_.eq().now(), TracePoint::kReleaseDone,
@@ -2207,8 +2337,7 @@ MemifDevice::irq_complete(InFlightPtr fl)
                             ExecContext::kIrq, fl->req_idx);
     co_await cpu.busy(ExecContext::kIrq, Op::kSched, cm.irq_overhead);
 
-    if (config_.race_policy == RacePolicy::kPrevent &&
-        fl->op == MovOp::kMigrate) {
+    if (flight_prevents(*fl) && fl->op == MovOp::kMigrate) {
         // Modifying the address space under race prevention needs
         // sleepable locks — forbidden here. Defer to the kernel thread.
         pending_release_.push_back(fl);
@@ -2286,10 +2415,10 @@ MemifDevice::kthread_loop()
                 }
                 // The shared shootdown invalidated the batch's cache
                 // entries; re-record now that the flushes are issued.
-                if (config_.race_policy == RacePolicy::kPrevent &&
-                    config_.batched_tlb_shootdown) {
+                if (config_.batched_tlb_shootdown) {
                     for (const InFlightPtr &fl : batch)
-                        if (fl->op == MovOp::kMigrate && !fl->aborted)
+                        if (flight_prevents(*fl) &&
+                            fl->op == MovOp::kMigrate && !fl->aborted)
                             xlate_writethrough(fl, ExecContext::kKthread);
                 }
                 if (batch.size() > 1) {
@@ -2572,8 +2701,17 @@ MemifDevice::ioctl_mov_one()
 bool
 MemifDevice::handle_young_fault(vm::Vma &vma, std::uint64_t page_idx)
 {
+    // Managed mode: a trap on a scanner-armed page is the activity
+    // signal a parked scanner waits for. Never resolve anything here —
+    // sampling stays off the fault path; the default young-clear CAS
+    // in touch() proceeds as if the hook were absent.
+    wake_scanner();
+    if (config_.race_policy != RacePolicy::kRecover) return false;
     for (const InFlightPtr &fl : in_flight_) {
         if (fl->op != MovOp::kMigrate || fl->aborted) continue;
+        // Blocking-PTE flights (daemon movs) have no semi-final entry
+        // a young fault could race; accessors wait instead.
+        if (flight_prevents(*fl)) continue;
         bool hit = false;
         for (const auto &page_mappings : fl->mappings) {
             for (const Mapping &m : page_mappings) {

@@ -53,6 +53,7 @@
 
 #include "dma/driver.h"
 #include "memif/completion_ctl.h"
+#include "memif/heat_policy.h"
 #include "memif/mov_req.h"
 #include "memif/shared_region.h"
 #include "memif/xlate_cache.h"
@@ -256,6 +257,58 @@ struct MemifConfig {
     bool sva_dma = false;
     ///@}
 
+    /**
+     * @name Managed-mode levers (this PR; off by default so every
+     * earlier series keeps its exact shape; managed() turns
+     * auto_migrate on atop mmu_aware() for the "memif-managed"
+     * series). With auto_migrate on, a periodic scan kthread samples
+     * access heat from the young/dirty bits of regions registered via
+     * manage_region(), and a migration daemon kthread turns policy
+     * verdicts into device-originated movs (hot buckets to the fast
+     * node, cold buckets back to the slow one). Sampling and migration
+     * both happen off the fault path; a failed daemon mov is dropped
+     * (cooldown), never retried synchronously.
+     */
+    ///@{
+    /** Master switch for the scan + daemon kthreads. */
+    bool auto_migrate = false;
+    /** Placement policy sub-lever (aging vs. EWMA; heat_policy.h). */
+    MigratePolicy migrate_policy = MigratePolicy::kAging;
+    /** Scan epoch: the interval between heat-sampling passes. */
+    sim::Duration heat_scan_interval = sim::microseconds(500);
+    /** Per-bucket adaptive dormancy (DAMON-style): after this many
+     *  consecutive epochs in which a bucket's observation matched its
+     *  settled classification (hot and fully touched, or cold and
+     *  untouched) the scanner stops sampling it. Its pages stay
+     *  unarmed, so the app pays no access-flag traps and the scan pays
+     *  no walk for it; one probe epoch re-arms, the next re-evaluates,
+     *  and a matching probe doubles the sleep. 0 disables settling. */
+    std::uint32_t heat_settle_epochs = 4;
+    /** Longest sleep (in scan epochs) a settled bucket may take; also
+     *  bounds how stale a settled verdict can get. */
+    std::uint32_t heat_dormant_cap = 16;
+    /** Pages per heat bucket (the migration unit). */
+    std::uint32_t heat_bucket_pages = 8;
+    /** Per-epoch cap on daemon-migrated pages (promotions+demotions). */
+    std::uint32_t migrate_pages_per_epoch = 64;
+    /** kAging promote/demote thresholds (hysteresis band between). */
+    std::uint8_t heat_promote_threshold = 0x60;
+    std::uint8_t heat_demote_threshold = 0x10;
+    /** kEwma decay factor and hot-enter / cold-exit bands. */
+    double heat_ewma_alpha = 0.4;
+    double heat_hot_enter = 0.6;
+    double heat_cold_exit = 0.2;
+    /** WRR weight of the daemon's dedicated service class (its movs
+     *  never consume app tenants' quotas). */
+    std::uint32_t daemon_weight = 1;
+    /** Engine-backlog backoff: the daemon stops issuing when this many
+     *  requests are already in flight (so it never starves apps). */
+    std::uint32_t daemon_backlog_limit = 6;
+    /** Scanner parks after this many consecutive epochs with no
+     *  accessed page and no daemon work (woken by device activity). */
+    std::uint32_t scan_idle_park_epochs = 2;
+    ///@}
+
     /** All three pipeline levers on (the "memif-pipelined" series). */
     static MemifConfig
     pipelined()
@@ -309,6 +362,15 @@ struct MemifConfig {
         MemifConfig c = tenanted();
         c.sva_dma = true;
         c.xlate_prefetch_ahead = true;
+        return c;
+    }
+
+    /** mmu_aware() plus managed mode (the "memif-managed" series). */
+    static MemifConfig
+    managed()
+    {
+        MemifConfig c = mmu_aware();
+        c.auto_migrate = true;
         return c;
     }
 };
@@ -422,6 +484,26 @@ struct DeviceStats {
     std::uint64_t sva_retranslated = 0;
     /** Consumption-time walk faults (chain terminated, kXlateFault). */
     std::uint64_t sva_faults = 0;
+    // ----- Managed mode (heat scan + migration daemon) ----------------
+    std::uint64_t heat_scans = 0;           ///< scan epochs executed
+    std::uint64_t heat_pages_sampled = 0;   ///< PTEs examined by the scanner
+    std::uint64_t heat_pages_accessed = 0;  ///< ... found touched (young clear)
+    std::uint64_t heat_pages_written = 0;   ///< ... found dirty
+    /** Pages skipped because an in-flight request overlapped them. */
+    std::uint64_t heat_pages_skipped = 0;
+    std::uint64_t promotions_issued = 0;    ///< daemon movs toward fast memory
+    std::uint64_t promotions_completed = 0;
+    std::uint64_t demotions_issued = 0;     ///< daemon movs toward slow memory
+    std::uint64_t demotions_completed = 0;
+    /** Daemon movs that failed (any reason) and were absorbed: the
+     *  bucket enters a cooldown instead of being retried on a fault. */
+    std::uint64_t daemon_movs_dropped = 0;
+    /** Daemon issue passes cut short by the engine-backlog backoff. */
+    std::uint64_t daemon_busy_backoffs = 0;
+    /** Daemon issue passes cut short by the per-epoch page budget. */
+    std::uint64_t daemon_budget_exhausted = 0;
+    /** Promotions skipped because the fast node could not fit them. */
+    std::uint64_t promotions_skipped_full = 0;
 };
 
 class MemifDevice {
@@ -530,6 +612,34 @@ class MemifDevice {
      *  outstanding_pages == baseline + magazine_pages(). */
     std::uint64_t magazine_pages() const;
 
+    /**
+     * @name Managed mode (auto_migrate lever).
+     * Registering a region hands its placement to the device: the scan
+     * kthread samples its young/dirty bits every heat_scan_interval and
+     * the migration daemon moves hot buckets to the fast node and cold
+     * ones back. The region (its Vma) must stay mapped until
+     * unmanage_region() or device teardown, whichever comes first.
+     */
+    ///@{
+    /**
+     * Manage the region whose Vma starts at @p base in @p asid's
+     * address space (ASID 0 = the owner; others via register_tenant).
+     * No-op without auto_migrate. Returns false when the address does
+     * not resolve to a Vma (or the lever is off).
+     */
+    bool manage_region(vm::VAddr base, std::uint32_t asid = 0);
+    /** Stop managing the region at @p base (in-flight daemon movs for
+     *  it finish and are then discarded). */
+    void unmanage_region(vm::VAddr base, std::uint32_t asid = 0);
+    std::size_t managed_region_count() const { return managed_.size(); }
+    /** Hot-state flips within the ping-pong window, summed over all
+     *  managed regions (placement-stability tripwire). */
+    std::uint64_t heat_ping_pongs() const;
+    /** Dump each managed region's heat histogram (8 score octiles) —
+     *  also triggered by print_stats when MEMIF_HEAT_HISTOGRAM is set. */
+    void print_heat_histogram(std::FILE *out) const;
+    ///@}
+
   private:
     friend class MemifUser;
 
@@ -597,6 +707,9 @@ class MemifDevice {
         sim::EventQueue::EventId watchdog_id = sim::EventQueue::kInvalidEvent;
         /** Tenant the request (and its frame charge) belongs to. */
         std::uint32_t asid = 0;
+        /** Daemon-originated (managed mode): frame charges go to the
+         *  daemon's service class, not the target tenant's quota. */
+        bool daemon = false;
         /** Transient 4 KB frames charged to the tenant's quota; zeroed
          *  when the charge is returned (release or rollback). */
         std::uint64_t frames_charged = 0;
@@ -614,6 +727,19 @@ class MemifDevice {
         std::vector<std::uint64_t> prefetch_tokens;
     };
     using InFlightPtr = std::shared_ptr<InFlight>;
+
+    /** Whether @p fl migrates behind blocking migration PTEs (Linux
+     *  style) rather than the §5.2 semi-final protocol. True under the
+     *  kPrevent race policy — and for every daemon flight regardless
+     *  of policy: the semi-final PTE exposes the not-yet-copied new
+     *  frame to readers and silently loses raced writes, which is the
+     *  submitting app's accepted contract for its own movs but can
+     *  never be imposed on an app by the transparent migration daemon.
+     *  A daemon mov may delay an access; it must never corrupt one. */
+    bool flight_prevents(const InFlight &fl) const
+    {
+        return fl.daemon || config_.race_policy == RacePolicy::kPrevent;
+    }
 
     /** One (address space, vma) span of PTEs dirtied since the last
      *  TLB flush; the batched-shootdown accumulator (PR 2's Remap
@@ -799,6 +925,77 @@ class MemifDevice {
      *  CAS retry. Per-CPU rings never call this. */
     sim::Duration shared_submit_penalty(std::uint32_t cpu);
 
+    // ----- Managed mode (heat scan + migration daemon) ----------------
+    /** One region whose placement the device manages. */
+    struct ManagedRegion {
+        std::uint32_t asid = 0;
+        vm::AddressSpace *as = nullptr;
+        vm::Vma *vma = nullptr;
+        RegionHeat heat;
+        /** Bucket has a daemon mov in flight (no re-issue until done). */
+        std::vector<bool> busy;
+        /** Epochs left before a failed bucket may be retried. */
+        std::vector<std::uint32_t> cooldown;
+        /** Settled-classification streak (resets on any mismatch). */
+        std::vector<std::uint32_t> streak;
+        /** Dormancy countdown: while > 0 the bucket is not sampled. */
+        std::vector<std::uint32_t> dormant;
+        /** Last granted sleep length (doubles on matching probes). */
+        std::vector<std::uint32_t> next_dorm;
+        /** The epoch after a sleep only re-arms; its readings are
+         *  artifacts of our own disarming, not app accesses. */
+        std::vector<bool> probing;
+        ManagedRegion(const HeatConfig &hc, std::uint32_t asid_,
+                      vm::AddressSpace *as_, vm::Vma *vma_)
+            : asid(asid_), as(as_), vma(vma_),
+              heat(hc, vma_->num_pages()),
+              busy(heat.num_buckets(), false),
+              cooldown(heat.num_buckets(), 0),
+              streak(heat.num_buckets(), 0),
+              dormant(heat.num_buckets(), 0),
+              next_dorm(heat.num_buckets(), 0),
+              probing(heat.num_buckets(), false)
+        {
+        }
+    };
+    /** One outstanding daemon mov (keyed by request-slot index). */
+    struct DaemonMov {
+        vm::Vma *vma = nullptr;      ///< identifies the region (stable)
+        std::uint64_t bucket = 0;
+        bool promote = false;
+        std::uint32_t pages = 0;
+    };
+    /** The HeatConfig snapshot regions are attached with. */
+    HeatConfig heat_config() const;
+    /** The periodic heat-sampling kthread (parks when idle). */
+    sim::Task scan_loop();
+    /** One synchronous sampling pass over every managed region; returns
+     *  the modeled CPU cost and reports activity/work via the outs. */
+    sim::Duration scan_epoch(bool *any_accessed, bool *has_work,
+                             bool *still_hot);
+    /** The migration daemon kthread: turns verdicts into movs. */
+    sim::Task daemon_loop();
+    /** One issue pass (demotions first, then promotions), bounded by
+     *  the epoch budget and the engine-backlog backoff. */
+    void daemon_issue_pass();
+    /** Build + deposit one daemon mov for @p bucket of @p mr. */
+    bool daemon_submit_bucket(ManagedRegion &mr, std::uint64_t bucket,
+                              bool promote);
+    /** Terminal handling of a daemon mov (diverted from notify()):
+     *  recycle the slot, clear the bucket, count, wake the daemon. */
+    void daemon_request_done(std::uint32_t idx, MovStatus status);
+    /** Wake the scanner if it parked (device-activity signal). */
+    void wake_scanner();
+    /** True when [first, first+n) of @p vma overlaps an in-flight
+     *  request's source or destination span. With @p daemon_only only
+     *  daemon-originated flights count (app-side Prep gate); the
+     *  scanner passes false so it never samples under ANY move. */
+    bool page_run_in_flight(const vm::Vma *vma, std::uint64_t first,
+                            std::uint64_t n, bool daemon_only = false);
+    /** Does bucket @p b of @p mr currently live on the fast node? */
+    bool bucket_resident_fast(const ManagedRegion &mr,
+                              std::uint64_t bucket) const;
+
     os::Kernel &kernel_;
     os::Process &proc_;
     MemifConfig config_;
@@ -834,6 +1031,24 @@ class MemifDevice {
     std::uint32_t last_shared_cpu_ = 0;
     bool have_shared_submit_ = false;
     bool stopping_ = false;
+    // ----- Managed-mode state (auto_migrate only) ---------------------
+    std::vector<std::unique_ptr<ManagedRegion>> managed_;
+    sim::WaitQueue scan_wq_;
+    sim::WaitQueue daemon_wq_;
+    bool scan_parked_ = false;
+    bool daemon_parked_ = false;
+    std::uint32_t scan_quiet_epochs_ = 0;
+    /** Pages the daemon may still move this epoch (scanner refills). */
+    std::uint32_t daemon_budget_ = 0;
+    /** Daemon movs between submission and terminal handling. */
+    std::uint32_t daemon_outstanding_ = 0;
+    /** Outstanding daemon movs by request-slot index. */
+    std::map<std::uint32_t, DaemonMov> daemon_movs_;
+    /** The daemon's dedicated service class: NOT in tenants_ (its index
+     *  is no ASID); WRR and frame accounting special-case it. */
+    Tenant daemon_tenant_;
+    sim::Task scan_task_;
+    sim::Task daemon_task_;
     DeviceStats stats_;
 };
 

@@ -1,0 +1,91 @@
+#include "memif/heat_policy.h"
+
+#include "sim/log.h"
+
+namespace memif::core {
+
+RegionHeat::RegionHeat(const HeatConfig &config, std::uint64_t num_pages)
+    : config_(config), num_pages_(num_pages)
+{
+    MEMIF_ASSERT(config_.bucket_pages > 0, "bucket_pages must be positive");
+    const std::uint64_t n =
+        (num_pages + config_.bucket_pages - 1) / config_.bucket_pages;
+    buckets_.resize(n);
+}
+
+std::uint32_t
+RegionHeat::pages_in(std::uint64_t bucket) const
+{
+    const std::uint64_t first = first_page(bucket);
+    const std::uint64_t left = num_pages_ - first;
+    return left < config_.bucket_pages ? static_cast<std::uint32_t>(left)
+                                       : config_.bucket_pages;
+}
+
+void
+RegionHeat::fold(std::uint64_t bucket, std::uint32_t accessed,
+                 std::uint32_t written, std::uint32_t sampled)
+{
+    HeatBucket &b = buckets_[bucket];
+    const bool any = sampled > 0 && accessed > 0;
+    const double fraction =
+        sampled > 0 ? static_cast<double>(accessed) / sampled : 0.0;
+
+    b.age = static_cast<std::uint8_t>((b.age >> 1) | (any ? 0x80 : 0));
+    b.rate = config_.ewma_alpha * fraction +
+             (1.0 - config_.ewma_alpha) * b.rate;
+    if (any) ++b.accessed_epochs;
+    if (sampled > 0 && written > 0) ++b.written_epochs;
+
+    bool hot = b.hot;
+    if (config_.policy == MigratePolicy::kAging) {
+        if (b.age >= config_.aging_promote_threshold)
+            hot = true;
+        else if (b.age < config_.aging_demote_threshold)
+            hot = false;
+        // In between: keep the previous classification (hysteresis).
+    } else {
+        if (b.rate >= config_.ewma_hot_enter)
+            hot = true;
+        else if (b.rate <= config_.ewma_cold_exit)
+            hot = false;
+    }
+    if (hot != b.hot) {
+        if (b.epochs_since_flip < config_.pingpong_window) ++ping_pongs_;
+        b.hot = hot;
+        b.epochs_since_flip = 0;
+    } else if (b.epochs_since_flip < ~0u) {
+        ++b.epochs_since_flip;
+    }
+}
+
+HeatVerdict
+RegionHeat::classify(std::uint64_t bucket, bool resident_fast) const
+{
+    const HeatBucket &b = buckets_[bucket];
+    if (b.hot && !resident_fast) return HeatVerdict::kPromote;
+    if (!b.hot && resident_fast) return HeatVerdict::kDemote;
+    return HeatVerdict::kStay;
+}
+
+double
+RegionHeat::score(const HeatBucket &b) const
+{
+    if (config_.policy == MigratePolicy::kAging)
+        return static_cast<double>(b.age) / 255.0;
+    return b.rate > 1.0 ? 1.0 : b.rate;
+}
+
+std::vector<std::uint64_t>
+RegionHeat::histogram() const
+{
+    std::vector<std::uint64_t> h(8, 0);
+    for (const HeatBucket &b : buckets_) {
+        auto octile = static_cast<std::size_t>(score(b) * 8.0);
+        if (octile > 7) octile = 7;
+        ++h[octile];
+    }
+    return h;
+}
+
+}  // namespace memif::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Heat accounting and placement policies for memif-managed mode.
+ *
+ * The scan kthread folds one sample per page bucket per epoch (from
+ * the young/dirty bits it test-and-rearms); the migration daemon asks
+ * for a verdict per bucket. Everything here is pure arithmetic over
+ * those samples — no simulator, device or clock dependencies — so the
+ * decay math and hysteresis bands are unit-testable in isolation.
+ *
+ * Two policies ship behind MemifConfig::migrate_policy:
+ *
+ *  - kAging: LRU-ish aging vector per bucket. Each epoch shifts the
+ *    vector right and ORs the new sample into the MSB, so recency
+ *    dominates and one idle epoch halves a bucket's score. Promote at
+ *    or above aging_promote_threshold, demote strictly below
+ *    aging_demote_threshold; the gap between the two thresholds is the
+ *    hysteresis band.
+ *
+ *  - kEwma: decayed access-rate estimate. rate' = alpha * sample +
+ *    (1 - alpha) * rate with sample = accessed fraction of the
+ *    bucket's sampled pages. A bucket turns hot when the rate crosses
+ *    ewma_hot_enter from below and turns cold only when it falls to
+ *    ewma_cold_exit — the band between the two absorbs oscillating
+ *    patterns (no ping-pong on a 50% duty cycle).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace memif::core {
+
+/** Placement policy selector (MemifConfig::migrate_policy sub-lever). */
+enum class MigratePolicy : std::uint8_t {
+    kAging = 0,  ///< aging bit-vector, recency-weighted
+    kEwma = 1,   ///< decayed frequency estimate with hysteresis bands
+};
+
+/** Tuning knobs for RegionHeat (copied from MemifConfig at attach). */
+struct HeatConfig {
+    MigratePolicy policy = MigratePolicy::kAging;
+    /** Pages aggregated into one heat bucket (the migration unit). */
+    std::uint32_t bucket_pages = 8;
+    /** kAging: promote when the aging vector reaches this value. */
+    std::uint8_t aging_promote_threshold = 0x60;
+    /** kAging: demote when the aging vector falls strictly below. */
+    std::uint8_t aging_demote_threshold = 0x10;
+    /** kEwma: decay factor applied to the new sample. */
+    double ewma_alpha = 0.4;
+    /** kEwma: rate at or above which a bucket enters the hot set. */
+    double ewma_hot_enter = 0.6;
+    /** kEwma: rate at or below which a bucket leaves the hot set. */
+    double ewma_cold_exit = 0.2;
+    /** Hot-state flips closer than this many epochs count as ping-pong. */
+    std::uint32_t pingpong_window = 4;
+};
+
+/** What the daemon should do with one bucket this epoch. */
+enum class HeatVerdict : std::uint8_t { kStay = 0, kPromote, kDemote };
+
+/** Per-bucket decayed heat state. */
+struct HeatBucket {
+    std::uint8_t age = 0;          ///< kAging recency vector (MSB newest)
+    double rate = 0.0;             ///< kEwma access-rate estimate
+    bool hot = false;              ///< hysteresis state (classification)
+    /** Starts saturated so the first flip (initial classification)
+     *  never counts as a ping-pong. */
+    std::uint32_t epochs_since_flip = ~0u;
+    std::uint64_t accessed_epochs = 0;  ///< epochs with any access seen
+    std::uint64_t written_epochs = 0;   ///< epochs with any dirty page
+};
+
+/**
+ * Heat state for one managed region: a HeatBucket per bucket_pages
+ * run of pages, plus the fold/classify machinery shared by both
+ * policies.
+ */
+class RegionHeat {
+  public:
+    RegionHeat(const HeatConfig &config, std::uint64_t num_pages);
+
+    std::uint64_t num_buckets() const { return buckets_.size(); }
+    std::uint64_t bucket_of(std::uint64_t page_idx) const
+    {
+        return page_idx / config_.bucket_pages;
+    }
+    /** First page index of @p bucket. */
+    std::uint64_t first_page(std::uint64_t bucket) const
+    {
+        return bucket * config_.bucket_pages;
+    }
+    /** Number of pages in @p bucket (the last one may be short). */
+    std::uint32_t pages_in(std::uint64_t bucket) const;
+
+    /**
+     * Fold one epoch's sample for @p bucket: of @p sampled examined
+     * pages, @p accessed had their young bit cleared and @p written
+     * were dirty. Call exactly once per bucket per epoch — the decay
+     * step is applied here, so unsampled epochs must still fold zeros.
+     */
+    void fold(std::uint64_t bucket, std::uint32_t accessed,
+              std::uint32_t written, std::uint32_t sampled);
+
+    /**
+     * The policy's desired action for @p bucket given where it lives
+     * now. Pure read of the hysteresis state updated by fold().
+     */
+    HeatVerdict classify(std::uint64_t bucket, bool resident_fast) const;
+
+    const HeatBucket &bucket(std::uint64_t i) const { return buckets_[i]; }
+
+    /**
+     * Forget a cold bucket's stale sub-threshold heat on wake from
+     * dormancy. The sleep gap is unobserved, so heat frozen at entry
+     * must not combine with fresh post-wake touches — a rotation that
+     * happens to coincide with successive probe epochs would otherwise
+     * accumulate across sleeps and cross the promote threshold. Hot
+     * buckets keep their state: their dormancy already required a
+     * fully-touched bucket, and active folds demote them promptly if
+     * the access pattern died while they slept.
+     */
+    void reset_cold(std::uint64_t bucket)
+    {
+        HeatBucket &b = buckets_[bucket];
+        if (!b.hot) {
+            b.age = 0;
+            b.rate = 0.0;
+        }
+    }
+
+    /** Hot-state flips inside pingpong_window epochs (stability metric). */
+    std::uint64_t ping_pongs() const { return ping_pongs_; }
+
+    /**
+     * Histogram of the current heat distribution: bucket counts in 8
+     * score octiles (score = age/255 or EWMA rate, by policy).
+     */
+    std::vector<std::uint64_t> histogram() const;
+
+  private:
+    double score(const HeatBucket &b) const;
+
+    HeatConfig config_;
+    std::uint64_t num_pages_ = 0;
+    std::vector<HeatBucket> buckets_;
+    std::uint64_t ping_pongs_ = 0;
+};
+
+}  // namespace memif::core

@@ -90,6 +90,12 @@ struct MovReq {
     /** Driver-internal: request passed admission and holds a slot in
      *  its tenant's in-flight quota (cleared at terminal notify). */
     std::uint8_t admitted = 0;
+    /** Driver-internal: originated by the migration daemon (managed
+     *  mode). Completion is diverted to the daemon — never surfaces on
+     *  the application's completion queues — and resource accounting
+     *  charges the daemon's dedicated service class, not the tenant
+     *  whose pages move (asid still names the target address space). */
+    std::uint8_t daemon = 0;
 
     /** Diagnostics (virtual time): set by the library/driver. */
     std::uint64_t submit_time = 0;

@@ -247,6 +247,42 @@ AddressSpace::touch(VAddr va, bool write)
     }
 }
 
+HeatSample
+AddressSpace::heat_sample(Vma &vma, std::uint64_t page_idx)
+{
+    PteSlot &slot = vma.pte_slot(page_idx);
+    HeatSample s;
+    for (;;) {
+        const std::uint64_t raw = slot.load(std::memory_order_acquire);
+        const Pte pte = Pte::unpack(raw);
+        // Observe only: absent, mid-migration and lazy pages are the
+        // driver's (or the fault path's) business, never the scanner's.
+        if (!pte.present || pte.migration || pte.lazy) return s;
+        s.sampled = true;
+        s.accessed = !pte.young;  // inverted polarity: cleared == touched
+        s.written = pte.dirty;
+        ++stats_.heat_samples;
+        // A young-set page is left untouched even when dirty: it may be
+        // a semi-final migration PTE whose Release CAS expects this
+        // exact raw value. The dirty bit is swept up at the next rearm.
+        if (pte.young) return s;
+        Pte armed = pte;
+        armed.young = true;
+        armed.dirty = false;
+        std::uint64_t expected = raw;
+        if (!slot.compare_exchange_strong(expected, armed.pack(),
+                                          std::memory_order_acq_rel)) {
+            --stats_.heat_samples;
+            continue;  // raced with a touch or the driver; re-examine
+        }
+        s.rearmed = true;
+        ++stats_.heat_rearms;
+        // The rewritten PTE invalidates any cached translation of it.
+        flush_tlb_page(vma.page_vaddr(page_idx), vma.page_size());
+        return s;
+    }
+}
+
 bool
 AddressSpace::read(VAddr va, void *out, std::uint64_t len)
 {

@@ -38,6 +38,22 @@ struct VmStats {
     std::uint64_t tlb_range_flushes = 0;
     std::uint64_t mapped_pages = 0;
     std::uint64_t unmapped_pages = 0;
+    std::uint64_t heat_samples = 0;   ///< pages examined by heat_sample()
+    std::uint64_t heat_rearms = 0;    ///< young bits re-armed by the scanner
+};
+
+/**
+ * What one heat_sample() call observed about a page (managed mode).
+ *
+ * The access flag is software-emulated with inverted polarity: young
+ * SET means the next touch traps; touch() clears it. So "accessed
+ * since the scanner last armed this page" reads as young == 0.
+ */
+struct HeatSample {
+    bool sampled = false;   ///< present, not mid-migration: counters apply
+    bool accessed = false;  ///< young found clear (a touch trapped since arm)
+    bool written = false;   ///< dirty was set
+    bool rearmed = false;   ///< this call re-armed young (PTE CAS + flush)
 };
 
 /**
@@ -120,6 +136,20 @@ class AddressSpace {
      * migration PTEs (the accessor must block).
      */
     AccessResult touch(VAddr va, bool write);
+
+    /**
+     * Test-and-rearm one page's access/dirty flags for heat sampling
+     * (managed mode). Reads young/dirty, then re-arms via the same
+     * atomic CAS path touch() uses, flushing the page's TLB entry and
+     * firing the xlate-invalidation hook so a cached walk can never
+     * resurrect the pre-CAS PTE. Pages that are absent, mid-migration,
+     * or lazy-marked are skipped (sampled == false) — the scanner
+     * NEVER resolves faults or waits; it only observes.
+     *
+     * The caller charges time (CostModel::pte_cas + tlb_flush_page per
+     * rearm) — this is the functional half only.
+     */
+    HeatSample heat_sample(Vma &vma, std::uint64_t page_idx);
 
     /** Copy @p len bytes out of the address space (functional). */
     bool read(VAddr va, void *out, std::uint64_t len);

@@ -1,11 +1,13 @@
 /**
  * @file
  * The differential suite proper: seeded random workloads replayed
- * through all six presets (levers-off, pipelined, moderated, scaled,
- * tenanted, mmu_aware) must match the reference model byte-for-byte
- * and leave the driver fully quiesced — under FIFO scheduling, fuzzed
- * schedules, injected faults, and invalidation storms racing TLB
- * shootdowns against in-flight translation prefetches.
+ * through all seven presets (levers-off, pipelined, moderated, scaled,
+ * tenanted, mmu_aware, managed) must match the reference model
+ * byte-for-byte and leave the driver fully quiesced — under FIFO
+ * scheduling, fuzzed schedules, injected faults, invalidation storms
+ * racing TLB shootdowns against in-flight translation prefetches, and
+ * heat churn driving the managed preset's migration daemon underneath
+ * the workload's own requests.
  *
  * Seed count scales with the MEMIF_CHECK_SEEDS environment variable
  * (default 16; CI quick mode runs 64, nightly can run thousands).
@@ -176,12 +178,12 @@ TEST(Differential, MinimizerShrinksAnInjectedDivergence)
 // preset (src/check/differential.cc) and updating both expectations.
 TEST(Differential, EveryConfigLeverAppearsInAPreset)
 {
-    EXPECT_EQ(sizeof(core::MemifConfig), 168u)
+    EXPECT_EQ(sizeof(core::MemifConfig), 240u)
         << "MemifConfig changed shape: add the new lever to a preset "
            "in src/check/differential.cc, then update this size";
 
     const core::MemifConfig &top = presets().back().config;
-    EXPECT_STREQ(presets().back().name, "mmu_aware");
+    EXPECT_STREQ(presets().back().name, "managed");
     // Default-on levers are exercised by every preset...
     EXPECT_TRUE(top.gang_lookup);
     EXPECT_TRUE(top.cpu_copy_fallback);
@@ -199,6 +201,11 @@ TEST(Differential, EveryConfigLeverAppearsInAPreset)
     EXPECT_TRUE(top.multi_tenant);
     EXPECT_TRUE(top.xlate_prefetch_ahead);
     EXPECT_TRUE(top.sva_dma);
+    EXPECT_TRUE(top.auto_migrate);
+    // Scanner dormancy is default-on whenever the daemon runs, so the
+    // managed preset exercises the settle/probe/wake machinery too.
+    EXPECT_GT(top.heat_settle_epochs, 0u);
+    EXPECT_GT(top.heat_dormant_cap, 0u);
 }
 
 // Invalidation storm: every mov is chased by same-instant touches on
@@ -235,6 +242,56 @@ TEST(Differential, InvalidationStormsMatchTheModel)
             }
         }
     }
+}
+
+// Heat churn: a per-seed hot window is hammered with touches all run
+// long, so the managed preset's scanner sees stable heat and its
+// migration daemon issues device-originated movs underneath the
+// workload's own requests. Migration is placement, not mutation:
+// final memory must stay byte-identical to every other preset, the
+// daemon must be fully quiesced at the end (run_workload's invariant
+// sweep), and across the seed set it must have actually moved pages.
+TEST(Differential, HeatChurnDrivesTheManagedDaemon)
+{
+    const std::uint64_t nseeds = seeds_from_env(16) / 2 + 1;
+    std::uint64_t daemon_movs = 0, heat_scans = 0;
+    for (std::uint64_t seed = 1; seed <= nseeds; ++seed) {
+        const Workload w = generate_workload(
+            seed, /*invalidation_storm=*/false, /*heat_churn=*/true);
+        std::uint64_t mem_digest = 0;
+        const char *digest_from = nullptr;
+        for (const Preset &p : presets()) {
+            RunOptions opt;
+            opt.config = p.config;
+            opt.schedule_seed = seed * 13 + 5;
+            const RunResult r = run_workload(w, opt);
+            ASSERT_TRUE(r.ok)
+                << "preset " << p.name << " (heat churn): " << r.failure
+                << "\n"
+                << diagnose(w, opt);
+            if (!digest_from) {
+                mem_digest = r.mem_digest;
+                digest_from = p.name;
+            } else {
+                ASSERT_EQ(r.mem_digest, mem_digest)
+                    << "churn seed " << seed << ": preset " << p.name
+                    << " memory diverges from preset " << digest_from;
+            }
+            if (opt.config.auto_migrate) {
+                heat_scans += r.stats.heat_scans;
+                daemon_movs += r.stats.promotions_issued +
+                               r.stats.demotions_issued;
+            } else {
+                EXPECT_EQ(r.stats.heat_scans, 0u)
+                    << "preset " << p.name
+                    << " ran the heat scanner with auto_migrate off";
+            }
+        }
+    }
+    EXPECT_GT(heat_scans, 0u)
+        << "managed preset never ran a heat-scan epoch";
+    EXPECT_GT(daemon_movs, 0u)
+        << "managed preset's daemon never issued a migration";
 }
 
 }  // namespace
