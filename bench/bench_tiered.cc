@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tiered memory (third far tier + chained multi-hop eviction).
+ *
+ * Two experiments, both on a three-node machine (6 MB SRAM, DDR,
+ * far/remote tier at RDMA-class latency):
+ *
+ *   demotion burst   one large SRAM→far migration, decomposed by the
+ *                    tiered lever into per-batch SRAM→DDR→far hop
+ *                    chains. Pipelined (up to tiered_max_batches
+ *                    batches in flight, hop stages out of order across
+ *                    the engine's TCs) against sequential
+ *                    store-and-forward (one batch at a time, its hops
+ *                    in series) at several burst sizes.
+ *
+ *   capacity sweep   a working set grown past each tier boundary:
+ *                    hottest pages on SRAM, warm middle on DDR, cold
+ *                    tail on the far tier. Every epoch sweeps the whole
+ *                    set — each access priced by the node its page
+ *                    lives on *right now* — and churns a fixed window
+ *                    across the hot/cold boundary with real chained
+ *                    migrations (SRAM→far demotion, far→SRAM
+ *                    promotion) racing the access loop. Aggregate
+ *                    GB/s must degrade monotonically, with no cliff,
+ *                    as the set outgrows SRAM and then DDR.
+ *
+ * Gates (scripts/check_bench_regression.py): pipelined >= 1.3x
+ * sequential on the largest demotion burst, and every capacity-sweep
+ * step retains a bounded fraction of the previous point's throughput
+ * (monotone graceful degradation).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+namespace {
+
+using namespace memif;
+using namespace memif::bench;
+
+constexpr std::uint64_t kPageBytes = 4096;
+/** 6 MB SRAM / 4 KB. */
+constexpr std::uint32_t kFastPages = 1536;
+
+core::MemifConfig
+tiered_cfg(bool pipelined)
+{
+    // The tiered lever pair without the managed daemon: both
+    // experiments drive their migrations by hand, so placement is
+    // deterministic and the chains are the only moving parts.
+    core::MemifConfig mc;
+    mc.tiered_memory = true;
+    mc.pipelined_eviction = pipelined;
+    // Hop stages overlap across transfer controllers; pinning every
+    // stage to one TC would serialize them at the engine and hide the
+    // pipelining entirely.
+    mc.multi_tc_dispatch = true;
+    return mc;
+}
+
+// ---------------------------------------------------------------------
+// Demotion burst: pipelined vs sequential store-and-forward.
+// ---------------------------------------------------------------------
+
+struct BurstOutcome {
+    sim::Duration elapsed = 0;
+    std::uint64_t bytes = 0;
+    core::DeviceStats stats{};
+
+    double gb_per_sec() const { return sim::gb_per_sec(bytes, elapsed); }
+};
+
+BurstOutcome
+run_burst(std::uint32_t pages, bool pipelined)
+{
+    os::KernelConfig kc;
+    kc.far_bytes = 256ull << 20;
+    TestBed bed(tiered_cfg(pipelined), kc);
+    const vm::VAddr base =
+        bed.proc.mmap(std::uint64_t{pages} * kPageBytes, vm::PageSize::k4K,
+                      bed.kernel.fast_node());
+    MEMIF_ASSERT(base != 0, "burst mmap failed");
+
+    const std::uint32_t idx = bed.user.alloc_request();
+    MEMIF_ASSERT(idx != core::kNoRequest);
+    core::MovReq &req = bed.user.request(idx);
+    req.op = core::MovOp::kMigrate;
+    req.src_base = base;
+    req.num_pages = pages;
+    req.dst_node = bed.kernel.far_node();
+
+    const sim::SimTime t0 = bed.kernel.eq().now();
+    bed.kernel.spawn(bed.user.submit(idx));
+    bed.kernel.run();
+    MEMIF_ASSERT(req.load_status() == core::MovStatus::kDone,
+                 "burst migration failed (%u)",
+                 static_cast<unsigned>(req.error));
+
+    BurstOutcome out;
+    out.elapsed = req.complete_time - t0;
+    out.bytes = std::uint64_t{pages} * kPageBytes;
+    out.stats = bed.dev.stats();
+    MEMIF_ASSERT(out.stats.chained_migrations == 1,
+                 "burst did not take the chained path");
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Capacity sweep: working set grown past each tier boundary.
+// ---------------------------------------------------------------------
+
+/** Pages of the hot set pinned on SRAM (headroom for churn windows). */
+constexpr std::uint32_t kHotBudget = 1024;
+/** Pages of the warm set resting on DDR (the machine's DDR is sized
+ *  above this so the staging pool and slack never collide). */
+constexpr std::uint32_t kWarmBudget = 4096;
+/** Pages swapped across the hot/cold boundary per epoch (two chained
+ *  migrations: one SRAM→far demotion, one far→SRAM promotion). */
+constexpr std::uint32_t kChurnWindow = 256;
+
+struct SweepOutcome {
+    sim::Duration elapsed = 0;
+    std::uint64_t bytes = 0;
+    core::DeviceStats stats{};
+
+    double gb_per_sec() const { return sim::gb_per_sec(bytes, elapsed); }
+};
+
+SweepOutcome
+run_sweep_cell(std::uint32_t ws_pages)
+{
+    const std::uint32_t epochs = quick_mode() ? 3 : 6;
+    core::MemifConfig mc = tiered_cfg(/*pipelined=*/true);
+    // Prevention keeps the access loop deterministic: a touch landing
+    // on a page mid-churn blocks on the migration PTE instead of
+    // racing the copy, so every churn migration terminates kDone.
+    mc.race_policy = core::RacePolicy::kPrevent;
+    os::KernelConfig kc;
+    kc.slow_bytes = 24ull << 20;
+    kc.far_bytes = 256ull << 20;
+    TestBed bed(mc, kc);
+    os::Kernel &k = bed.kernel;
+
+    const std::uint32_t hot = std::min(ws_pages, kHotBudget);
+    const std::uint32_t warm = std::min(ws_pages - hot, kWarmBudget);
+    const std::uint32_t cold = ws_pages - hot - warm;
+
+    auto map_on = [&](std::uint32_t pages, mem::NodeId node) -> vm::VAddr {
+        if (pages == 0) return 0;
+        const vm::VAddr va = bed.proc.mmap(
+            std::uint64_t{pages} * kPageBytes, vm::PageSize::k4K, node);
+        MEMIF_ASSERT(va != 0, "sweep mmap failed");
+        return va;
+    };
+    const vm::VAddr hot_base = map_on(hot, k.fast_node());
+    const vm::VAddr warm_base = map_on(warm, k.slow_node());
+    const vm::VAddr cold_base = map_on(cold, k.far_node());
+
+    // Price one access by where the page lives right now: the node's
+    // bandwidth share for the page plus its access latency (the far
+    // tier's RDMA-class round trip is what the sweep must surface)
+    // plus a fixed per-access overhead.
+    auto access_cost = [&](const vm::Vma *vma, std::uint32_t page) {
+        const vm::Pte pte = vma->pte(page);
+        const mem::NodeId n =
+            pte.present && !pte.migration ? k.phys().node_of(pte.pfn)
+                                          : k.slow_node();
+        const mem::MemoryNode &node = k.phys().node(n);
+        return static_cast<sim::Duration>(
+                   static_cast<double>(kPageBytes) * 1e9 /
+                   node.bandwidth_bps()) +
+               static_cast<sim::Duration>(node.latency_ns()) + 150;
+    };
+
+    SweepOutcome out;
+    sim::SimTime t_end = 0;
+    const sim::SimTime t0 = k.eq().now();
+
+    auto submit_migrate = [&](vm::VAddr src, std::uint32_t npages,
+                              mem::NodeId dst) -> std::uint32_t {
+        const std::uint32_t idx = bed.user.alloc_request();
+        MEMIF_ASSERT(idx != core::kNoRequest);
+        core::MovReq &req = bed.user.request(idx);
+        req.op = core::MovOp::kMigrate;
+        req.src_base = src;
+        req.num_pages = npages;
+        req.dst_node = dst;
+        return idx;
+    };
+
+    auto driver = [&]() -> sim::Task {
+        const std::uint32_t churn =
+            cold > 0 ? std::min({kChurnWindow, cold, hot}) : 0;
+        std::uint32_t hot_cursor = 0;
+        std::uint32_t cold_cursor = 0;
+        for (std::uint32_t e = 0; e < epochs; ++e) {
+            // Boundary churn first, completion drained last: the two
+            // chained migrations run underneath the access sweep, so
+            // touches landing on mid-chain pages block on the
+            // migration PTEs — the interference is part of the cell's
+            // measured time, exactly as it would hit an application.
+            std::uint32_t pending[2];
+            std::uint32_t npending = 0;
+            if (churn > 0) {
+                pending[npending++] = submit_migrate(
+                    hot_base + std::uint64_t{hot_cursor} * kPageBytes,
+                    churn, k.far_node());
+                pending[npending++] = submit_migrate(
+                    cold_base + std::uint64_t{cold_cursor} * kPageBytes,
+                    churn, k.fast_node());
+                for (std::uint32_t i = 0; i < npending; ++i)
+                    co_await bed.user.submit(pending[i]);
+                hot_cursor = (hot_cursor + churn) % (hot - churn + 1);
+                cold_cursor = (cold_cursor + churn) % (cold - churn + 1);
+            }
+            // Full working-set sweep, priced in small batches (one
+            // lump per epoch would let the whole sweep land on one
+            // instant and hide the churn interference).
+            struct Span {
+                vm::VAddr base;
+                std::uint32_t pages;
+            };
+            const Span spans[3] = {
+                {hot_base, hot}, {warm_base, warm}, {cold_base, cold}};
+            sim::Duration pending_cost = 0;
+            std::uint32_t pending_pages = 0;
+            for (const Span &sp : spans) {
+                if (sp.pages == 0) continue;
+                const vm::Vma *vma = bed.proc.as().find_vma(sp.base);
+                MEMIF_ASSERT(vma != nullptr, "sweep vma vanished");
+                for (std::uint32_t p = 0; p < sp.pages; ++p) {
+                    os::TouchOutcome t;
+                    co_await bed.proc.touch(
+                        sp.base + std::uint64_t{p} * kPageBytes,
+                        /*write=*/false, &t);
+                    pending_cost += access_cost(vma, p);
+                    out.bytes += kPageBytes;
+                    if (++pending_pages == 16) {
+                        co_await sim::Delay{k.eq(), pending_cost};
+                        pending_cost = 0;
+                        pending_pages = 0;
+                    }
+                }
+            }
+            if (pending_cost > 0) co_await sim::Delay{k.eq(), pending_cost};
+            // Drain the epoch's churn completions.
+            for (std::uint32_t done = 0; done < npending;) {
+                const std::uint32_t idx = bed.user.retrieve_completed();
+                if (idx == core::kNoRequest) {
+                    co_await bed.user.poll();
+                    continue;
+                }
+                core::MovReq &req = bed.user.request(idx);
+                MEMIF_ASSERT(req.succeeded(),
+                             "churn migration failed (%u)",
+                             static_cast<unsigned>(req.error));
+                bed.user.free_request(idx);
+                ++done;
+            }
+        }
+        t_end = k.eq().now();
+    };
+    auto task = driver();
+    k.run();
+    task.rethrow_if_failed();
+    MEMIF_ASSERT(task.done(), "sweep loop did not finish");
+    out.elapsed = t_end - t0;
+    out.stats = bed.dev.stats();
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    BenchReport report("tiered");
+
+    header("Demotion burst: pipelined multi-hop vs store-and-forward");
+    std::printf("%8s %12s %12s %12s %9s %8s %8s\n", "pages", "seq_GB/s",
+                "pip_GB/s", "speedup", "batches", "stages", "overlap");
+    rule();
+    // 512 pages (2 MB) is the largest single request the descriptor
+    // RAM admits — and a third of the SRAM, a genuinely large burst.
+    const std::vector<std::uint32_t> bursts =
+        quick_mode() ? std::vector<std::uint32_t>{64, 512}
+                     : std::vector<std::uint32_t>{64, 256, 512};
+    for (const std::uint32_t pages : bursts) {
+        const BurstOutcome seq = run_burst(pages, /*pipelined=*/false);
+        const BurstOutcome pip = run_burst(pages, /*pipelined=*/true);
+        const double speedup = pip.gb_per_sec() / seq.gb_per_sec();
+        std::printf("%8u %12.2f %12.2f %11.2fx %9llu %8llu %8llu\n",
+                    pages, seq.gb_per_sec(), pip.gb_per_sec(), speedup,
+                    static_cast<unsigned long long>(pip.stats.chain_batches),
+                    static_cast<unsigned long long>(
+                        pip.stats.hop_stages_issued),
+                    static_cast<unsigned long long>(
+                        pip.stats.hop_overlap_events));
+        report.add("demotion-burst-sequential", pages, seq.gb_per_sec());
+        report.add("demotion-burst-pipelined", pages, pip.gb_per_sec());
+        report.add("pipelined-speedup", pages, speedup);
+    }
+    rule();
+
+    header("Capacity sweep: working set vs the tier boundaries");
+    std::printf("%6s %8s %6s %6s %6s %8s %10s %8s\n", "xSRAM", "pages",
+                "hot", "warm", "cold", "GB/s", "elapsed_ms", "chains");
+    rule();
+    const double factors[] = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+    for (const double f : factors) {
+        const auto ws =
+            static_cast<std::uint32_t>(kFastPages * f);
+        const SweepOutcome c = run_sweep_cell(ws);
+        const std::uint32_t hot = std::min(ws, kHotBudget);
+        const std::uint32_t warm = std::min(ws - hot, kWarmBudget);
+        std::printf("%5.1fx %8u %6u %6u %6u %8.2f %10.1f %8llu\n", f, ws,
+                    hot, warm, ws - hot - warm, c.gb_per_sec(),
+                    sim::to_us(c.elapsed) / 1000.0,
+                    static_cast<unsigned long long>(
+                        c.stats.chained_migrations));
+        report.add("capacity-sweep", f, c.gb_per_sec());
+    }
+    rule();
+    std::printf("gates: pipelined >= 1.3x sequential on the largest "
+                "burst; capacity sweep monotone with bounded per-step "
+                "retention (no cliff)\n");
+    return 0;
+}

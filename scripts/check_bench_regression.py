@@ -31,6 +31,12 @@ Checks that the optimisation levers actually pay off:
   MIN_MANAGED_VS_WORST of static-worst throughput and stay within
   MIN_MANAGED_VS_BEST of the static-best oracle on at least one
   access mix.
+* Tiered memory: pipelined multi-hop eviction must beat sequential
+  store-and-forward by MIN_TIERED_PIPELINE_SPEEDUP on every demotion
+  burst of at least MIN_TIERED_BURST_PAGES pages, and the capacity
+  sweep must degrade gracefully — monotone non-increasing GB/s with
+  every step retaining at least MIN_TIERED_STEP_RETENTION of the
+  previous point (no cliff at a tier boundary).
 
 Pure stdlib so it runs anywhere CI does.
 
@@ -89,6 +95,19 @@ MANAGED_OVERSUB = 2.0
 MIN_MANAGED_VS_WORST = 1.3
 MIN_MANAGED_VS_BEST = 0.70
 MANAGED_MIXES = ["stream", "data_intensive"]
+
+# Tiered-memory gates (bench_tiered).  Pipelined multi-hop eviction
+# overlaps batch k+1's SRAM->DDR hop with batch k's DDR->far hop across
+# the engine's TCs; measured 1.64x sequential store-and-forward at
+# every burst size (full and quick mode) — deterministic simulation,
+# gate at 1.3 with margin.  The capacity sweep crosses the SRAM and
+# DDR boundaries; measured per-step retentions 0.66/0.75/0.23/0.39/0.76
+# (the 0.23 step is the working set crossing into the RDMA-latency far
+# tier while doubling — proportional to the tier cost ratio, not a
+# cliff); gate monotone non-increasing with >= 0.20 retained per step.
+MIN_TIERED_PIPELINE_SPEEDUP = 1.3
+MIN_TIERED_BURST_PAGES = 256
+MIN_TIERED_STEP_RETENTION = 0.20
 
 
 def fail(msg):
@@ -252,6 +271,47 @@ def check_managed(where):
                     f"static-worst and >= {MIN_MANAGED_VS_BEST}x "
                     f"static-best at {MANAGED_OVERSUB}x oversubscription")
     print("check_bench_regression: managed mode OK")
+    return check_tiered(where)
+
+
+def check_tiered(where):
+    """Pipelined chains must pay off; degradation must stay graceful."""
+    report, err = load_report(where, "BENCH_tiered.json")
+    if err:
+        return fail(err)
+    series = report.get("series", {})
+
+    speedups = series.get("pipelined-speedup", [])
+    checked = 0
+    for pages, speedup in speedups:
+        if pages < MIN_TIERED_BURST_PAGES:
+            continue
+        checked += 1
+        print(f"  demotion burst {int(pages)} pages: pipelined "
+              f"{speedup:.2f}x sequential")
+        if speedup < MIN_TIERED_PIPELINE_SPEEDUP:
+            return fail(f"pipelined eviction {speedup:.2f}x "
+                        f"< {MIN_TIERED_PIPELINE_SPEEDUP}x sequential "
+                        f"at {int(pages)} pages")
+    if checked == 0:
+        return fail(f"no demotion bursts at >= {MIN_TIERED_BURST_PAGES} "
+                    f"pages in the artifact")
+
+    sweep = sorted(series.get("capacity-sweep", []))
+    if len(sweep) < 3:
+        return fail("capacity-sweep series missing or too short")
+    for (x0, y0), (x1, y1) in zip(sweep, sweep[1:]):
+        retention = y1 / y0 if y0 else 0.0
+        print(f"  capacity {x0:.1f}x -> {x1:.1f}x SRAM: "
+              f"{y0:.2f} -> {y1:.2f} GB/s (retained {retention:.2f})")
+        if y1 > y0:
+            return fail(f"capacity sweep not monotone: {y1:.2f} GB/s at "
+                        f"{x1:.1f}x > {y0:.2f} GB/s at {x0:.1f}x")
+        if retention < MIN_TIERED_STEP_RETENTION:
+            return fail(f"capacity cliff at {x1:.1f}x SRAM: retained "
+                        f"{retention:.2f} < {MIN_TIERED_STEP_RETENTION}")
+    print(f"check_bench_regression: tiered OK ({checked} bursts, "
+          f"{len(sweep)} sweep points)")
     return 0
 
 

@@ -32,6 +32,7 @@ presets()
         {"tenanted", MemifConfig::tenanted()},
         {"mmu_aware", MemifConfig::mmu_aware()},
         {"managed", MemifConfig::managed()},
+        {"tiered", MemifConfig::tiered()},
     };
     return kPresets;
 }
@@ -77,7 +78,13 @@ run_workload(const Workload &w, const RunOptions &opt)
         }
     };
 
-    os::Kernel kernel;
+    // Tiered presets get a machine with the third tier attached; the
+    // far node's capacity comfortably holds every workload region, so
+    // chained demotions only fail for injected reasons, never by
+    // construction.
+    os::KernelConfig kcfg;
+    if (opt.config.tiered_memory) kcfg.far_bytes = 64ull << 20;
+    os::Kernel kernel(kcfg);
     if (opt.schedule_seed != 0)
         kernel.eq().set_tie_break_seed(opt.schedule_seed);
     if (opt.arm_faults) {
@@ -298,9 +305,15 @@ run_workload(const Workload &w, const RunOptions &opt)
                         req.num_pages = m.num_pages;
                         req.user_tag = next_tag++;
                         if (m.op == MovOp::kMigrate)
-                            req.dst_node = m.to_fast
-                                               ? kernel.fast_node()
-                                               : kernel.slow_node();
+                            // Far-bound movs exist only on far-capable
+                            // machines; elsewhere the flag degrades to
+                            // the slow node and the workload replays
+                            // identically to its pre-tiered form.
+                            req.dst_node =
+                                m.to_fast ? kernel.fast_node()
+                                : m.to_far && kernel.has_far_node()
+                                    ? kernel.far_node()
+                                    : kernel.slow_node();
                         else
                             req.dst_base = bases[m.dst_region] +
                                            std::uint64_t{m.dst_page} *

@@ -37,9 +37,9 @@ struct Preset {
     core::MemifConfig config;
 };
 
-/** The six standard presets: levers-off, pipelined, moderated,
- *  scaled, tenanted, mmu_aware (each a superset of the previous one's
- *  levers). */
+/** The eight standard presets: levers-off, pipelined, moderated,
+ *  scaled, tenanted, mmu_aware, managed, tiered (each a superset of
+ *  the previous one's levers). */
 const std::vector<Preset> &presets();
 
 struct RunOptions {

@@ -20,6 +20,18 @@
  *               fallback is off.
  *   replication kDone always; kFailed(kDmaError | kTimeout) under the
  *               same fault condition. Never raced, never aborted.
+ *   chained     a tiered preset routes SRAM↔far migrations through a
+ *   migration   multi-hop chain (staged in DDR), but the terminal set
+ *               is the plain migration set above: per-hop retries and
+ *               the CPU-copy fallback absorb hop faults exactly like
+ *               the single-hop ladder, an unrecoverable mid-chain hop
+ *               rolls every page back (kFailed/kDmaError — covered by
+ *               the fault clause), staging-pool pressure degrades to a
+ *               direct hop rather than failing, and chained flights
+ *               always block racing touches (never kRaceDetected /
+ *               kAborted, which the set merely permits). Memory stays
+ *               fully predicted: mid-chain bytes live in staging
+ *               frames no PTE exposes.
  *   malformed   exactly kFailed(expected validation error).
  *   any         kFailed(kNoSpace) under multi_tenant presets only:
  *               admission backpressure strikes at submit, before

@@ -143,9 +143,14 @@ generate_workload(std::uint64_t seed, bool invalidation_storm,
         if (!find_free(rs, want, &sfirst, &sn)) return false;
         if (!replicate) {
             claims.claim(rs, sfirst, sn);
+            const bool to_fast = rng.next_below(2) == 0;
+            // Far-tier routing is derived, not drawn: a fresh RNG call
+            // here would shift every draw after it and change the
+            // workload all existing presets replay.
+            const bool to_far = !to_fast && ((sfirst ^ sn) & 3) == 0;
             *out = MovSpec{core::MovOp::kMigrate, rs, sfirst, sn,
                            0,  0,
-                           rng.next_below(2) == 0, Malform::kNone};
+                           to_fast, to_far, Malform::kNone};
             return true;
         }
         // Replication: an exclusive destination run large enough for
@@ -172,7 +177,7 @@ generate_workload(std::uint64_t seed, bool invalidation_storm,
         }
         claims.claim(rd, dfirst, dst_pages);
         *out = MovSpec{core::MovOp::kReplicate, rs,    sfirst, sn,
-                       rd,  dfirst, false,  Malform::kNone};
+                       rd,  dfirst, false,  false,  Malform::kNone};
         return true;
     };
 

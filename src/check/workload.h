@@ -72,6 +72,12 @@ struct MovSpec {
     std::uint32_t dst_page = 0;
     /** Migration destination: fast node (true) or slow node. */
     bool to_fast = true;
+    /** Tiered presets only: route a slow-bound migration to the far
+     *  node instead (SRAM-resident pages then take the chained
+     *  SRAM→DDR→far path). Derived from the page run, never from a
+     *  fresh RNG draw, so every existing seed's workload stays
+     *  byte-identical; two-node presets ignore the flag. */
+    bool to_far = false;
     Malform malform = Malform::kNone;
 
     bool operator==(const MovSpec &) const = default;

@@ -17,6 +17,25 @@ addr_bandwidth(mem::PhysicalMemory &pm, std::uint64_t addr)
     return pm.node(id).bandwidth_bps();
 }
 
+/**
+ * Per-descriptor access latency implied by the nodes a descriptor
+ * touches: the slower (higher-latency) side gates the transfer, as with
+ * bandwidth. On-board tiers carry zero, so two-node machines are
+ * byte-identical; only descriptors touching a far/remote node pay.
+ */
+sim::Duration
+desc_latency(mem::PhysicalMemory &pm, const TransferDescriptor &d)
+{
+    const auto lat = [&pm](std::uint64_t addr) {
+        const mem::NodeId id = pm.node_of(addr >> mem::kPageShift);
+        MEMIF_ASSERT(id != mem::kInvalidNode, "DMA address outside memory");
+        return pm.node(id).latency_ns();
+    };
+    const std::uint64_t s = lat(d.src);
+    const std::uint64_t t = lat(d.dst);
+    return static_cast<sim::Duration>(s > t ? s : t);
+}
+
 }  // namespace
 
 sim::Duration
@@ -32,7 +51,7 @@ Edma3Engine::chain_duration(DescIndex head) const
         auto &pm = const_cast<mem::PhysicalMemory &>(pm_);
         const double src_bw = addr_bandwidth(pm, d.src);
         const double dst_bw = addr_bandwidth(pm, d.dst);
-        total += cm_.dma_per_desc +
+        total += cm_.dma_per_desc + desc_latency(pm, d) +
                  cm_.dma_stream_time(d.total_bytes(), src_bw, dst_bw);
         idx = d.link;
     }
@@ -175,7 +194,7 @@ Edma3Engine::step_chain(TransferId id)
     const double src_bw = addr_bandwidth(pm_, d.src);
     const double dst_bw = addr_bandwidth(pm_, d.dst);
     const sim::Duration step =
-        v.stall + cm_.dma_per_desc +
+        v.stall + cm_.dma_per_desc + desc_latency(pm_, d) +
         cm_.dma_stream_time(d.total_bytes(), src_bw, dst_bw);
     fl.next_desc = d.link;
     // Bytes land when the entry finishes streaming; the next gate check

@@ -36,6 +36,35 @@ PhysicalMemory::node_of(Pfn pfn) const
     return kInvalidNode;
 }
 
+std::uint32_t
+PhysicalMemory::distance(NodeId a, NodeId b) const
+{
+    MEMIF_ASSERT(a < nodes_.size() && b < nodes_.size(),
+                 "distance query on unknown node");
+    if (a == b) return 10;  // SLIT convention: local distance
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    for (const DistanceOverride &o : distances_)
+        if (o.a == lo && o.b == hi) return o.d;
+    return 20;  // default remote distance
+}
+
+void
+PhysicalMemory::set_distance(NodeId a, NodeId b, std::uint32_t d)
+{
+    MEMIF_ASSERT(a < nodes_.size() && b < nodes_.size() && a != b,
+                 "bad distance override");
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    for (DistanceOverride &o : distances_) {
+        if (o.a == lo && o.b == hi) {
+            o.d = d;
+            return;
+        }
+    }
+    distances_.push_back(DistanceOverride{lo, hi, d});
+}
+
 Pfn
 PhysicalMemory::allocate(NodeId node_id, unsigned order)
 {
@@ -119,18 +148,27 @@ PhysicalMemory::copy(Pfn dst, Pfn src, std::uint64_t bytes)
     std::memcpy(span(dst, bytes), span(src, bytes), bytes);
 }
 
+std::vector<NodeId>
+KeystoneMemory::build(PhysicalMemory &pm,
+                      const std::vector<NodeConfig> &nodes)
+{
+    std::vector<NodeId> ids;
+    ids.reserve(nodes.size());
+    for (const NodeConfig &cfg : nodes) ids.push_back(pm.add_node(cfg));
+    return ids;
+}
+
 std::pair<NodeId, NodeId>
 KeystoneMemory::build(PhysicalMemory &pm, std::uint64_t slow_bytes)
 {
     // Table 2: DDR3 measured at 6.2 GB/s, SRAM at 24.0 GB/s. Node 0 is
     // the CPU-local DRAM node, node 1 the fast SRAM node (§6.1).
-    const NodeId slow = pm.add_node(NodeConfig{
-        .name = "ddr3-slow", .bytes = slow_bytes,
-        .bandwidth_bps = 6.2e9, .is_fast = false});
-    const NodeId fast = pm.add_node(NodeConfig{
-        .name = "sram-fast", .bytes = kFastBytes,
-        .bandwidth_bps = 24.0e9, .is_fast = true});
-    return {slow, fast};
+    const std::vector<NodeId> ids =
+        build(pm, {NodeConfig{.name = "ddr3-slow", .bytes = slow_bytes,
+                              .bandwidth_bps = 6.2e9, .is_fast = false},
+                   NodeConfig{.name = "sram-fast", .bytes = kFastBytes,
+                              .bandwidth_bps = 24.0e9, .is_fast = true}});
+    return {ids[0], ids[1]};
 }
 
 }  // namespace memif::mem

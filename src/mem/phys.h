@@ -110,6 +110,11 @@ struct NodeConfig {
     std::uint64_t bytes = 0;       ///< capacity (multiple of kPageSize)
     double bandwidth_bps = 0.0;    ///< sustained bandwidth
     bool is_fast = false;          ///< fast (SRAM-like) vs slow (DRAM-like)
+    /** Per-descriptor access latency in nanoseconds. Zero for on-board
+     *  tiers (their latency is folded into the engine's constants); the
+     *  far/remote tier carries its RDMA-class latency here so the DMA
+     *  engine charges it on every descriptor touching the node. */
+    std::uint64_t latency_ns = 0;
 };
 
 /**
@@ -124,6 +129,7 @@ class MemoryNode {
     const std::string &name() const { return cfg_.name; }
     bool is_fast() const { return cfg_.is_fast; }
     double bandwidth_bps() const { return cfg_.bandwidth_bps; }
+    std::uint64_t latency_ns() const { return cfg_.latency_ns; }
     Pfn base_pfn() const { return base_; }
     std::uint64_t num_frames() const { return frames_.size(); }
     std::uint64_t bytes() const { return cfg_.bytes; }
@@ -178,6 +184,19 @@ class PhysicalMemory {
     NodeId node_of(Pfn pfn) const;
 
     /**
+     * @name ACPI SLIT-style node distance table.
+     * Distances default to 10 on-node and 20 between any two nodes;
+     * set_distance overrides a pair (symmetric). The tiered placement
+     * code uses distances to recognise non-adjacent tiers: a move whose
+     * endpoints are further apart than either is from a middle node is
+     * a candidate for staging through that middle node.
+     */
+    ///@{
+    std::uint32_t distance(NodeId a, NodeId b) const;
+    void set_distance(NodeId a, NodeId b, std::uint32_t d);
+    ///@}
+
+    /**
      * Allocate a 2^order-frame block on @p node.
      * @return the head PFN, or kInvalidPfn when the node is exhausted.
      */
@@ -220,6 +239,13 @@ class PhysicalMemory {
 
   private:
     std::vector<std::unique_ptr<MemoryNode>> nodes_;
+    /** Symmetric distance overrides: {min(a,b), max(a,b), distance}. */
+    struct DistanceOverride {
+        NodeId a;
+        NodeId b;
+        std::uint32_t d;
+    };
+    std::vector<DistanceOverride> distances_;
     Pfn next_base_ = 0;
 };
 
@@ -234,6 +260,14 @@ class PhysicalMemory {
 struct KeystoneMemory {
     static constexpr std::uint64_t kDefaultSlowBytes = 256ull << 20;
     static constexpr std::uint64_t kFastBytes = 6ull << 20;  // 6 MB SRAM
+
+    /**
+     * Register an arbitrary list of nodes on @p pm in order; returns
+     * their ids. The two-node overload below is implemented on top of
+     * this and stays byte-identical to the historical hard-coded pair.
+     */
+    static std::vector<NodeId> build(PhysicalMemory &pm,
+                                     const std::vector<NodeConfig> &nodes);
 
     /** Adds both nodes to @p pm; returns {slow_id, fast_id}. */
     static std::pair<NodeId, NodeId> build(

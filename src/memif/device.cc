@@ -1,6 +1,7 @@
 #include "memif/device.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 
@@ -61,7 +62,8 @@ MemifDevice::MemifDevice(os::Kernel &kernel, os::Process &proc,
       completion_event_(kernel.eq()),
       kthread_wq_(kernel.eq()),
       scan_wq_(kernel.eq()),
-      daemon_wq_(kernel.eq())
+      daemon_wq_(kernel.eq()),
+      staging_wq_(kernel.eq())
 {
     if (config_.irq_moderation &&
         (config_.moderation_batch || config_.moderation_holdoff))
@@ -291,6 +293,13 @@ MemifDevice::check_quiesced(std::string *why) const
             if (mr->busy[b])
                 fail("managed bucket " + std::to_string(b) +
                      " marked busy with no daemon mov in flight");
+
+    // Tiered memory: every chained batch returned its staging frames
+    // (a leaked lease would also show up as a frame-count mismatch,
+    // but this names the culprit).
+    if (staging_frames_out_ != 0)
+        fail("staging pool still holds " +
+             std::to_string(staging_frames_out_) + " frame(s)");
     return ok;
 }
 
@@ -514,6 +523,31 @@ MemifDevice::print_stats(std::FILE *out) const
                      static_cast<unsigned long long>(heat_ping_pongs()));
         if (std::getenv("MEMIF_HEAT_HISTOGRAM"))
             print_heat_histogram(out);
+    }
+    if (config_.tiered_memory) {
+        std::fprintf(out, "  chained_migrations    %12llu\n",
+                     static_cast<unsigned long long>(s.chained_migrations));
+        std::fprintf(out, "  chain_batches         %12llu\n",
+                     static_cast<unsigned long long>(s.chain_batches));
+        std::fprintf(out, "  hop stages iss/done   %8llu/%llu\n",
+                     static_cast<unsigned long long>(s.hop_stages_issued),
+                     static_cast<unsigned long long>(
+                         s.hop_stages_completed));
+        std::fprintf(out, "  hop retries/fallbacks %8llu/%llu\n",
+                     static_cast<unsigned long long>(s.hop_retries),
+                     static_cast<unsigned long long>(
+                         s.hop_fallback_copies));
+        std::fprintf(out, "  hop_overlap_events    %12llu\n",
+                     static_cast<unsigned long long>(s.hop_overlap_events));
+        std::fprintf(out, "  chain_rollbacks       %12llu\n",
+                     static_cast<unsigned long long>(s.chain_rollbacks));
+        std::fprintf(out, "  staging hwm/waits     %8llu/%llu\n",
+                     static_cast<unsigned long long>(s.staging_frames_hwm),
+                     static_cast<unsigned long long>(s.staging_pool_waits));
+        std::fprintf(out, "  far demote/promote    %8llu/%llu\n",
+                     static_cast<unsigned long long>(s.demotions_to_far),
+                     static_cast<unsigned long long>(
+                         s.promotions_from_far));
     }
     if (!config_.multi_tenant) return;
     // kErrNoSpace used to vanish from the caller's view; the admission
@@ -1452,6 +1486,27 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         fl->old_ptes.push_back(pte.pack());
     }
 
+    // Tiered memory: a migration whose endpoints are non-adjacent tiers
+    // (SRAM ↔ far; the SLIT distances encode adjacency) is *chained*
+    // through the middle tier. Decided before Remap because chained
+    // flights install blocking migration PTEs (flight_prevents) rather
+    // than semi-final ones. Mixed source residency falls back to the
+    // classic single-hop path.
+    mem::NodeId chain_mid = mem::kInvalidNode;
+    if (config_.tiered_memory && kernel_.has_far_node() &&
+        req.op == MovOp::kMigrate && !fl->old_pfns.empty()) {
+        mem::NodeId src_node = pm.node_of(fl->old_pfns[0]);
+        for (const mem::Pfn pfn : fl->old_pfns) {
+            if (pm.node_of(pfn) != src_node) {
+                src_node = mem::kInvalidNode;
+                break;
+            }
+        }
+        if (src_node != mem::kInvalidNode)
+            chain_mid = chain_mid_node(src_node, req.dst_node);
+        fl->chained = chain_mid != mem::kInvalidNode;
+    }
+
     std::vector<dma::SgEntry> sg;
     sg.reserve(req.num_pages);
 
@@ -1531,6 +1586,16 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
             if (frame.mapcount() > 1)
                 remap_cost += cm.rmap_per_page * (frame.mapcount() - 1);
         }
+        // The admission-gate collision check ran before Prep — several
+        // suspension points ago. A racing mov (say a replication whose
+        // destination overlaps this source run) may have registered
+        // since without leaving any PTE mark for the capture loop to
+        // see. Re-check the flight table here, in the same synchronous
+        // stretch as the PTE stores and the registration below, so the
+        // verdict cannot go stale before this flight becomes visible.
+        if (!busy && config_.auto_migrate)
+            busy = page_run_in_flight(src_vma, fl->first_page,
+                                      req.num_pages, !fl->daemon);
         if (busy) {
             // Frees are uncharged here, as on the non-bulk path (the
             // reject happens before the Remap charge).
@@ -1578,14 +1643,17 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                 fl->new_pfns[i] << mem::kPageShift, fl->page_bytes});
         }
         issue_flush_plan(flush_spans, remap_cost);
-        co_await cpu.busy(ctx, Op::kRemap, remap_cost);
-        tr.record(kernel_.eq().now(), TracePoint::kRemapDone, ctx, idx);
+        // The semi-final/migration PTEs are live the moment the store
+        // loop above ran — register the request in the same synchronous
+        // stretch, before the Remap time is even charged. Were the
+        // registration deferred past the charge (a suspension point), a
+        // concurrent serve could pass its own collision re-check while
+        // this flight is live but still invisible to the table.
         ++stats_.migrations;
-        // From here the semi-final/migration PTEs are live: register the
-        // request so the recover-mode fault hook can see it even before
-        // the DMA is triggered.
         req.store_status(MovStatus::kInFlight);
         add_in_flight(fl);
+        co_await cpu.busy(ctx, Op::kRemap, remap_cost);
+        tr.record(kernel_.eq().now(), TracePoint::kRemapDone, ctx, idx);
     } else {
         // Replication: both regions already mapped; no VM management
         // and no race concern (§3). Chunks are emitted at the finer of
@@ -1604,6 +1672,15 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
                 notify(idx, MovStatus::kFailed, MovError::kBadAddress);
                 co_return;
             }
+            if (dst_pte.migration) {
+                // Destination page mid-migration: the PTE still names
+                // the old frame, which the migrating flight abandons at
+                // Release — bytes copied there would silently vanish.
+                // Same reject contract as the source-side check above.
+                co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+                notify(idx, MovStatus::kFailed, MovError::kBusy);
+                co_return;
+            }
             const std::uint64_t src_page = off / fl->page_bytes;
             const std::uint64_t src_off = off % fl->page_bytes;
             const std::uint64_t dst_off = dva - dst_vma->page_vaddr(didx);
@@ -1615,6 +1692,28 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         ++stats_.replications;
         req.store_status(MovStatus::kInFlight);
         add_in_flight(fl);
+    }
+
+    if (fl->chained) {
+        // Chained multi-hop move: the migration PTEs are live and the
+        // record registered; hand the copy to the chain master instead
+        // of one end-to-end DMA. The master keeps
+        // tid == kInvalidTransfer, so the drain / reap / watchdog
+        // machinery never claims it — each hop stage supervises
+        // itself. fl->sg keeps the logical old→new list for
+        // bookkeeping; the hops build their own per-batch lists. The
+        // caller's @p out stays unset: there is no single transfer for
+        // the kernel thread to poll on.
+        fl->sg = std::move(sg);
+        ++stats_.chained_migrations;
+        std::erase_if(chain_tasks_, [](const sim::Task &t) {
+            if (!t.done()) return false;
+            t.rethrow_if_failed();
+            return true;
+        });
+        chain_tasks_.push_back(run_chain(fl, chain_mid));
+        tr.record(kernel_.eq().now(), TracePoint::kDmaStart, ctx, idx);
+        co_return;
     }
 
     // ---- 3. DMA config + trigger -------------------------------------

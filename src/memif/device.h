@@ -309,6 +309,47 @@ struct MemifConfig {
     std::uint32_t scan_idle_park_epochs = 2;
     ///@}
 
+    /**
+     * @name Tiered-memory levers (this PR; off by default — the device
+     * then never looks at the far node and every earlier series keeps
+     * its exact shape; tiered() turns them on atop managed() for the
+     * "memif-tiered" series). With tiered_memory on (and a far node
+     * built, KernelConfig::far_bytes), a migration whose endpoints are
+     * the non-adjacent SRAM/far pair is *chained*: staged through DDR
+     * in bounded batches, each hop its own DMA chain with its own
+     * retry / CPU-fallback ladder, behind blocking migration PTEs.
+     * pipelined_eviction lets up to tiered_max_batches batches run
+     * concurrently with their hops out of order across TCs (batch
+     * k+1's DDR→far hop overlaps batch k's SRAM→DDR hop); off, the
+     * chain runs store-and-forward, one stage at a time.
+     */
+    ///@{
+    bool tiered_memory = false;
+    bool pipelined_eviction = false;
+    /** Pages (of the request's order) per chained batch — the
+     *  pipelining grain. */
+    std::uint32_t tiered_batch_pages = 16;
+    /** Concurrent in-flight batches per chain (bounds staging demand
+     *  and the out-of-order window). */
+    std::uint32_t tiered_max_batches = 4;
+    /** Cap on middle-tier staging frames (4 KB) leased across all
+     *  chains; a batch that cannot get its frames waits for a peer's
+     *  release. Single batches larger than the cap borrow past it
+     *  alone (progress guarantee). */
+    std::uint32_t staging_pool_pages = 128;
+    /** Third hysteresis band for the three-way hot/warm/cold daemon
+     *  verdict (tiered_memory only; the two-way bands above are
+     *  untouched). kAging: a bucket enters cold at/below
+     *  heat_cold_threshold and leaves at/above heat_warm_threshold;
+     *  kEwma: enters at/below heat_far_enter, leaves at/above
+     *  heat_far_exit. Cold buckets demote to the far tier; warm ones
+     *  stop at DDR. */
+    std::uint8_t heat_cold_threshold = 0x02;
+    std::uint8_t heat_warm_threshold = 0x08;
+    double heat_far_enter = 0.05;
+    double heat_far_exit = 0.12;
+    ///@}
+
     /** All three pipeline levers on (the "memif-pipelined" series). */
     static MemifConfig
     pipelined()
@@ -371,6 +412,18 @@ struct MemifConfig {
     {
         MemifConfig c = mmu_aware();
         c.auto_migrate = true;
+        return c;
+    }
+
+    /** managed() plus the third tier and pipelined multi-hop eviction
+     *  (the "memif-tiered" series). Inert unless the kernel was built
+     *  with KernelConfig::far_bytes != 0. */
+    static MemifConfig
+    tiered()
+    {
+        MemifConfig c = managed();
+        c.tiered_memory = true;
+        c.pipelined_eviction = true;
         return c;
     }
 };
@@ -504,6 +557,22 @@ struct DeviceStats {
     std::uint64_t daemon_budget_exhausted = 0;
     /** Promotions skipped because the fast node could not fit them. */
     std::uint64_t promotions_skipped_full = 0;
+    // ----- Tiered memory (third tier + chained multi-hop eviction) ----
+    std::uint64_t chained_migrations = 0;  ///< movs staged through DDR
+    std::uint64_t chain_batches = 0;       ///< bounded batches executed
+    std::uint64_t hop_stages_issued = 0;   ///< per-hop DMA stages started
+    std::uint64_t hop_stages_completed = 0;
+    std::uint64_t hop_retries = 0;         ///< hop attempts past the first
+    std::uint64_t hop_fallback_copies = 0; ///< hops degraded to CPU copy
+    /** A hop stage started while another was still in flight — the
+     *  cross-TC out-of-order overlap the pipeline exists for (always 0
+     *  with pipelined_eviction off). */
+    std::uint64_t hop_overlap_events = 0;
+    std::uint64_t chain_rollbacks = 0;     ///< chains failed, remap undone
+    std::uint64_t staging_frames_hwm = 0;  ///< staging-pool high-water
+    std::uint64_t staging_pool_waits = 0;  ///< batches that waited for frames
+    std::uint64_t demotions_to_far = 0;    ///< daemon movs targeting far
+    std::uint64_t promotions_from_far = 0; ///< daemon movs leaving far
 };
 
 class MemifDevice {
@@ -710,6 +779,15 @@ class MemifDevice {
         /** Daemon-originated (managed mode): frame charges go to the
          *  daemon's service class, not the target tenant's quota. */
         bool daemon = false;
+        /** Chained multi-hop migration (tiered_memory): the copy is
+         *  staged through the middle tier by run_chain instead of one
+         *  DMA. tid stays kInvalidTransfer on the master record, so
+         *  the drain / reap / watchdog machinery never claims it; the
+         *  per-hop stages supervise themselves. */
+        bool chained = false;
+        /** Chain failure latch: set by the first batch whose hop
+         *  ladder ran dry; sibling batches then stop starting hops. */
+        bool chain_failed = false;
         /** Transient 4 KB frames charged to the tenant's quota; zeroed
          *  when the charge is returned (release or rollback). */
         std::uint64_t frames_charged = 0;
@@ -735,10 +813,15 @@ class MemifDevice {
      *  frame to readers and silently loses raced writes, which is the
      *  submitting app's accepted contract for its own movs but can
      *  never be imposed on an app by the transparent migration daemon.
-     *  A daemon mov may delay an access; it must never corrupt one. */
+     *  A daemon mov may delay an access; it must never corrupt one —
+     *  and for every chained flight: mid-chain the data lives in
+     *  staging frames no PTE ever points at, so the semi-final
+     *  protocol has no frame to expose. Chained moves always block
+     *  accessors until the last hop lands. */
     bool flight_prevents(const InFlight &fl) const
     {
-        return fl.daemon || config_.race_policy == RacePolicy::kPrevent;
+        return fl.daemon || fl.chained ||
+               config_.race_policy == RacePolicy::kPrevent;
     }
 
     /** One (address space, vma) span of PTEs dirtied since the last
@@ -823,6 +906,49 @@ class MemifDevice {
     /** Restore old PTEs and free new frames (shared by abort_migration
      *  and fail_unrecoverable). */
     void rollback_remap(const InFlightPtr &fl, sim::ExecContext ctx);
+
+    // ----- Tiered memory (chained multi-hop eviction) -----------------
+    /** Shared state of one chain: the batch-join counter the master
+     *  blocks on, plus the wait queue batches signal through. */
+    struct ChainState {
+        explicit ChainState(sim::EventQueue &eq) : join(eq) {}
+        sim::WaitQueue join;
+        std::uint32_t batches_left = 0;
+    };
+    using ChainStatePtr = std::shared_ptr<ChainState>;
+    /** Middle (staging) node for a chained move between @p src and
+     *  @p dst, or kInvalidNode when the endpoints are adjacent (the
+     *  move then runs single-hop exactly as before). Non-adjacency is
+     *  read off the SLIT distances: a pair is chained when some third
+     *  node is strictly closer to both endpoints than they are to
+     *  each other. */
+    mem::NodeId chain_mid_node(mem::NodeId src, mem::NodeId dst) const;
+    /** The chain master (spawned where single-hop moves trigger their
+     *  DMA): splits @p fl into bounded batches, runs them pipelined
+     *  (or store-and-forward), then releases the migration — or rolls
+     *  the whole remap back if any batch ran its ladder dry. */
+    sim::Task run_chain(InFlightPtr fl, mem::NodeId mid);
+    /** One batch: staging acquire → hop 1 (old→staging) → hop 2
+     *  (staging→new) → staging release; decrements cs->batches_left
+     *  and notifies the master when done. */
+    sim::Task run_chain_batch(InFlightPtr fl, ChainStatePtr cs,
+                              mem::NodeId mid, std::uint32_t first,
+                              std::uint32_t count);
+    /** One hop stage: its own DMA chain on a load-balanced TC,
+     *  self-supervised (completion event + timeout, no watchdog /
+     *  flight-table machinery), with the retry → CPU-copy ladder.
+     *  Sets *ok false when the ladder ran dry. */
+    sim::Task run_hop(InFlightPtr fl, const std::vector<dma::SgEntry> *sg,
+                      bool *ok);
+    /** Lease @p pages' worth of staging frames (order-@p order blocks)
+     *  on @p mid from the bounded pool, waiting for peers when the
+     *  pool is saturated. False = the middle node itself is exhausted
+     *  (the batch then fails; callers treat it like a dry ladder). */
+    sim::Task staging_acquire(mem::NodeId mid, unsigned order,
+                              std::uint32_t pages,
+                              std::vector<mem::Pfn> *out, bool *ok);
+    /** Return @p frames to the buddy and the pool; wakes waiters. */
+    void staging_release(std::vector<mem::Pfn> &frames, unsigned order);
 
     // ----- Submission-path acceleration -------------------------------
     /** Re-record a released migration's final translations so the next
@@ -964,6 +1090,8 @@ class MemifDevice {
         std::uint64_t bucket = 0;
         bool promote = false;
         std::uint32_t pages = 0;
+        bool to_far = false;         ///< demotion targeting the far tier
+        bool from_far = false;       ///< promotion leaving the far tier
     };
     /** The HeatConfig snapshot regions are attached with. */
     HeatConfig heat_config() const;
@@ -978,9 +1106,10 @@ class MemifDevice {
     /** One issue pass (demotions first, then promotions), bounded by
      *  the epoch budget and the engine-backlog backoff. */
     void daemon_issue_pass();
-    /** Build + deposit one daemon mov for @p bucket of @p mr. */
+    /** Build + deposit one daemon mov for @p bucket of @p mr, bound
+     *  for @p dst (fast/slow in two-tier mode; any node when tiered). */
     bool daemon_submit_bucket(ManagedRegion &mr, std::uint64_t bucket,
-                              bool promote);
+                              bool promote, mem::NodeId dst);
     /** Terminal handling of a daemon mov (diverted from notify()):
      *  recycle the slot, clear the bucket, count, wake the daemon. */
     void daemon_request_done(std::uint32_t idx, MovStatus status);
@@ -995,6 +1124,13 @@ class MemifDevice {
     /** Does bucket @p b of @p mr currently live on the fast node? */
     bool bucket_resident_fast(const ManagedRegion &mr,
                               std::uint64_t bucket) const;
+    /** Which tier bucket @p b of @p mr currently lives on (judged by
+     *  the bucket's first page, like bucket_resident_fast). */
+    HeatTier bucket_tier(const ManagedRegion &mr,
+                         std::uint64_t bucket) const;
+    /** True when the daemon places across three tiers (tiered_memory
+     *  on AND the kernel actually built a far node). */
+    bool daemon_tiered() const;
 
     os::Kernel &kernel_;
     os::Process &proc_;
@@ -1049,6 +1185,19 @@ class MemifDevice {
     Tenant daemon_tenant_;
     sim::Task scan_task_;
     sim::Task daemon_task_;
+    // ----- Tiered-memory state (tiered_memory only) -------------------
+    /** Staging frames (4 KB) currently leased from the middle-tier
+     *  pool; must be zero at quiesce. */
+    std::uint64_t staging_frames_out_ = 0;
+    /** Batches waiting for the staging pool to drain. */
+    sim::WaitQueue staging_wq_;
+    /** Hop stages currently in flight (the overlap census). */
+    std::uint32_t active_hop_stages_ = 0;
+    /** Chain-master frames. Owned by the device (not kernel_.spawn) so
+     *  teardown destroys every suspended batch/hop frame with the
+     *  master — nothing kernel-owned can resume into a dead device.
+     *  Finished masters are reaped lazily at the next chain launch. */
+    std::vector<sim::Task> chain_tasks_;
     DeviceStats stats_;
 };
 

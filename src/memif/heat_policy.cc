@@ -57,6 +57,37 @@ RegionHeat::fold(std::uint64_t bucket, std::uint32_t accessed,
     } else if (b.epochs_since_flip < ~0u) {
         ++b.epochs_since_flip;
     }
+
+    // Third band (only classify_tiered() reads it): independent
+    // hysteresis at the bottom of the scale. A hot bucket is never
+    // cold, whatever the thresholds say — the bands must not overlap.
+    bool cold = b.cold;
+    if (config_.policy == MigratePolicy::kAging) {
+        if (b.age <= config_.aging_cold_enter)
+            cold = true;
+        else if (b.age >= config_.aging_cold_exit)
+            cold = false;
+    } else {
+        if (b.rate <= config_.ewma_far_enter)
+            cold = true;
+        else if (b.rate >= config_.ewma_far_exit)
+            cold = false;
+    }
+    b.cold = cold && !b.hot;
+}
+
+TierVerdict
+RegionHeat::classify_tiered(std::uint64_t bucket, HeatTier resident) const
+{
+    const HeatBucket &b = buckets_[bucket];
+    if (b.hot)
+        return resident == HeatTier::kFast ? TierVerdict::kStay
+                                           : TierVerdict::kToFast;
+    if (b.cold)
+        return resident == HeatTier::kFar ? TierVerdict::kStay
+                                          : TierVerdict::kToFar;
+    return resident == HeatTier::kSlow ? TierVerdict::kStay
+                                       : TierVerdict::kToSlow;
 }
 
 HeatVerdict

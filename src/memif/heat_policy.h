@@ -54,16 +54,40 @@ struct HeatConfig {
     double ewma_cold_exit = 0.2;
     /** Hot-state flips closer than this many epochs count as ping-pong. */
     std::uint32_t pingpong_window = 4;
+    // Third band (tiered_memory): the cold set, placed on the far
+    // tier. Its hysteresis is independent of the hot band's — a bucket
+    // is cold only while far below the warm floor, so the warm middle
+    // band (neither hot nor cold) rests on DDR.
+    /** kAging: enter the cold set at or below this aging value. */
+    std::uint8_t aging_cold_enter = 0x02;
+    /** kAging: leave the cold set at or above this aging value. */
+    std::uint8_t aging_cold_exit = 0x08;
+    /** kEwma: rate at or below which a bucket enters the cold set. */
+    double ewma_far_enter = 0.05;
+    /** kEwma: rate at or above which a bucket leaves the cold set. */
+    double ewma_far_exit = 0.12;
 };
 
 /** What the daemon should do with one bucket this epoch. */
 enum class HeatVerdict : std::uint8_t { kStay = 0, kPromote, kDemote };
+
+/** Which tier a bucket currently lives on (tiered_memory mode). */
+enum class HeatTier : std::uint8_t { kFast = 0, kSlow = 1, kFar = 2 };
+
+/** Three-way placement verdict (tiered_memory mode): hot buckets
+ *  belong on the fast tier, warm buckets stop at DDR, cold buckets
+ *  sink to the far tier. */
+enum class TierVerdict : std::uint8_t { kStay = 0, kToFast, kToSlow, kToFar };
 
 /** Per-bucket decayed heat state. */
 struct HeatBucket {
     std::uint8_t age = 0;          ///< kAging recency vector (MSB newest)
     double rate = 0.0;             ///< kEwma access-rate estimate
     bool hot = false;              ///< hysteresis state (classification)
+    /** Third-band hysteresis state. Maintained by every fold() but only
+     *  consulted by classify_tiered(), so two-tier callers are
+     *  unaffected. Mutually exclusive with hot. */
+    bool cold = false;
     /** Starts saturated so the first flip (initial classification)
      *  never counts as a ping-pong. */
     std::uint32_t epochs_since_flip = ~0u;
@@ -107,6 +131,16 @@ class RegionHeat {
      * now. Pure read of the hysteresis state updated by fold().
      */
     HeatVerdict classify(std::uint64_t bucket, bool resident_fast) const;
+
+    /**
+     * Three-way verdict for @p bucket given the tier it lives on now
+     * (tiered_memory mode). Same hysteresis reads as classify() for
+     * the hot band, plus the cold band maintained by fold(): hot
+     * buckets head for the fast tier, cold buckets for the far tier,
+     * and the warm remainder rests on DDR.
+     */
+    TierVerdict classify_tiered(std::uint64_t bucket,
+                                HeatTier resident) const;
 
     const HeatBucket &bucket(std::uint64_t i) const { return buckets_[i]; }
 

@@ -57,7 +57,17 @@ MemifDevice::heat_config() const
     hc.ewma_alpha = config_.heat_ewma_alpha;
     hc.ewma_hot_enter = config_.heat_hot_enter;
     hc.ewma_cold_exit = config_.heat_cold_exit;
+    hc.aging_cold_enter = config_.heat_cold_threshold;
+    hc.aging_cold_exit = config_.heat_warm_threshold;
+    hc.ewma_far_enter = config_.heat_far_enter;
+    hc.ewma_far_exit = config_.heat_far_exit;
     return hc;
+}
+
+bool
+MemifDevice::daemon_tiered() const
+{
+    return config_.tiered_memory && kernel_.has_far_node();
 }
 
 bool
@@ -122,6 +132,18 @@ MemifDevice::print_heat_histogram(std::FILE *out) const
                          mr.heat.num_buckets()));
         for (const std::uint64_t n : h)
             std::fprintf(out, " %llu", static_cast<unsigned long long>(n));
+        if (daemon_tiered()) {
+            // Per-tier residency: where the region's buckets actually
+            // live right now (placement, not heat — the pair together
+            // shows whether the daemon has caught up with the policy).
+            std::uint64_t per[3] = {0, 0, 0};
+            for (std::uint64_t b = 0; b < mr.heat.num_buckets(); ++b)
+                ++per[static_cast<std::size_t>(bucket_tier(mr, b))];
+            std::fprintf(out, " | tiers fast=%llu slow=%llu far=%llu",
+                         static_cast<unsigned long long>(per[0]),
+                         static_cast<unsigned long long>(per[1]),
+                         static_cast<unsigned long long>(per[2]));
+        }
         std::fprintf(out, "\n");
     }
 }
@@ -175,6 +197,19 @@ MemifDevice::bucket_resident_fast(const ManagedRegion &mr,
     const vm::Pte pte = mr.vma->pte(mr.heat.first_page(bucket));
     if (!pte.present) return false;
     return kernel_.phys().node_of(pte.pfn) == kernel_.fast_node();
+}
+
+HeatTier
+MemifDevice::bucket_tier(const ManagedRegion &mr,
+                         std::uint64_t bucket) const
+{
+    const vm::Pte pte = mr.vma->pte(mr.heat.first_page(bucket));
+    if (!pte.present) return HeatTier::kSlow;
+    const mem::NodeId n = kernel_.phys().node_of(pte.pfn);
+    if (n == kernel_.fast_node()) return HeatTier::kFast;
+    if (kernel_.has_far_node() && n == kernel_.far_node())
+        return HeatTier::kFar;
+    return HeatTier::kSlow;
 }
 
 sim::Duration
@@ -252,9 +287,17 @@ MemifDevice::scan_epoch(bool *any_accessed, bool *has_work,
             // down rather than park with stale pages on the fast node.
             if (mr.heat.bucket(b).hot) *still_hot = true;
             if (mr.cooldown[b] > 0) continue;
-            const HeatVerdict v =
-                mr.heat.classify(b, bucket_resident_fast(mr, b));
-            if (v != HeatVerdict::kStay) *has_work = true;
+            // Tiered mode asks the three-way classifier: a warm-band
+            // bucket parked on the far tier (or a cold one on DDR) is
+            // work the two-way verdict cannot see, and a parked scanner
+            // would strand it there.
+            const bool stay =
+                daemon_tiered()
+                    ? mr.heat.classify_tiered(b, bucket_tier(mr, b)) ==
+                          TierVerdict::kStay
+                    : mr.heat.classify(b, bucket_resident_fast(mr, b)) ==
+                          HeatVerdict::kStay;
+            if (!stay) *has_work = true;
             // Settling: epochs with no placement work extend the
             // streak; enough of them put the bucket to sleep, and each
             // matching probe afterwards doubles the sleep up to the
@@ -265,9 +308,8 @@ MemifDevice::scan_epoch(bool *any_accessed, bool *has_work,
             // accesses thin out the decay must keep folding every epoch
             // so the demotion lands promptly.
             const bool matches =
-                v == HeatVerdict::kStay &&
-                (!mr.heat.bucket(b).hot ||
-                 (sampled == pages && accessed == sampled));
+                stay && (!mr.heat.bucket(b).hot ||
+                         (sampled == pages && accessed == sampled));
             if (config_.heat_settle_epochs > 0 && matches) {
                 ++mr.streak[b];
                 if (mr.next_dorm[b] > 0 ||
@@ -377,8 +419,31 @@ MemifDevice::daemon_issue_pass()
             ManagedRegion &mr = *mrp;
             for (std::uint64_t b = 0; b < mr.heat.num_buckets(); ++b) {
                 if (mr.busy[b] || mr.cooldown[b] > 0) continue;
-                const bool fast = bucket_resident_fast(mr, b);
-                if (mr.heat.classify(b, fast) != want) continue;
+                bool promote;
+                mem::NodeId dst;
+                if (daemon_tiered()) {
+                    const HeatTier tier = bucket_tier(mr, b);
+                    const TierVerdict v = mr.heat.classify_tiered(b, tier);
+                    if (v == TierVerdict::kStay) continue;
+                    dst = v == TierVerdict::kToFast ? kernel_.fast_node()
+                          : v == TierVerdict::kToSlow
+                              ? kernel_.slow_node()
+                              : kernel_.far_node();
+                    // Anything moving toward the CPU is a promotion —
+                    // far→slow included: it allocates in the very space
+                    // the demotion sweep just freed, so it must run in
+                    // the second leg of the pass like every promotion.
+                    promote = v == TierVerdict::kToFast ||
+                              (v == TierVerdict::kToSlow &&
+                               tier == HeatTier::kFar);
+                } else {
+                    const bool fast = bucket_resident_fast(mr, b);
+                    if (mr.heat.classify(b, fast) != want) continue;
+                    promote = want == HeatVerdict::kPromote;
+                    dst = promote ? kernel_.fast_node()
+                                  : kernel_.slow_node();
+                }
+                if ((want == HeatVerdict::kPromote) != promote) continue;
                 const std::uint32_t pages = mr.heat.pages_in(b);
                 if (daemon_budget_ < pages) {
                     ++stats_.daemon_budget_exhausted;
@@ -391,13 +456,11 @@ MemifDevice::daemon_issue_pass()
                     ++stats_.daemon_busy_backoffs;
                     return;
                 }
-                const bool promote = want == HeatVerdict::kPromote;
                 if (promote) {
                     const unsigned ord =
                         vm::page_order(mr.vma->page_size());
-                    mem::MemoryNode &fastn =
-                        kernel_.phys().node(kernel_.fast_node());
-                    if (!fastn.buddy().can_allocate(ord, pages)) {
+                    mem::MemoryNode &dstn = kernel_.phys().node(dst);
+                    if (!dstn.buddy().can_allocate(ord, pages)) {
                         // No room: don't burn the recovery ladder on a
                         // mov that must fail — cool the bucket down and
                         // let demotions open space first.
@@ -406,7 +469,7 @@ MemifDevice::daemon_issue_pass()
                         continue;
                     }
                 }
-                daemon_submit_bucket(mr, b, promote);
+                daemon_submit_bucket(mr, b, promote, dst);
             }
         }
     }
@@ -414,18 +477,19 @@ MemifDevice::daemon_issue_pass()
 
 bool
 MemifDevice::daemon_submit_bucket(ManagedRegion &mr, std::uint64_t bucket,
-                                  bool promote)
+                                  bool promote, mem::NodeId dst)
 {
     const sim::CostModel &cm = kernel_.costs();
     const lockfree::DequeueResult d = region_.free_queue().dequeue();
     if (!d.ok) return false;  // the app owns every request slot
     const std::uint32_t pages = mr.heat.pages_in(bucket);
+    const HeatTier src_tier = bucket_tier(mr, bucket);
     MovReq &req = region_.request(d.value);
     req.store_status(MovStatus::kOwned);
     req.op = MovOp::kMigrate;
     req.src_base = mr.vma->page_vaddr(mr.heat.first_page(bucket));
     req.dst_base = 0;
-    req.dst_node = promote ? kernel_.fast_node() : kernel_.slow_node();
+    req.dst_node = dst;
     req.num_pages = pages;
     req.error = MovError::kNone;
     req.user_tag = 0;
@@ -439,7 +503,10 @@ MemifDevice::daemon_submit_bucket(ManagedRegion &mr, std::uint64_t bucket,
     region_.submission_queue().enqueue(d.value);
     kernel_.cpu().charge(ExecContext::kKthread, Op::kQueue,
                          cm.queue_op * 2);
-    daemon_movs_[d.value] = DaemonMov{mr.vma, bucket, promote, pages};
+    daemon_movs_[d.value] =
+        DaemonMov{mr.vma, bucket, promote, pages,
+                  kernel_.has_far_node() && dst == kernel_.far_node(),
+                  src_tier == HeatTier::kFar};
     mr.busy[bucket] = true;
     ++daemon_outstanding_;
     daemon_budget_ -= pages;
@@ -478,6 +545,8 @@ MemifDevice::daemon_request_done(std::uint32_t idx, MovStatus status)
             ++stats_.promotions_completed;
         else
             ++stats_.demotions_completed;
+        if (dm.to_far) ++stats_.demotions_to_far;
+        if (dm.from_far) ++stats_.promotions_from_far;
         daemon_tenant_.stats.pages_moved += dm.pages;
         if (mr) {
             daemon_tenant_.stats.bytes_moved +=

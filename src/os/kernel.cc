@@ -16,6 +16,22 @@ Kernel::Kernel(KernelConfig cfg)
     auto ids = mem::KeystoneMemory::build(pm_, cfg_.slow_bytes);
     slow_node_ = ids.first;
     fast_node_ = ids.second;
+    if (cfg_.far_bytes != 0) {
+        // Third tier: an emulated remote node (Akram et al.) — capped
+        // bandwidth plus per-descriptor RDMA-class latency, both from
+        // the cost model. SLIT-style distances make the non-adjacency
+        // explicit: SRAM and the far tier are two hops apart, with DDR
+        // the natural staging point between them.
+        far_node_ = pm_.add_node(mem::NodeConfig{
+            .name = "far-remote",
+            .bytes = cfg_.far_bytes,
+            .bandwidth_bps = cfg_.costs.far_mem_bw,
+            .is_fast = false,
+            .latency_ns =
+                static_cast<std::uint64_t>(cfg_.costs.far_mem_latency)});
+        pm_.set_distance(slow_node_, far_node_, 30);
+        pm_.set_distance(fast_node_, far_node_, 40);
+    }
     faults_.seed(cfg_.fault_seed);
     engine_ =
         std::make_unique<dma::Edma3Engine>(eq_, pm_, cfg_.costs, &faults_);

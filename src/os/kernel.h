@@ -32,6 +32,11 @@ struct KernelConfig {
     /** DDR capacity to back (the real board has 8 GB; experiments need
      *  far less, and this is host memory). */
     std::uint64_t slow_bytes = mem::KeystoneMemory::kDefaultSlowBytes;
+    /** Far/remote tier capacity. Zero (the default) builds the classic
+     *  two-node machine, byte-identical to every prior PR; nonzero adds
+     *  a third node calibrated from the cost model's far_mem_bw /
+     *  far_mem_latency (Akram et al.-style emulated remote memory). */
+    std::uint64_t far_bytes = 0;
     /** Timing calibration; defaults model KeyStone II (Table 2). */
     sim::CostModel costs{};
     /** Cortex-A15 cores (Table 2). */
@@ -75,6 +80,9 @@ class Kernel {
     mem::PhysicalMemory &phys() { return pm_; }
     mem::NodeId slow_node() const { return slow_node_; }
     mem::NodeId fast_node() const { return fast_node_; }
+    /** Far/remote node (only with KernelConfig::far_bytes != 0). */
+    mem::NodeId far_node() const { return far_node_; }
+    bool has_far_node() const { return far_node_ != mem::kInvalidNode; }
     dma::Edma3Engine &dma_engine() { return *engine_; }
     dma::DmaDriver &dma() { return *dma_driver_; }
     /** Machine-wide fault injector (arm sites here; off by default). */
@@ -140,6 +148,7 @@ class Kernel {
     mem::PhysicalMemory pm_;
     mem::NodeId slow_node_;
     mem::NodeId fast_node_;
+    mem::NodeId far_node_ = mem::kInvalidNode;
     sim::FaultInjector faults_;  // before engine_: engine holds a pointer
     std::unique_ptr<dma::Edma3Engine> engine_;
     std::unique_ptr<dma::DmaDriver> dma_driver_;

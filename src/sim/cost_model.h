@@ -32,6 +32,19 @@ struct CostModel {
     /** Measured slow-memory (DDR3) bandwidth: 6.2 GB/s. */
     double slow_mem_bw = 6.2e9;
 
+    // ----- Far/remote tier (optional third node). Calibrated per
+    //       Akram et al., "Emulating Hybrid Memory on NUMA Hardware":
+    //       a remote RDMA-class tier is modelled as a bandwidth-capped
+    //       node whose accesses carry ~100x DRAM latency. The node only
+    //       exists when KernelConfig::far_bytes is nonzero, so machines
+    //       without it are byte-identical to the two-node build.
+    /** Sustained far-tier (remote/RDMA-class) bandwidth. */
+    double far_mem_bw = 1.2e9;
+    /** Per-descriptor access latency of the far tier. DDR3-1600 random
+     *  access is ~80 ns; the emulated remote tier pays ~100x that on
+     *  every descriptor touching it. */
+    Duration far_mem_latency = nanoseconds(8000);
+
     // ----- CPU byte copy (paper 2.2: ~4 us of the ~15 us per 4 KB page
     //       is copying bytes; Fig. 8 shows migspeed at ~2 GB/s for 2 MB
     //       pages, so the copy has a fixed per-call component plus a

@@ -136,5 +136,65 @@ TEST(Phys, FastNodeCapacityIsScarce)
     EXPECT_EQ(pm.allocate(fast, 9), kInvalidPfn);
 }
 
+
+TEST(Phys, ListBuildMatchesTwoNodeBuild)
+{
+    // The list overload with the classic pair must be frame-for-frame
+    // identical to the historical two-node build.
+    PhysicalMemory a, b;
+    const auto pair = KeystoneMemory::build(a, 16ull << 20);
+    const std::vector<NodeId> ids = KeystoneMemory::build(
+        b, {NodeConfig{.name = "ddr3-slow",
+                       .bytes = 16ull << 20,
+                       .bandwidth_bps = 6.2e9,
+                       .is_fast = false},
+            NodeConfig{.name = "sram-fast",
+                       .bytes = 6ull << 20,
+                       .bandwidth_bps = 24.0e9,
+                       .is_fast = true}});
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], pair.first);
+    EXPECT_EQ(ids[1], pair.second);
+    for (NodeId n : {pair.first, pair.second}) {
+        EXPECT_EQ(a.node(n).base_pfn(), b.node(n).base_pfn());
+        EXPECT_EQ(a.node(n).num_frames(), b.node(n).num_frames());
+        EXPECT_EQ(a.node(n).is_fast(), b.node(n).is_fast());
+    }
+}
+
+TEST(Phys, ListBuildTakesArbitraryNodeCounts)
+{
+    PhysicalMemory pm;
+    const std::vector<NodeId> ids = KeystoneMemory::build(
+        pm, {NodeConfig{.name = "ddr", .bytes = 8ull << 20,
+                        .bandwidth_bps = 6.2e9},
+            NodeConfig{.name = "sram", .bytes = 2ull << 20,
+                       .bandwidth_bps = 24.0e9, .is_fast = true},
+            NodeConfig{.name = "far", .bytes = 32ull << 20,
+                       .bandwidth_bps = 1.2e9, .latency_ns = 8000}});
+    ASSERT_EQ(ids.size(), 3u);
+    ASSERT_EQ(pm.node_count(), 3u);
+    EXPECT_EQ(pm.node(ids[2]).latency_ns(), 8000u);
+    // Ranges stay disjoint in declaration order.
+    EXPECT_GT(pm.node(ids[1]).base_pfn(), pm.node(ids[0]).base_pfn());
+    EXPECT_GT(pm.node(ids[2]).base_pfn(), pm.node(ids[1]).base_pfn());
+}
+
+TEST(Phys, SlitDistancesDefaultAndOverride)
+{
+    PhysicalMemory pm;
+    add_two_nodes(pm);
+    const NodeId far = pm.add_node(NodeConfig{
+        .name = "far", .bytes = 4ull << 20, .bandwidth_bps = 1.2e9});
+    EXPECT_EQ(pm.distance(0, 0), 10u);   // on-node
+    EXPECT_EQ(pm.distance(0, 1), 20u);   // default remote
+    pm.set_distance(0, far, 30);
+    pm.set_distance(1, far, 40);
+    EXPECT_EQ(pm.distance(0, far), 30u);
+    EXPECT_EQ(pm.distance(far, 0), 30u);  // symmetric
+    EXPECT_EQ(pm.distance(1, far), 40u);
+    EXPECT_EQ(pm.distance(0, 1), 20u);    // untouched pair keeps default
+}
+
 }  // namespace
 }  // namespace memif::mem

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tiered-memory tests: chained multi-hop migration between the SRAM
+ * and far tiers (staged through DDR), pipelined batch overlap, and the
+ * per-hop recovery ladder — injected TC errors and lost IRQs on the
+ * second hop of a demotion chain must either be absorbed hop-locally
+ * or roll the whole chain back with no leaked staging frames or
+ * descriptor leases (the fixture's quiesce sweep checks both).
+ */
+#include "memif/device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dma/engine.h"
+#include "memif/user_api.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/types.h"
+
+namespace memif::core {
+namespace {
+
+MemifConfig
+tiered_cfg()
+{
+    // The tiered lever pair alone, without the managed daemon — these
+    // tests drive migrations by hand and must not share the machine
+    // with scanner-originated movs.
+    MemifConfig cfg;
+    cfg.tiered_memory = true;
+    cfg.pipelined_eviction = true;
+    // Hop stages overlap across transfer controllers; pinning every
+    // stage to one TC would serialize them at the engine.
+    cfg.multi_tc_dispatch = true;
+    return cfg;
+}
+
+struct Fixture {
+    os::Kernel kernel;
+    os::Process &proc;
+    MemifDevice dev;
+    MemifUser user;
+
+    explicit Fixture(MemifConfig cfg = tiered_cfg(),
+                     std::uint64_t far_bytes = 64ull << 20)
+        : kernel(os::KernelConfig{.far_bytes = far_bytes}),
+          proc(kernel.create_process()),
+          dev(kernel, proc, cfg),
+          user(dev)
+    {
+    }
+
+    ~Fixture()
+    {
+        // No test may leave the driver dirty: empty flight table, no
+        // leased descriptors, and — the tiered invariant — zero
+        // staging frames still out of the pool.
+        std::string why;
+        EXPECT_TRUE(dev.check_quiesced(&why)) << "teardown: " << why;
+    }
+
+    sim::FaultInjector &faults() { return kernel.faults(); }
+
+    void
+    fill(vm::VAddr base, std::uint64_t bytes, std::uint8_t seed)
+    {
+        std::vector<std::uint8_t> buf(bytes);
+        for (std::uint64_t i = 0; i < bytes; ++i)
+            buf[i] = static_cast<std::uint8_t>(seed + i * 13);
+        ASSERT_TRUE(proc.as().write(base, buf.data(), bytes));
+    }
+
+    bool
+    check(vm::VAddr base, std::uint64_t bytes, std::uint8_t seed)
+    {
+        std::vector<std::uint8_t> buf(bytes);
+        if (!proc.as().read(base, buf.data(), bytes)) return false;
+        for (std::uint64_t i = 0; i < bytes; ++i)
+            if (buf[i] != static_cast<std::uint8_t>(seed + i * 13))
+                return false;
+        return true;
+    }
+
+    std::uint32_t
+    migrate(vm::VAddr src, std::uint32_t npages, mem::NodeId dst_node)
+    {
+        const std::uint32_t idx = user.alloc_request();
+        EXPECT_NE(idx, kNoRequest);
+        MovReq &req = user.request(idx);
+        req.op = MovOp::kMigrate;
+        req.src_base = src;
+        req.num_pages = npages;
+        req.dst_node = dst_node;
+        kernel.spawn(user.submit(idx));
+        return idx;
+    }
+
+    void
+    expect_on_node(vm::VAddr base, std::uint64_t npages, mem::NodeId n)
+    {
+        vm::Vma *vma = proc.as().find_vma(base);
+        ASSERT_NE(vma, nullptr);
+        for (std::uint64_t i = 0; i < npages; ++i) {
+            const vm::Pte pte = vma->pte(i);
+            EXPECT_EQ(kernel.phys().node_of(pte.pfn), n) << "page " << i;
+            EXPECT_FALSE(pte.migration) << "page " << i;
+        }
+    }
+};
+
+TEST(Tiered, DemotionToFarChainsThroughDdr)
+{
+    Fixture f;
+    const vm::VAddr base =
+        f.proc.mmap(8 * 4096, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(base, 8 * 4096, 42);
+
+    const std::uint32_t idx = f.migrate(base, 8, f.kernel.far_node());
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_TRUE(f.check(base, 8 * 4096, 42));
+    f.expect_on_node(base, 8, f.kernel.far_node());
+    // One chain, one batch (8 <= tiered_batch_pages), two hop stages.
+    EXPECT_EQ(f.dev.stats().chained_migrations, 1u);
+    EXPECT_EQ(f.dev.stats().chain_batches, 1u);
+    EXPECT_EQ(f.dev.stats().hop_stages_issued, 2u);
+    EXPECT_EQ(f.dev.stats().hop_stages_completed, 2u);
+    EXPECT_EQ(f.dev.stats().chain_rollbacks, 0u);
+    EXPECT_GT(f.dev.stats().staging_frames_hwm, 0u);
+}
+
+TEST(Tiered, AdjacentMigrationsNeverChain)
+{
+    // slow↔far and fast↔slow are one SLIT hop apart: no middle node is
+    // strictly closer to both endpoints, so these stay single-transfer
+    // moves even with the lever on.
+    Fixture f;
+    const vm::VAddr base = f.proc.mmap(8 * 4096, vm::PageSize::k4K);
+    f.fill(base, 8 * 4096, 9);
+
+    const std::uint32_t to_far = f.migrate(base, 8, f.kernel.far_node());
+    f.kernel.run();
+    EXPECT_EQ(f.user.request(to_far).load_status(), MovStatus::kDone);
+    const std::uint32_t back = f.migrate(base, 8, f.kernel.slow_node());
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(back).load_status(), MovStatus::kDone);
+    EXPECT_TRUE(f.check(base, 8 * 4096, 9));
+    EXPECT_EQ(f.dev.stats().chained_migrations, 0u);
+    EXPECT_EQ(f.dev.stats().hop_stages_issued, 0u);
+}
+
+TEST(Tiered, PromotionFromFarChainsBack)
+{
+    Fixture f;
+    const vm::VAddr base =
+        f.proc.mmap(16 * 4096, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(base, 16 * 4096, 77);
+
+    const std::uint32_t down = f.migrate(base, 16, f.kernel.far_node());
+    f.kernel.run();
+    ASSERT_EQ(f.user.request(down).load_status(), MovStatus::kDone);
+    const std::uint32_t up = f.migrate(base, 16, f.kernel.fast_node());
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(up).load_status(), MovStatus::kDone);
+    EXPECT_TRUE(f.check(base, 16 * 4096, 77));
+    f.expect_on_node(base, 16, f.kernel.fast_node());
+    EXPECT_EQ(f.dev.stats().chained_migrations, 2u);
+    EXPECT_EQ(f.dev.stats().chain_rollbacks, 0u);
+}
+
+TEST(Tiered, PipelinedBatchesOverlapAndBeatSequential)
+{
+    auto run = [](bool pipelined) {
+        MemifConfig cfg = tiered_cfg();
+        cfg.pipelined_eviction = pipelined;
+        Fixture f(cfg);
+        const vm::VAddr base = f.proc.mmap(64 * 4096, vm::PageSize::k4K,
+                                           f.kernel.fast_node());
+        f.fill(base, 64 * 4096, 5);
+        const std::uint32_t idx =
+            f.migrate(base, 64, f.kernel.far_node());
+        f.kernel.run();
+        EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+        EXPECT_TRUE(f.check(base, 64 * 4096, 5));
+        EXPECT_EQ(f.dev.stats().chain_batches, 4u);  // 64 / 16
+        EXPECT_EQ(f.dev.stats().hop_stages_issued, 8u);
+        if (pipelined)
+            EXPECT_GT(f.dev.stats().hop_overlap_events, 0u);
+        else
+            EXPECT_EQ(f.dev.stats().hop_overlap_events, 0u);
+        return f.kernel.eq().now();
+    };
+    const std::uint64_t sequential = run(false);
+    const std::uint64_t pipelined = run(true);
+    EXPECT_LT(pipelined, sequential)
+        << "out-of-order hop stages must beat store-and-forward";
+}
+
+TEST(Tiered, TcErrorOnSecondHopIsRetriedHopLocally)
+{
+    // The error hits hop 2 only; hop 1's copy into staging is already
+    // safe, so recovery replays just the second stage.
+    Fixture f;
+    const vm::VAddr base =
+        f.proc.mmap(8 * 4096, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(base, 8 * 4096, 31);
+    f.faults().arm_nth(dma::kFaultTcError, 2);
+
+    const std::uint32_t idx = f.migrate(base, 8, f.kernel.far_node());
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_TRUE(f.check(base, 8 * 4096, 31));
+    f.expect_on_node(base, 8, f.kernel.far_node());
+    EXPECT_EQ(f.dev.stats().dma_errors, 1u);
+    EXPECT_EQ(f.dev.stats().hop_retries, 1u);
+    EXPECT_EQ(f.dev.stats().hop_stages_issued, 3u);  // 2 + 1 replay
+    EXPECT_EQ(f.dev.stats().chain_rollbacks, 0u);
+    EXPECT_EQ(f.kernel.dma_engine().stats().transfers_failed, 1u);
+}
+
+TEST(Tiered, UnrecoverableSecondHopRollsBackTheWholeChain)
+{
+    // Ladder exhausted mid-chain (no retries, no CPU fallback): the
+    // master restores the old PTEs and frees the new frames. Hop 1's
+    // bytes sat in staging frames no PTE ever pointed at, so partial
+    // progress is invisible — and the staging lease must be returned
+    // (fixture teardown asserts the pool drained).
+    MemifConfig cfg = tiered_cfg();
+    cfg.cpu_copy_fallback = false;
+    cfg.dma_max_retries = 0;
+    Fixture f(cfg);
+    const vm::VAddr base =
+        f.proc.mmap(8 * 4096, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(base, 8 * 4096, 63);
+    const std::uint64_t outstanding_before =
+        f.kernel.phys().outstanding_pages();
+    f.faults().arm_nth(dma::kFaultTcError, 2);  // second hop only
+
+    const std::uint32_t idx = f.migrate(base, 8, f.kernel.far_node());
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kFailed);
+    EXPECT_EQ(f.user.request(idx).error, MovError::kDmaError);
+    EXPECT_TRUE(f.check(base, 8 * 4096, 63));
+    f.expect_on_node(base, 8, f.kernel.fast_node());
+    EXPECT_EQ(f.kernel.phys().outstanding_pages(), outstanding_before);
+    EXPECT_EQ(f.dev.stats().chain_rollbacks, 1u);
+    EXPECT_EQ(f.dev.stats().rollbacks, 1u);
+    // The region stays usable after the rollback.
+    f.fill(base, 8 * 4096, 64);
+    EXPECT_TRUE(f.check(base, 8 * 4096, 64));
+}
+
+TEST(Tiered, LostIrqOnSecondHopIsCaughtByTheHopDeadline)
+{
+    // The transfer completes but its IRQ is dropped: the hop's own
+    // deadline timer fires, the stage reads the clean completion and
+    // reclaims the descriptor lease itself — no retry, no second copy,
+    // no leaked lease (teardown quiesce).
+    Fixture f;
+    const vm::VAddr base =
+        f.proc.mmap(8 * 4096, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(base, 8 * 4096, 88);
+    f.faults().arm_nth(dma::kFaultLostIrq, 2);
+
+    const std::uint32_t idx = f.migrate(base, 8, f.kernel.far_node());
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_TRUE(f.check(base, 8 * 4096, 88));
+    f.expect_on_node(base, 8, f.kernel.far_node());
+    // The transfer itself completed, so the deadline wake reads a
+    // clean record: no timeout is charged and nothing is recopied.
+    EXPECT_EQ(f.dev.stats().watchdog_timeouts, 0u);
+    EXPECT_EQ(f.dev.stats().hop_retries, 0u);
+    EXPECT_EQ(f.dev.stats().chain_rollbacks, 0u);
+    EXPECT_EQ(f.kernel.dma_engine().stats().interrupts_lost, 1u);
+}
+
+TEST(Tiered, PersistentHopErrorFallsBackToCpuCopy)
+{
+    // Every transfer errors: each hop burns its retries then the CPU
+    // copies that hop's bytes — the chain still completes end to end.
+    Fixture f;
+    const vm::VAddr base =
+        f.proc.mmap(8 * 4096, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(base, 8 * 4096, 19);
+    f.faults().arm_probability(dma::kFaultTcError, 1.0);
+
+    const std::uint32_t idx = f.migrate(base, 8, f.kernel.far_node());
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_TRUE(f.check(base, 8 * 4096, 19));
+    f.expect_on_node(base, 8, f.kernel.far_node());
+    EXPECT_EQ(f.dev.stats().hop_fallback_copies, 2u);  // one per hop
+    EXPECT_EQ(f.dev.stats().chain_rollbacks, 0u);
+}
+
+TEST(Tiered, LeverOffNeverChains)
+{
+    // Same machine (far node present), lever off: a fast→far migration
+    // is one direct transfer, as before the tier shipped.
+    Fixture f{MemifConfig{}};
+    const vm::VAddr base =
+        f.proc.mmap(8 * 4096, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(base, 8 * 4096, 50);
+
+    const std::uint32_t idx = f.migrate(base, 8, f.kernel.far_node());
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_TRUE(f.check(base, 8 * 4096, 50));
+    f.expect_on_node(base, 8, f.kernel.far_node());
+    EXPECT_EQ(f.dev.stats().chained_migrations, 0u);
+    EXPECT_EQ(f.dev.stats().hop_stages_issued, 0u);
+}
+
+}  // namespace
+}  // namespace memif::core

@@ -1,8 +1,8 @@
 /**
  * @file
  * The differential suite proper: seeded random workloads replayed
- * through all seven presets (levers-off, pipelined, moderated, scaled,
- * tenanted, mmu_aware, managed) must match the reference model
+ * through all eight presets (levers-off, pipelined, moderated, scaled,
+ * tenanted, mmu_aware, managed, tiered) must match the reference model
  * byte-for-byte and leave the driver fully quiesced — under FIFO
  * scheduling, fuzzed schedules, injected faults, invalidation storms
  * racing TLB shootdowns against in-flight translation prefetches, and
@@ -178,12 +178,12 @@ TEST(Differential, MinimizerShrinksAnInjectedDivergence)
 // preset (src/check/differential.cc) and updating both expectations.
 TEST(Differential, EveryConfigLeverAppearsInAPreset)
 {
-    EXPECT_EQ(sizeof(core::MemifConfig), 240u)
+    EXPECT_EQ(sizeof(core::MemifConfig), 272u)
         << "MemifConfig changed shape: add the new lever to a preset "
            "in src/check/differential.cc, then update this size";
 
     const core::MemifConfig &top = presets().back().config;
-    EXPECT_STREQ(presets().back().name, "managed");
+    EXPECT_STREQ(presets().back().name, "tiered");
     // Default-on levers are exercised by every preset...
     EXPECT_TRUE(top.gang_lookup);
     EXPECT_TRUE(top.cpu_copy_fallback);
@@ -202,6 +202,8 @@ TEST(Differential, EveryConfigLeverAppearsInAPreset)
     EXPECT_TRUE(top.xlate_prefetch_ahead);
     EXPECT_TRUE(top.sva_dma);
     EXPECT_TRUE(top.auto_migrate);
+    EXPECT_TRUE(top.tiered_memory);
+    EXPECT_TRUE(top.pipelined_eviction);
     // Scanner dormancy is default-on whenever the daemon runs, so the
     // managed preset exercises the settle/probe/wake machinery too.
     EXPECT_GT(top.heat_settle_epochs, 0u);

@@ -50,9 +50,9 @@ batch_workload()
     batch.kind = OpKind::kMovMany;
     for (std::uint32_t i = 0; i < 6; ++i)
         batch.movs.push_back(MovSpec{MovOp::kMigrate, 0, i * 4, 4, 0, 0,
-                                     true, Malform::kNone});
+                                     true, false, Malform::kNone});
     batch.movs.push_back(MovSpec{MovOp::kReplicate, 0, 24, 4, 0, 28,
-                                 false, Malform::kNone});
+                                 false, false, Malform::kNone});
     w.ops = {batch, WorkloadOp{}};
     return w;
 }

@@ -97,12 +97,13 @@ tiny_workload()
                  RegionSpec{8, vm::PageSize::k4K, 200}};
     WorkloadOp rep;
     rep.kind = OpKind::kMov;
-    rep.movs = {MovSpec{MovOp::kReplicate, 0, 2, 3, 1, 1, false,
+    rep.movs = {MovSpec{MovOp::kReplicate, 0, 2, 3, 1, 1, false, false,
                         Malform::kNone}};
     WorkloadOp mig;
     mig.kind = OpKind::kMov;
     mig.movs = {
-        MovSpec{MovOp::kMigrate, 0, 6, 2, 0, 0, true, Malform::kNone}};
+        MovSpec{MovOp::kMigrate, 0, 6, 2, 0, 0, true, false,
+                Malform::kNone}};
     WorkloadOp touch;
     touch.kind = OpKind::kTouch;
     touch.touch = TouchSpec{0, 7, true};

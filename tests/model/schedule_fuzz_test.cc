@@ -205,7 +205,8 @@ young_cas_race_workload()
     WorkloadOp warm;
     warm.kind = OpKind::kMov;
     warm.movs = {
-        MovSpec{MovOp::kMigrate, 0, 0, 8, 0, 0, true, Malform::kNone}};
+        MovSpec{MovOp::kMigrate, 0, 0, 8, 0, 0, true, false,
+                Malform::kNone}};
     w.ops.push_back(warm);
     w.ops.push_back(WorkloadOp{});  // barrier
 
@@ -214,7 +215,8 @@ young_cas_race_workload()
     WorkloadOp hit;
     hit.kind = OpKind::kMov;
     hit.movs = {
-        MovSpec{MovOp::kMigrate, 0, 0, 8, 0, 0, false, Malform::kNone}};
+        MovSpec{MovOp::kMigrate, 0, 0, 8, 0, 0, false, false,
+                Malform::kNone}};
     w.ops.push_back(hit);
     std::uint32_t delay_us = 10;
     for (std::uint32_t page : {1u, 3u, 5u, 7u}) {
