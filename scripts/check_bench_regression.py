@@ -37,6 +37,11 @@ Checks that the optimisation levers actually pay off:
   sweep must degrade gracefully — monotone non-increasing GB/s with
   every step retaining at least MIN_TIERED_STEP_RETENTION of the
   previous point (no cliff at a tier boundary).
+* Strided DMA: staging a pitched tile as one strided request must
+  beat the per-row flat workaround by MIN_STRIDED_SPEEDUP at the
+  STRIDED_TILE x STRIDED_TILE point, the double-buffered matmul must
+  hide at least MIN_OVERLAP of its staging DMA behind compute, and
+  every staging strategy must produce the identical data checksum.
 
 Pure stdlib so it runs anywhere CI does.
 
@@ -108,6 +113,17 @@ MANAGED_MIXES = ["stream", "data_intensive"]
 MIN_TIERED_PIPELINE_SPEEDUP = 1.3
 MIN_TIERED_BURST_PAGES = 256
 MIN_TIERED_STEP_RETENTION = 0.20
+
+# Strided-DMA gates (bench_tile_matmul).  One pitched request per
+# 64x64 tile vs 64 flat rows x 2 tiles per step: measured 17.9x full /
+# 17.7x quick staging throughput — deterministic simulation, gate at
+# 1.3 with margin.  Double-buffered overlap measured 0.79 full / 0.68
+# quick; gate at 0.5.  The checksum columns compare the bytes the
+# compute actually consumed across staging strategies and must agree
+# exactly (1.0 means match).
+MIN_STRIDED_SPEEDUP = 1.3
+STRIDED_TILE = 64
+MIN_OVERLAP = 0.5
 
 
 def fail(msg):
@@ -312,6 +328,50 @@ def check_tiered(where):
                         f"{retention:.2f} < {MIN_TIERED_STEP_RETENTION}")
     print(f"check_bench_regression: tiered OK ({checked} bursts, "
           f"{len(sweep)} sweep points)")
+    return check_tile_matmul(where)
+
+
+def check_tile_matmul(where):
+    """Strided tile staging must pay off and deliver exact bytes."""
+    report, err = load_report(where, "BENCH_tile_matmul.json")
+    if err:
+        return fail(err)
+    series = report.get("series", {})
+
+    speedups = dict(series.get("strided-speedup", []))
+    if STRIDED_TILE not in speedups:
+        return fail(f"strided-speedup series missing the "
+                    f"{STRIDED_TILE}x{STRIDED_TILE} tile point")
+    print(f"  staging {STRIDED_TILE}x{STRIDED_TILE} tiles: strided "
+          f"{speedups[STRIDED_TILE]:.2f}x per-row flat")
+    if speedups[STRIDED_TILE] < MIN_STRIDED_SPEEDUP:
+        return fail(f"strided staging {speedups[STRIDED_TILE]:.2f}x "
+                    f"< {MIN_STRIDED_SPEEDUP}x per-row flat at "
+                    f"{STRIDED_TILE}x{STRIDED_TILE} tiles")
+
+    overlaps = dict(series.get("overlap", []))
+    if STRIDED_TILE not in overlaps:
+        return fail(f"overlap series missing the "
+                    f"{STRIDED_TILE}x{STRIDED_TILE} tile point")
+    print(f"  double-buffered matmul: overlap ratio "
+          f"{overlaps[STRIDED_TILE]:.2f}")
+    if overlaps[STRIDED_TILE] < MIN_OVERLAP:
+        return fail(f"compute/DMA overlap {overlaps[STRIDED_TILE]:.2f} "
+                    f"< {MIN_OVERLAP} at {STRIDED_TILE}x{STRIDED_TILE} "
+                    f"tiles")
+
+    checked = 0
+    for name in ("staging-checksum-match", "compute-checksum-match"):
+        points = series.get(name, [])
+        if not points:
+            return fail(f"{name} series missing from the artifact")
+        for tile, match in points:
+            checked += 1
+            if match != 1.0:
+                return fail(f"{name}: staging strategies disagree on "
+                            f"the data at {int(tile)}x{int(tile)} tiles")
+    print(f"check_bench_regression: tile matmul OK "
+          f"({checked} checksum points)")
     return 0
 
 

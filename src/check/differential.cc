@@ -33,6 +33,7 @@ presets()
         {"mmu_aware", MemifConfig::mmu_aware()},
         {"managed", MemifConfig::managed()},
         {"tiered", MemifConfig::tiered()},
+        {"strided", MemifConfig::strided()},
     };
     return kPresets;
 }
@@ -303,6 +304,13 @@ run_workload(const Workload &w, const RunOptions &opt)
                             bases[m.src_region] +
                             std::uint64_t{m.src_page} * pbs[m.src_region];
                         req.num_pages = m.num_pages;
+                        // Strided geometry (zero for flat specs; the
+                        // slot is recycled, so always overwrite).
+                        req.rows = m.rows;
+                        req.row_bytes = m.row_bytes;
+                        req.src_pitch = m.src_pitch;
+                        req.dst_pitch = m.dst_pitch;
+                        req.gather_list = 0;
                         req.user_tag = next_tag++;
                         if (m.op == MovOp::kMigrate)
                             // Far-bound movs exist only on far-capable
@@ -333,6 +341,8 @@ run_workload(const Workload &w, const RunOptions &opt)
                                 req.dst_base = req.src_base;
                                 break;
                             case Malform::kTooManyPages:
+                            case Malform::kZeroRowBytes:
+                            case Malform::kPitchUnderRow:
                             case Malform::kNone:
                                 break;
                         }

@@ -20,6 +20,8 @@ expected_malform_error(const MovSpec &m)
         case Malform::kTooManyPages: return MovError::kBadRequest;
         case Malform::kBadNode: return MovError::kBadNode;
         case Malform::kOverlap: return MovError::kBadRequest;
+        case Malform::kZeroRowBytes: return MovError::kBadRequest;
+        case Malform::kPitchUnderRow: return MovError::kBadRequest;
         case Malform::kNone: break;
     }
     return MovError::kNone;
@@ -164,6 +166,19 @@ ReferenceModel::commit(std::size_t id, MovStatus st)
         vm::page_bytes(w_.regions[m.src_region].psize);
     const std::uint64_t dst_pb =
         vm::page_bytes(w_.regions[m.dst_region].psize);
+    if (m.rows != 0) {
+        // Strided replication: rows land row_bytes at a time, pitches
+        // apart — the naive per-row oracle the 2D descriptors must
+        // match byte-for-byte.
+        const std::uint64_t src0 = m.src_page * src_pb;
+        const std::uint64_t dst0 = m.dst_page * dst_pb;
+        for (std::uint32_t r = 0; r < m.rows; ++r)
+            std::memcpy(
+                mem_[m.dst_region].data() + dst0 + r * m.dst_pitch,
+                mem_[m.src_region].data() + src0 + r * m.src_pitch,
+                m.row_bytes);
+        return;
+    }
     const std::uint64_t bytes = m.num_pages * src_pb;
     std::memcpy(mem_[m.dst_region].data() + m.dst_page * dst_pb,
                 mem_[m.src_region].data() + m.src_page * src_pb,

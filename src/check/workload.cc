@@ -57,13 +57,14 @@ class Claims {
 
 Workload
 generate_workload(std::uint64_t seed, bool invalidation_storm,
-                  bool heat_churn)
+                  bool heat_churn, bool strided)
 {
     sim::Rng rng(seed);
     Workload w;
     w.seed = seed;
     w.invalidation_storm = invalidation_storm;
     w.heat_churn = heat_churn;
+    w.strided = strided;
 
     // Mixed-granularity regions (≈ 832 KB total — comfortably inside
     // the 6 MB fast node, so clean-run migrations essentially always
@@ -181,13 +182,71 @@ generate_workload(std::uint64_t seed, bool invalidation_storm,
         return true;
     };
 
+    // Strided replication: randomized pitch/rows geometry over freshly
+    // claimed page runs on both sides, so strided requests stay
+    // pairwise page-disjoint from every other valid request (the
+    // pitched envelopes — gaps included — live inside the claimed
+    // runs). Geometry choices keep worst-case per-row splitting far
+    // inside the PaRAM.
+    auto make_valid_strided = [&](std::uint32_t tenant,
+                                  MovSpec *out) -> bool {
+        const std::vector<std::uint32_t> owned = regions_of(tenant);
+        const std::uint32_t rs = owned[rng.next_below(owned.size())];
+        const std::uint32_t rd = owned[rng.next_below(owned.size())];
+        const std::uint64_t src_pb = vm::page_bytes(w.regions[rs].psize);
+        const std::uint64_t dst_pb = vm::page_bytes(w.regions[rd].psize);
+        const std::uint32_t rows =
+            2 + static_cast<std::uint32_t>(rng.next_below(11));
+        // row_bytes 16..768; pitch == row_bytes (degenerate flat) is
+        // reachable, as are pitched gaps of up to ~1 KB.
+        const std::uint32_t row_bytes = static_cast<std::uint32_t>(
+            16 * (1 + rng.next_below(48)));
+        const std::uint64_t src_pitch =
+            row_bytes + 8 * rng.next_below(128);
+        const std::uint64_t dst_pitch =
+            row_bytes + 8 * rng.next_below(128);
+        const std::uint64_t src_extent =
+            (std::uint64_t{rows} - 1) * src_pitch + row_bytes;
+        const std::uint64_t dst_extent =
+            (std::uint64_t{rows} - 1) * dst_pitch + row_bytes;
+        const std::uint32_t sp = static_cast<std::uint32_t>(
+            (src_extent + src_pb - 1) / src_pb);
+        const std::uint32_t dp = static_cast<std::uint32_t>(
+            (dst_extent + dst_pb - 1) / dst_pb);
+        std::uint32_t sfirst = 0, sn = 0;
+        if (!find_free(rs, sp, &sfirst, &sn) || sn < sp) return false;
+        claims.claim(rs, sfirst, sp);
+        std::uint32_t dfirst = 0, dn = 0;
+        if (!find_free(rd, dp, &dfirst, &dn) || dn < dp) {
+            claims.release(rs, sfirst, sp);
+            return false;
+        }
+        claims.claim(rd, dfirst, dp);
+        *out = MovSpec{core::MovOp::kReplicate,
+                       rs,
+                       sfirst,
+                       0,
+                       rd,
+                       dfirst,
+                       false,
+                       false,
+                       Malform::kNone,
+                       rows,
+                       row_bytes,
+                       src_pitch,
+                       dst_pitch};
+        return true;
+    };
+
     auto make_malformed_mov = [&](std::uint32_t tenant) -> MovSpec {
         const std::vector<std::uint32_t> owned = regions_of(tenant);
         MovSpec m;
         m.src_region = owned[rng.next_below(owned.size())];
         m.src_page = 0;
         m.num_pages = 1;
-        switch (rng.next_below(5)) {
+        // The strided malform kinds join the lottery only under the
+        // knob, so knob-off draws keep their historical bound.
+        switch (rng.next_below(strided ? 7 : 5)) {
             case 0: m.malform = Malform::kUnmappedSrc; break;
             case 1: m.malform = Malform::kZeroPages; break;
             case 2:
@@ -195,11 +254,33 @@ generate_workload(std::uint64_t seed, bool invalidation_storm,
                 m.num_pages = dma::DescriptorRam::kEntries + 7;
                 break;
             case 3: m.malform = Malform::kBadNode; break;
-            default:
+            case 4:
                 m.malform = Malform::kOverlap;
                 m.op = core::MovOp::kReplicate;
                 m.dst_region = m.src_region;
                 m.dst_page = m.src_page;
+                break;
+            case 5:
+                m.malform = Malform::kZeroRowBytes;
+                m.op = core::MovOp::kReplicate;
+                m.num_pages = 0;
+                m.dst_region = m.src_region;
+                m.dst_page = 0;
+                m.rows = 4;
+                m.row_bytes = 0;
+                m.src_pitch = 64;
+                m.dst_pitch = 64;
+                break;
+            default:
+                m.malform = Malform::kPitchUnderRow;
+                m.op = core::MovOp::kReplicate;
+                m.num_pages = 0;
+                m.dst_region = m.src_region;
+                m.dst_page = 0;
+                m.rows = 4;
+                m.row_bytes = 128;
+                m.src_pitch = 128;
+                m.dst_pitch = 64;
                 break;
         }
         return m;
@@ -241,6 +322,9 @@ generate_workload(std::uint64_t seed, bool invalidation_storm,
                 // mixed-outcome batches are routine.
                 if (rng.next_below(6) == 0)
                     op.movs.push_back(make_malformed_mov(tenant));
+                else if (strided && rng.next_below(4) == 0 &&
+                         make_valid_strided(tenant, &m))
+                    op.movs.push_back(m);
                 else if (make_valid_mov(tenant, &m))
                     op.movs.push_back(m);
             }
@@ -256,6 +340,10 @@ generate_workload(std::uint64_t seed, bool invalidation_storm,
             MovSpec m;
             if (rng.next_below(10) == 0) {
                 op.movs.push_back(make_malformed_mov(tenant));
+                ++since_barrier;
+            } else if (strided && rng.next_below(3) == 0 &&
+                       make_valid_strided(tenant, &m)) {
+                op.movs.push_back(m);
                 ++since_barrier;
             } else if (make_valid_mov(tenant, &m)) {
                 op.movs.push_back(m);
@@ -279,7 +367,9 @@ generate_workload(std::uint64_t seed, bool invalidation_storm,
                                    placed.kind == OpKind::kMovMany)) {
             std::vector<WorkloadOp> burst;
             for (const MovSpec &m : placed.movs) {
-                if (m.malform != Malform::kNone) continue;
+                // Strided specs have no page-run shape to aim at
+                // (num_pages is zero); the storm skips them.
+                if (m.malform != Malform::kNone || m.rows != 0) continue;
                 const std::uint32_t hits =
                     1 + static_cast<std::uint32_t>(rng.next_below(3));
                 for (std::uint32_t h = 0; h < hits; ++h) {
@@ -356,6 +446,7 @@ drop_ops(const Workload &w, std::size_t begin, std::size_t count)
     out.num_tenants = w.num_tenants;
     out.invalidation_storm = w.invalidation_storm;
     out.heat_churn = w.heat_churn;
+    out.strided = w.strided;
     out.regions = w.regions;
     out.ops.reserve(w.ops.size());
     for (std::size_t i = 0; i < w.ops.size(); ++i)

@@ -59,6 +59,8 @@ enum class Malform : std::uint8_t {
     kTooManyPages,  ///< num_pages > PaRAM -> kBadRequest
     kBadNode,       ///< unknown dst_node -> kBadNode
     kOverlap,       ///< replication src/dst overlap -> kBadRequest
+    kZeroRowBytes,  ///< strided with row_bytes == 0 -> kBadRequest
+    kPitchUnderRow, ///< strided dst_pitch < row_bytes -> kBadRequest
 };
 
 /** One mov_req to submit. Page indices are region-relative. */
@@ -79,6 +81,19 @@ struct MovSpec {
      *  byte-identical; two-node presets ignore the flag. */
     bool to_far = false;
     Malform malform = Malform::kNone;
+    /** @name Strided-replication geometry (strided knob).
+     *  rows != 0 marks the spec strided: num_pages stays 0 and the
+     *  request replicates `rows` rows of `row_bytes`, read `src_pitch`
+     *  apart starting at src_region page src_page and written
+     *  `dst_pitch` apart at dst_region page dst_page. Fields default
+     *  to zero so pre-strided specs (and their operator==) are
+     *  untouched. */
+    ///@{
+    std::uint32_t rows = 0;
+    std::uint32_t row_bytes = 0;
+    std::uint64_t src_pitch = 0;
+    std::uint64_t dst_pitch = 0;
+    ///@}
 
     bool operator==(const MovSpec &) const = default;
 };
@@ -136,6 +151,15 @@ struct Workload {
      *  exempt from the disjointness invariant, so the reference
      *  model's byte predictions are unaffected. */
     bool heat_churn = false;
+    /** Strided knob: the generator mixes in 2D replications with
+     *  randomized pitch/rows geometries (claimed page runs keep them
+     *  pairwise page-disjoint) plus strided malformations. Only
+     *  meaningful under presets with the strided_dma lever on: with
+     *  the lever off a valid strided request fails validation, which
+     *  the reference model would mispredict. RNG draws happen only
+     *  when the knob is set, so every existing seed's workload stays
+     *  byte-identical without it. */
+    bool strided = false;
     std::vector<RegionSpec> regions;
     std::vector<WorkloadOp> ops;
 
@@ -157,11 +181,13 @@ inline constexpr std::uint32_t kWorkloadCpus = 4;
  * burst of same-instant touches on its own pages (see
  * Workload::invalidation_storm). With @p heat_churn set, every op is
  * followed by a burst of touches on a fixed per-seed hot window (see
- * Workload::heat_churn).
+ * Workload::heat_churn). With @p strided set, 2D replications and
+ * strided malformations join the mix (see Workload::strided).
  */
 Workload generate_workload(std::uint64_t seed,
                            bool invalidation_storm = false,
-                           bool heat_churn = false);
+                           bool heat_churn = false,
+                           bool strided = false);
 
 /** Copy of @p w with ops [begin, begin+count) removed (minimizer). */
 Workload drop_ops(const Workload &w, std::size_t begin, std::size_t count);

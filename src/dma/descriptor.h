@@ -76,6 +76,35 @@ struct TransferDescriptor {
         d.bcnt_rld = d.b_cnt;
         return d;
     }
+
+    /**
+     * Build a 2D descriptor: @p rows arrays of @p row_bytes each, the
+     * source arrays @p src_pitch bytes apart and the destination
+     * arrays @p dst_pitch apart (A/B-count synchronized transfer).
+     * Both endpoints must be physically contiguous across the whole
+     * pitched extent; callers split at page boundaries first.
+     */
+    static TransferDescriptor
+    strided(std::uint64_t src, std::uint64_t dst, std::uint64_t row_bytes,
+            std::uint32_t rows, std::uint64_t src_pitch,
+            std::uint64_t dst_pitch)
+    {
+        MEMIF_ASSERT(row_bytes > 0 && row_bytes <= 0xFFFF,
+                     "row does not fit ACNT");
+        MEMIF_ASSERT(rows > 0 && rows <= 0xFFFF, "rows do not fit BCNT");
+        MEMIF_ASSERT(src_pitch <= 0x7FFFFFFF && dst_pitch <= 0x7FFFFFFF,
+                     "pitch does not fit BIDX");
+        TransferDescriptor d;
+        d.src = src;
+        d.dst = dst;
+        d.a_cnt = static_cast<std::uint16_t>(row_bytes);
+        d.b_cnt = static_cast<std::uint16_t>(rows);
+        d.src_bidx = static_cast<std::int32_t>(src_pitch);
+        d.dst_bidx = static_cast<std::int32_t>(dst_pitch);
+        d.c_cnt = 1;
+        d.bcnt_rld = d.b_cnt;
+        return d;
+    }
 };
 
 /** Statistics on descriptor-memory traffic. */

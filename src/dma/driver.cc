@@ -6,38 +6,75 @@
 
 namespace memif::dma {
 
+namespace {
+
+/**
+ * Chain-cache keying signature of one SG entry. Flat entries key by
+ * their raw byte count (the historical keying, so pre-strided
+ * behaviour is bit-identical); strided entries fold their whole
+ * geometry into a hash with bit 63 set, which no realistic flat size
+ * carries — a flat acquire can therefore never be handed a descriptor
+ * still programmed with 2D geometry, and vice versa.
+ */
+std::uint64_t
+entry_signature(const SgEntry &e)
+{
+    if (!e.strided()) return e.bytes;
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(e.bytes);
+    mix(e.rows);
+    mix(e.src_pitch);
+    mix(e.dst_pitch);
+    return h | (1ull << 63);
+}
+
+}  // namespace
+
 DmaDriver::Prepared
 DmaDriver::prepare(const std::vector<SgEntry> &sg)
 {
     MEMIF_ASSERT(!sg.empty(), "empty scatter-gather list");
     bool uniform = true;
     for (const SgEntry &e : sg)
-        uniform = uniform && e.bytes == sg.front().bytes;
+        uniform = uniform && entry_signature(e) ==
+                                 entry_signature(sg.front());
 
     Prepared p;
     if (uniform) {
         p.lease = cache_.acquire(static_cast<std::uint32_t>(sg.size()),
-                                 sg.front().bytes);
+                                 entry_signature(sg.front()));
     } else {
         std::vector<std::uint64_t> sizes;
         sizes.reserve(sg.size());
-        for (const SgEntry &e : sg) sizes.push_back(e.bytes);
+        for (const SgEntry &e : sg) sizes.push_back(entry_signature(e));
         p.lease = cache_.acquire_shape(std::move(sizes));
     }
-    for (const SgEntry &e : sg) p.bytes += e.bytes;
+    for (const SgEntry &e : sg) p.bytes += e.total_bytes();
 
-    // Program the PaRAM: reused entries get src/dst only (their sizes
-    // already match by the cache's keying); fresh entries get the full
-    // 12 parameters (link included).
+    // Program the PaRAM: reused flat entries get src/dst only (their
+    // sizes already match by the cache's keying); fresh entries get
+    // the full 12 parameters (link included). Strided entries are
+    // ALWAYS written in full — a partial src/dst rewrite cannot update
+    // the A/B-count geometry fields, and the signature is a hash, so
+    // a (harmless) collision must not leave stale pitches behind.
     for (std::uint32_t i = 0; i < p.lease.size(); ++i) {
         const DescIndex idx = p.lease.descs[i];
-        if (i < p.lease.reused) {
+        if (i < p.lease.reused && !sg[i].strided()) {
             engine_.param_ram().rewrite_src_dst(idx, sg[i].src_addr,
                                                 sg[i].dst_addr);
             p.cpu_time += cm_.dma_desc_write_reuse;
         } else {
-            TransferDescriptor d = TransferDescriptor::contiguous(
-                sg[i].src_addr, sg[i].dst_addr, sg[i].bytes);
+            TransferDescriptor d =
+                sg[i].strided()
+                    ? TransferDescriptor::strided(
+                          sg[i].src_addr, sg[i].dst_addr, sg[i].bytes,
+                          sg[i].rows, sg[i].src_pitch, sg[i].dst_pitch)
+                    : TransferDescriptor::contiguous(
+                          sg[i].src_addr, sg[i].dst_addr, sg[i].bytes);
             d.link = (i + 1 < p.lease.size()) ? p.lease.descs[i + 1]
                                               : kNullLink;
             engine_.param_ram().write_full(idx, d);

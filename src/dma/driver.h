@@ -44,11 +44,29 @@ struct DmaDriverOptions {
     unsigned tc = 0;
 };
 
-/** One physically contiguous piece of a scatter-gather transfer. */
+/**
+ * One piece of a scatter-gather transfer (one descriptor). Flat
+ * entries (rows <= 1) are a physically contiguous run of `bytes`;
+ * strided entries (rows > 1) are `rows` physically contiguous runs of
+ * `bytes` each, `src_pitch`/`dst_pitch` apart — the whole pitched
+ * extent must be physically contiguous on each side (callers split at
+ * page boundaries), and it maps to one EDMA3 A/B-count descriptor.
+ */
 struct SgEntry {
     std::uint64_t src_addr = 0;  ///< physical byte address
     std::uint64_t dst_addr = 0;  ///< physical byte address
-    std::uint64_t bytes = 0;     ///< per-entry run length (one descriptor)
+    std::uint64_t bytes = 0;     ///< run length (strided: bytes per row)
+    std::uint32_t rows = 1;      ///< > 1 = 2D entry (A/B-count geometry)
+    std::uint64_t src_pitch = 0; ///< byte stride between source rows
+    std::uint64_t dst_pitch = 0; ///< byte stride between destination rows
+
+    bool strided() const { return rows > 1; }
+    /** Total payload bytes the entry moves. */
+    std::uint64_t
+    total_bytes() const
+    {
+        return bytes * (rows ? rows : 1);
+    }
 };
 
 class DmaDriver {

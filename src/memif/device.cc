@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "sim/cost_model.h"
@@ -33,7 +34,11 @@ coalesce_sg(const std::vector<dma::SgEntry> &sg)
     for (const dma::SgEntry &e : sg) {
         if (!out.empty()) {
             dma::SgEntry &last = out.back();
-            if (last.src_addr + last.bytes == e.src_addr &&
+            // Only flat entries merge: a 2D entry's extent is pitched,
+            // so byte-contiguity of its endpoints says nothing about
+            // the next run, and folding one away would lose geometry.
+            if (!last.strided() && !e.strided() &&
+                last.src_addr + last.bytes == e.src_addr &&
                 last.dst_addr + last.bytes == e.dst_addr &&
                 last.bytes + e.bytes <= kMaxCoalescedRunBytes) {
                 last.bytes += e.bytes;
@@ -794,6 +799,10 @@ MemifDevice::validate(const MovReq &req, vm::Vma **src_vma,
 {
     *src_vma = nullptr;
     *dst_vma = nullptr;
+    // Strided geometry rides in dedicated fields, so the branch comes
+    // before the flat num_pages checks (a strided request leaves
+    // num_pages zero on purpose).
+    if (req.rows != 0) return validate_strided(req, src_vma, dst_vma);
     if (req.num_pages == 0 ||
         req.num_pages > dma::DescriptorRam::kEntries)
         return MovError::kBadRequest;
@@ -833,6 +842,69 @@ MemifDevice::validate(const MovReq &req, vm::Vma **src_vma,
     const std::uint64_t dst_end = req.dst_base + req.num_pages * pb;
     if (req.src_base < dst_end && req.dst_base < src_end)
         return MovError::kBadRequest;
+    *dst_vma = dst;
+    return MovError::kNone;
+}
+
+MovError
+MemifDevice::validate_strided(const MovReq &req, vm::Vma **src_vma,
+                              vm::Vma **dst_vma) const
+{
+    if (!config_.strided_dma) return MovError::kBadRequest;
+    // Strided moves are replication-shaped: migrations relocate whole
+    // pages, for which 2D geometry is meaningless.
+    if (req.op != MovOp::kReplicate) return MovError::kBadRequest;
+    if (req.num_pages != 0) return MovError::kBadRequest;
+    if (req.row_bytes == 0 || req.row_bytes > 0xFFFF)
+        return MovError::kBadRequest;
+    if (req.rows > dma::DescriptorRam::kEntries)
+        return MovError::kBadRequest;
+    // Pitches are bounded by the descriptor's signed 32-bit BIDX;
+    // together with the rows bound this also makes every extent
+    // computation below overflow-free (rows * pitch < 2^40).
+    if (req.src_pitch > 0x7FFFFFFF || req.dst_pitch > 0x7FFFFFFF)
+        return MovError::kBadRequest;
+    if (req.dst_pitch < req.row_bytes) return MovError::kBadRequest;
+    const bool gather = req.gather_list != 0;
+    if (!gather && req.src_pitch < req.row_bytes)
+        return MovError::kBadRequest;
+    // A misaligned list would make its u64 reads straddle frames.
+    if (gather && req.gather_list % 8 != 0) return MovError::kBadRequest;
+
+    vm::AddressSpace &as = request_as(req);
+    vm::Vma *src = as.find_vma(req.src_base);
+    if (!src) return MovError::kBadAddress;
+    const std::uint64_t src_extent =
+        gather ? 0
+               : (std::uint64_t{req.rows} - 1) * req.src_pitch +
+                     req.row_bytes;
+    if (!gather && req.src_base + src_extent > src->end())
+        return MovError::kBadAddress;
+    if (gather) {
+        // The row-address list itself must be mapped; the per-row
+        // addresses it holds are read (and bounds-checked against the
+        // source vma) at serve time.
+        vm::Vma *lv = as.find_vma(req.gather_list);
+        if (!lv ||
+            req.gather_list + std::uint64_t{req.rows} * 8 > lv->end())
+            return MovError::kBadAddress;
+    }
+    *src_vma = src;
+
+    vm::Vma *dst = as.find_vma(req.dst_base);
+    if (!dst) return MovError::kBadAddress;
+    const std::uint64_t dst_extent =
+        (std::uint64_t{req.rows} - 1) * req.dst_pitch + req.row_bytes;
+    if (req.dst_base + dst_extent > dst->end())
+        return MovError::kBadAddress;
+    // Envelope overlap check (non-gather): pitched reads from inside
+    // the write window would see half-written rows.
+    if (!gather) {
+        const std::uint64_t src_hi = req.src_base + src_extent;
+        const std::uint64_t dst_hi = req.dst_base + dst_extent;
+        if (req.src_base < dst_hi && req.dst_base < src_hi)
+            return MovError::kBadRequest;
+    }
     *dst_vma = dst;
     return MovError::kNone;
 }
@@ -1352,6 +1424,34 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     fl->total_bytes = fl->page_bytes * req.num_pages;
     fl->first_page = src_vma->page_index(req.src_base);
 
+    // Strided geometry (validated above): the flight's page envelope
+    // covers the whole pitched extent — pitch gaps included — so the
+    // in-flight overlap checks stay conservative; total_bytes is the
+    // payload only (rows * row_bytes), which is what the completion
+    // controller, fallback copy, and byte counters care about.
+    const bool strided = req.rows != 0;
+    const bool gather = strided && req.gather_list != 0;
+    std::uint64_t dst_span_bytes = fl->total_bytes;
+    if (strided) {
+        fl->total_bytes = std::uint64_t{req.rows} * req.row_bytes;
+        dst_span_bytes = (std::uint64_t{req.rows} - 1) * req.dst_pitch +
+                         req.row_bytes;
+        if (gather) {
+            // Gather rows may sit anywhere in the source vma; the
+            // envelope is the vma itself.
+            fl->first_page = 0;
+            fl->num_pages =
+                static_cast<std::uint32_t>(src_vma->num_pages());
+        } else {
+            const std::uint64_t src_extent =
+                (std::uint64_t{req.rows} - 1) * req.src_pitch +
+                req.row_bytes;
+            fl->num_pages = static_cast<std::uint32_t>(
+                src_vma->page_index(req.src_base + src_extent - 1) -
+                fl->first_page + 1);
+        }
+    }
+
     if (config_.auto_migrate) {
         // Managed mode adds device-originated movs that the app cannot
         // see coming (and vice versa). Whichever of the two reaches
@@ -1359,12 +1459,12 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         // (cooldown), the app retries like any transient rejection.
         const bool daemon_only = !fl->daemon;
         bool busy = page_run_in_flight(src_vma, fl->first_page,
-                                       req.num_pages, daemon_only);
+                                       fl->num_pages, daemon_only);
         if (!busy && dst_vma) {
             const std::uint64_t dpb = vm::page_bytes(dst_vma->page_size());
             busy = page_run_in_flight(
                 dst_vma, dst_vma->page_index(req.dst_base),
-                (fl->total_bytes + dpb - 1) / dpb, daemon_only);
+                (dst_span_bytes + dpb - 1) / dpb, daemon_only);
         }
         if (busy) {
             co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
@@ -1386,12 +1486,14 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         const vm::Vma *vma = nullptr;
     };
     LookupRegion lookups[2] = {
-        {req.src_base, req.num_pages, src_vma->page_size(), src_vma}, {}};
+        {src_vma->page_vaddr(fl->first_page), fl->num_pages,
+         src_vma->page_size(), src_vma},
+        {}};
     std::uint64_t lookup_regions = 1;
     if (req.op == MovOp::kReplicate) {
         const std::uint64_t dfirst = dst_vma->page_index(req.dst_base);
         const std::uint64_t dlast =
-            dst_vma->page_index(req.dst_base + fl->total_bytes - 1);
+            dst_vma->page_index(req.dst_base + dst_span_bytes - 1);
         lookups[1] = {dst_vma->page_vaddr(dfirst), dlast - dfirst + 1,
                       dst_vma->page_size(), dst_vma};
         lookup_regions = 2;
@@ -1407,8 +1509,11 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     // SVA-routed streams defer translation to consumption time (the
     // engine's per-descriptor gate): prep pays only the submission-side
     // probe, so large-SG walks no longer serialise before submit.
+    // Gather stays pre-pinned: its rows carry no forward-marching
+    // virtual span for the gate to re-resolve (a row may precede
+    // src_base entirely), so it takes the classic translated path.
     const bool sva_stream =
-        config_.sva_dma && req.op == MovOp::kReplicate;
+        config_.sva_dma && req.op == MovOp::kReplicate && !gather;
     for (std::uint64_t r = 0; r < lookup_regions; ++r) {
         const LookupRegion &lr = lookups[r];
         if (sva_stream) {
@@ -1654,6 +1759,137 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
         add_in_flight(fl);
         co_await cpu.busy(ctx, Op::kRemap, remap_cost);
         tr.record(kernel_.eq().now(), TracePoint::kRemapDone, ctx, idx);
+    } else if (strided) {
+        // ---- 2'. Strided replication -------------------------------
+        // The generic PTE capture above saw zero pages (num_pages
+        // carries the envelope, not a flat run), so rows resolve their
+        // translations here. Each row is walked into segments split at
+        // virtual page boundaries on BOTH sides — within a page the
+        // backing 4 KB frames are contiguous, so a segment is one flat
+        // physically contiguous run. Adjacent single-segment rows whose
+        // physical starts line up with the pitches re-merge into true
+        // 2D (A/B-count) descriptors; SVA streams skip the merge, as
+        // the consumption-time gate needs the 1:1 slot <-> entry map.
+        ++stats_.strided_requests;
+        if (gather) ++stats_.gather_requests;
+        stats_.strided_rows_moved += req.rows;
+
+        // Gather: the per-row source addresses live in user memory;
+        // validate pinned the list's span, each address is bounds-
+        // checked against the source vma here.
+        std::vector<vm::VAddr> row_srcs;
+        if (gather) {
+            vm::AddressSpace &as = request_as(req);
+            row_srcs.reserve(req.rows);
+            for (std::uint32_t r = 0; r < req.rows; ++r) {
+                const std::byte *p =
+                    as.translate(req.gather_list + std::uint64_t{r} * 8);
+                if (!p) {
+                    co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+                    notify(idx, MovStatus::kFailed,
+                           MovError::kBadAddress);
+                    co_return;
+                }
+                vm::VAddr row = 0;
+                std::memcpy(&row, p, sizeof(row));
+                if (row < src_vma->page_vaddr(0) ||
+                    row + req.row_bytes > src_vma->end()) {
+                    co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+                    notify(idx, MovStatus::kFailed,
+                           MovError::kBadAddress);
+                    co_return;
+                }
+                row_srcs.push_back(row);
+            }
+            // One list-sized read charged as prep work.
+            co_await cpu.busy(ctx, Op::kPrep,
+                              (std::uint64_t{req.rows} * 8 / 64 + 1) *
+                                  cm.queue_op);
+        }
+
+        const std::uint64_t spb = fl->page_bytes;
+        const std::uint64_t dpb = vm::page_bytes(dst_vma->page_size());
+        for (std::uint32_t r = 0; r < req.rows; ++r) {
+            const vm::VAddr row_src =
+                gather ? row_srcs[r]
+                       : req.src_base + std::uint64_t{r} * req.src_pitch;
+            const vm::VAddr row_dst =
+                req.dst_base + std::uint64_t{r} * req.dst_pitch;
+            std::uint64_t done = 0;
+            unsigned segs = 0;
+            while (done < req.row_bytes) {
+                const vm::VAddr sva = row_src + done;
+                const vm::VAddr dva = row_dst + done;
+                const std::uint64_t sidx = src_vma->page_index(sva);
+                const std::uint64_t didx = dst_vma->page_index(dva);
+                const vm::Pte spte = src_vma->pte(sidx);
+                const vm::Pte dpte = dst_vma->pte(didx);
+                if (!spte.present || !dpte.present) {
+                    co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+                    notify(idx, MovStatus::kFailed,
+                           MovError::kBadAddress);
+                    co_return;
+                }
+                if (spte.migration || dpte.migration) {
+                    // Same reject contract as the flat paths: a page
+                    // mid-migration abandons its old frame at Release.
+                    co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+                    notify(idx, MovStatus::kFailed, MovError::kBusy);
+                    co_return;
+                }
+                const std::uint64_t s_off =
+                    sva - src_vma->page_vaddr(sidx);
+                const std::uint64_t d_off =
+                    dva - dst_vma->page_vaddr(didx);
+                const std::uint64_t seg = std::min(
+                    {req.row_bytes - done, spb - s_off, dpb - d_off});
+                const std::uint64_t spa =
+                    (spte.pfn << mem::kPageShift) + s_off;
+                const std::uint64_t dpa =
+                    (dpte.pfn << mem::kPageShift) + d_off;
+                dma::SgEntry *last = sg.empty() ? nullptr : &sg.back();
+                if (!sva_stream && !gather && segs == 0 &&
+                    seg == req.row_bytes && last &&
+                    last->bytes == req.row_bytes &&
+                    last->rows < 0xFFFF &&
+                    spa == last->src_addr +
+                               std::uint64_t{last->rows} * req.src_pitch &&
+                    dpa == last->dst_addr +
+                               std::uint64_t{last->rows} * req.dst_pitch) {
+                    // Whole row, physically in line with the previous
+                    // entry's pitch train: fold into its B-count.
+                    ++last->rows;
+                } else {
+                    sg.push_back(dma::SgEntry{spa, dpa, seg, 1,
+                                              req.src_pitch,
+                                              req.dst_pitch});
+                }
+                if (sva_stream) {
+                    XlateSlot s;
+                    s.src_va = sva;
+                    s.dst_va = dva;
+                    s.bytes = seg;
+                    fl->slots.push_back(s);
+                }
+                done += seg;
+                ++segs;
+            }
+            if (segs > 1) ++stats_.strided_row_splits;
+        }
+        for (const dma::SgEntry &e : sg)
+            if (e.strided()) ++stats_.strided_descriptors;
+        if (sg.size() > dma::DescriptorRam::kEntries) {
+            // Page-boundary splitting blew past the PaRAM; reject
+            // rather than deadlock on a reservation that cannot fit.
+            fl->slots.clear();
+            co_await cpu.busy(ctx, Op::kNotify, cm.queue_op);
+            notify(idx, MovStatus::kFailed, MovError::kBadRequest);
+            co_return;
+        }
+        fl->dst_vma = dst_vma;
+        ++stats_.replications;
+        req.store_status(MovStatus::kInFlight);
+        add_in_flight(fl);
     } else {
         // Replication: both regions already mapped; no VM management
         // and no race concern (§3). Chunks are emitted at the finer of
@@ -1722,7 +1958,10 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     // collapse into one variable-size descriptor each. The list is
     // coalesced once, here — retries and the CPU fallback then replay
     // the coalesced SG verbatim.
-    if (config_.sg_coalescing) {
+    if (config_.sg_coalescing && !(strided && sva_stream)) {
+        // (A strided SVA stream keeps its list verbatim: slots were
+        // built 1:1 with the per-segment entries above, and the gate
+        // depends on that alignment.)
         const std::size_t raw_entries = sg.size();
         sg = coalesce_sg(sg);
         stats_.descriptor_writes_saved += raw_entries - sg.size();
@@ -1731,12 +1970,14 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
     // The SG list is kept on the in-flight record: retries and the CPU
     // fallback replay it after a transfer failure.
     fl->sg = std::move(sg);
-    if (sva_stream) {
+    if (sva_stream && !strided) {
         // SVA routing: one virtual span per descriptor; the engine's
         // gate re-resolves each through the live page tables at
         // consumption time. Chunks were emitted at increasing region
         // offsets and coalescing preserves that order, so the spans
-        // fall out of the cumulative byte offsets.
+        // fall out of the cumulative byte offsets. (Strided streams
+        // built their slots in the segment walk above — pitched spans
+        // do not fall out of cumulative offsets.)
         fl->slots.reserve(fl->sg.size());
         std::uint64_t off = 0;
         for (const dma::SgEntry &e : fl->sg) {
@@ -1747,6 +1988,8 @@ MemifDevice::serve_request(std::uint32_t idx, ExecContext ctx, bool irq_mode,
             fl->slots.push_back(s);
             off += e.bytes;
         }
+    }
+    if (sva_stream) {
         if (config_.xlate_prefetch_ahead && !fl->slots.empty()) {
             // Walk only the first window synchronously; everything
             // beyond it is walked by asynchronous prefetch events that
@@ -2217,9 +2460,25 @@ MemifDevice::fallback_copy(InFlightPtr fl, ExecContext ctx)
     // stream's list may hold translations from before the failure;
     // re-resolve it so the copy lands where the live tables point.
     if (!fl->slots.empty()) revalidate_stream(fl);
-    for (const dma::SgEntry &e : fl->sg)
-        pm.copy(e.dst_addr >> mem::kPageShift,
-                e.src_addr >> mem::kPageShift, e.bytes);
+    const auto span_at = [&pm](std::uint64_t pa, std::uint64_t bytes) {
+        const std::uint64_t off = pa & (mem::kPageSize - 1);
+        return pm.span(pa >> mem::kPageShift, off + bytes) + off;
+    };
+    for (const dma::SgEntry &e : fl->sg) {
+        if (!e.strided() && e.src_addr % mem::kPageSize == 0 &&
+            e.dst_addr % mem::kPageSize == 0) {
+            pm.copy(e.dst_addr >> mem::kPageShift,
+                    e.src_addr >> mem::kPageShift, e.bytes);
+            continue;
+        }
+        // Layout-preserving replay of a 2D (or sub-page) entry: the
+        // CPU walks the exact row geometry the descriptor encodes, so
+        // the fallback lands rows where the engine would have.
+        for (std::uint32_t k = 0; k < e.rows; ++k)
+            std::memcpy(span_at(e.dst_addr + k * e.dst_pitch, e.bytes),
+                        span_at(e.src_addr + k * e.src_pitch, e.bytes),
+                        e.bytes);
+    }
     co_await kernel_.cpu().busy(ctx, Op::kCopy,
                                 cm.cpu_copy_time(fl->total_bytes));
     if (flight_prevents(*fl) && fl->op == MovOp::kMigrate &&

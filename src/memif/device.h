@@ -350,6 +350,23 @@ struct MemifConfig {
     double heat_far_exit = 0.12;
     ///@}
 
+    /**
+     * @name Strided-DMA lever (this PR; off by default — requests with
+     * strided geometry are then rejected at validation and every
+     * earlier series keeps its exact shape; strided() turns it on atop
+     * tiered() for the "memif-strided" series). With strided_dma on,
+     * a replication may carry 2D geometry (rows × row_bytes with
+     * independent src/dst pitches, or a gather list of per-row source
+     * addresses): the driver emits EDMA3 A/B-count descriptors for
+     * pitch-uniform page-interior runs, splits rows at page boundaries
+     * on either side, and routes the result through the same SG /
+     * SVA-gate / recovery machinery as flat moves (the CPU fallback
+     * copies row-by-row, so layouts survive degradation intact).
+     */
+    ///@{
+    bool strided_dma = false;
+    ///@}
+
     /** All three pipeline levers on (the "memif-pipelined" series). */
     static MemifConfig
     pipelined()
@@ -424,6 +441,16 @@ struct MemifConfig {
         MemifConfig c = managed();
         c.tiered_memory = true;
         c.pipelined_eviction = true;
+        return c;
+    }
+
+    /** tiered() plus layout-flexible strided/gather descriptors (the
+     *  "memif-strided" series). */
+    static MemifConfig
+    strided()
+    {
+        MemifConfig c = tiered();
+        c.strided_dma = true;
         return c;
     }
 };
@@ -573,6 +600,16 @@ struct DeviceStats {
     std::uint64_t staging_pool_waits = 0;  ///< batches that waited for frames
     std::uint64_t demotions_to_far = 0;    ///< daemon movs targeting far
     std::uint64_t promotions_from_far = 0; ///< daemon movs leaving far
+    // ----- Strided DMA (2D descriptors + gather) ----------------------
+    std::uint64_t strided_requests = 0;    ///< strided movs served
+    std::uint64_t gather_requests = 0;     ///< ... whose source was a gather
+    std::uint64_t strided_rows_moved = 0;  ///< rows delivered (all requests)
+    /** Rows that crossed a page boundary on either side and were split
+     *  into multiple flat segments (layout/paging interaction census). */
+    std::uint64_t strided_row_splits = 0;
+    /** SG entries that carried 2D geometry (rows folded into one
+     *  A/B-count descriptor instead of per-row entries). */
+    std::uint64_t strided_descriptors = 0;
 };
 
 class MemifDevice {
@@ -870,6 +907,9 @@ class MemifDevice {
     /** Validation of one user-supplied request (§4.2 safety). */
     MovError validate(const MovReq &req, vm::Vma **src_vma,
                       vm::Vma **dst_vma) const;
+    /** Validation of a strided/gather request (rows != 0). */
+    MovError validate_strided(const MovReq &req, vm::Vma **src_vma,
+                              vm::Vma **dst_vma) const;
 
     /** Post a completion notification (op 5). */
     void notify(std::uint32_t idx, MovStatus status, MovError error);

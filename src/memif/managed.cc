@@ -175,7 +175,14 @@ MemifDevice::page_run_in_flight(const vm::Vma *vma, std::uint64_t first,
                 vm::page_bytes(fl->dst_vma->page_size());
             const std::uint64_t dfirst =
                 fl->dst_vma->page_index(req.dst_base);
-            const std::uint64_t dpages = (fl->total_bytes + dpb - 1) / dpb;
+            // Strided flights write a pitched window, gaps included —
+            // wider than their payload byte count.
+            const std::uint64_t dspan =
+                req.rows != 0
+                    ? (std::uint64_t{req.rows} - 1) * req.dst_pitch +
+                          req.row_bytes
+                    : fl->total_bytes;
+            const std::uint64_t dpages = (dspan + dpb - 1) / dpb;
             if (dfirst < hi && first < dfirst + dpages) return true;
         }
         return false;

@@ -171,6 +171,63 @@ memif_mov_many(int memfd, mov_req *const *reqs, std::size_t count,
     if (out_rc) *out_rc = kOk;
 }
 
+namespace {
+
+/** Shared body of the strided/gather wrappers: alloc + fill + submit. */
+sim::Task
+submit_strided(int memfd, std::uint64_t dst, std::uint64_t src,
+               std::uint64_t gather_list, std::uint32_t row_bytes,
+               std::uint32_t rows, std::uint64_t src_pitch,
+               std::uint64_t dst_pitch, int *out_rc, mov_req **out_req)
+{
+    if (out_req) *out_req = nullptr;
+    int rc = kOk;
+    mov_req *req = AllocRequest(memfd, &rc);
+    if (!req) {
+        if (out_rc) *out_rc = rc;
+        co_return;
+    }
+    req->op = MovOp::kReplicate;
+    req->src_base = src;
+    req->dst_base = dst;
+    req->num_pages = 0;
+    req->rows = rows;
+    req->row_bytes = row_bytes;
+    req->src_pitch = src_pitch;
+    req->dst_pitch = dst_pitch;
+    req->gather_list = gather_list;
+    co_await SubmitRequest(memfd, req, &rc);
+    // On admission rejection (kErrNoSpace) the request still travels
+    // the completion queue like any failure — hand it back so the
+    // caller can read retry_after_us, retrieve the notification, and
+    // free it; freeing here would leave a stale completion index.
+    if (out_req) *out_req = req;
+    if (out_rc) *out_rc = rc;
+}
+
+}  // namespace
+
+sim::Task
+memif_mov_strided(int memfd, std::uint64_t dst, std::uint64_t src,
+                  std::uint32_t row_bytes, std::uint32_t rows,
+                  std::uint64_t src_pitch, std::uint64_t dst_pitch,
+                  int *out_rc, mov_req **out_req)
+{
+    co_await submit_strided(memfd, dst, src, /*gather_list=*/0, row_bytes,
+                            rows, src_pitch, dst_pitch, out_rc, out_req);
+}
+
+sim::Task
+memif_mov_gather(int memfd, std::uint64_t dst, std::uint64_t src_region,
+                 std::uint64_t gather_list, std::uint32_t row_bytes,
+                 std::uint32_t rows, std::uint64_t dst_pitch,
+                 int *out_rc, mov_req **out_req)
+{
+    co_await submit_strided(memfd, dst, src_region, gather_list, row_bytes,
+                            rows, /*src_pitch=*/row_bytes, dst_pitch,
+                            out_rc, out_req);
+}
+
 mov_req *
 RetrieveCompleted(int memfd)
 {

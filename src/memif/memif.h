@@ -104,6 +104,44 @@ sim::Task memif_mov_many(int memfd, mov_req *const *reqs,
                          std::size_t count, int *out_rc = nullptr);
 
 /**
+ * memif_mov_strided(): allocate, populate and submit one strided
+ * replication — `rows` rows of `row_bytes` each, read `src_pitch`
+ * apart from @p src and written `dst_pitch` apart at @p dst (the
+ * strided_dma lever must be on). Pitch == row_bytes degenerates to a
+ * flat copy. Non-blocking like SubmitRequest(); the caller retrieves
+ * the completion and frees the request as usual. @p out_req (may be
+ * null) receives the submitted request so the caller can match the
+ * notification — including after an admission rejection, which also
+ * travels the completion queue (read retry_after_us off the request).
+ * @p out_rc receives kOk, kErrBadFd (nothing allocated), or
+ * kErrNoSpace (free list empty and nothing allocated, or admission
+ * rejected with *out_req set). Malformed geometry surfaces on the
+ * completion queue as kFailed/kBadRequest, exactly like other
+ * validation failures.
+ */
+sim::Task memif_mov_strided(int memfd, std::uint64_t dst,
+                            std::uint64_t src, std::uint32_t row_bytes,
+                            std::uint32_t rows, std::uint64_t src_pitch,
+                            std::uint64_t dst_pitch,
+                            int *out_rc = nullptr,
+                            mov_req **out_req = nullptr);
+
+/**
+ * memif_mov_gather(): the gather form of memif_mov_strided(): the
+ * per-row source addresses come from @p gather_list, the virtual
+ * address of a u64 array of `rows` entries (8-byte aligned). Every row
+ * must lie inside the vma containing @p src_region (any address inside
+ * the source mapping). Rows land at @p dst, `dst_pitch` apart.
+ */
+sim::Task memif_mov_gather(int memfd, std::uint64_t dst,
+                           std::uint64_t src_region,
+                           std::uint64_t gather_list,
+                           std::uint32_t row_bytes, std::uint32_t rows,
+                           std::uint64_t dst_pitch,
+                           int *out_rc = nullptr,
+                           mov_req **out_req = nullptr);
+
+/**
  * RetrieveCompleted(): one completion notification, or nullptr if none
  * is pending. Never blocks.
  */

@@ -67,8 +67,30 @@ struct MovReq {
     std::uint64_t dst_base = 0;
     /** Migration only: destination memory node. */
     std::uint32_t dst_node = 0;
-    /** Region length in pages of the containing Vma's granularity. */
+    /** Region length in pages of the containing Vma's granularity.
+     *  Strided requests (rows != 0) leave this zero: their extent is
+     *  described by the geometry fields below instead. */
     std::uint32_t num_pages = 0;
+
+    /**
+     * @name 2D / strided geometry (strided_dma lever).
+     * rows != 0 marks the request as strided: it replicates `rows`
+     * rows of `row_bytes` each, the source rows `src_pitch` bytes
+     * apart and the destination rows `dst_pitch` bytes apart
+     * (EDMA3 A/B-count framing; pitch == row_bytes degenerates to a
+     * flat copy). Strided requests are kReplicate-only. When
+     * gather_list is non-zero the source side is a gather instead:
+     * gather_list is the virtual address (in the request's address
+     * space) of a u64 array of `rows` per-row source addresses, and
+     * src_base/src_pitch only name the vma the rows must lie in.
+     */
+    ///@{
+    std::uint32_t rows = 0;
+    std::uint32_t row_bytes = 0;
+    std::uint64_t src_pitch = 0;
+    std::uint64_t dst_pitch = 0;
+    std::uint64_t gather_list = 0;
+    ///@}
 
     /** Failure detail when status is an error status. */
     MovError error = MovError::kNone;

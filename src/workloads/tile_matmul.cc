@@ -1,0 +1,308 @@
+#include "workloads/tile_matmul.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "memif/memif.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/log.h"
+#include "sim/random.h"
+#include "vm/addr_space.h"
+
+namespace memif::workloads {
+
+namespace {
+
+/** Modelled FMA rate of the compute loops: 4 cores x 2 flops/ns. */
+constexpr double kFlopsPerNs = 8.0;
+
+/** FNV-1a fold of @p n raw bytes into @p h. */
+std::uint64_t
+fnv1a(std::uint64_t h, const void *p, std::size_t n)
+{
+    const unsigned char *b = static_cast<const unsigned char *>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/**
+ * Outstanding-staging bookkeeping for the two double-buffer pair
+ * slots. A pair slot covers both the A and the B tile of one kk step;
+ * its DMA span runs from the first submit to the completion that
+ * drains its last request.
+ */
+struct StageCtx {
+    int memfd = -1;
+    std::unordered_map<core::mov_req *, int> owner;  ///< req -> slot
+    unsigned pending[2] = {0, 0};
+    sim::SimTime t_issue[2] = {0, 0};
+    sim::SimTime t_done[2] = {0, 0};
+    std::uint64_t requests = 0;
+};
+
+/** Retrieve one completion (sleeping if none), credit its slot. */
+sim::Task
+reap_one(os::Kernel &kernel, StageCtx &c)
+{
+    core::mov_req *done = nullptr;
+    while ((done = core::RetrieveCompleted(c.memfd)) == nullptr)
+        co_await core::Poll(c.memfd);
+    MEMIF_ASSERT(done->succeeded(), "tile staging request failed");
+    const auto it = c.owner.find(done);
+    MEMIF_ASSERT(it != c.owner.end(), "orphan staging completion");
+    const int slot = it->second;
+    c.owner.erase(it);
+    core::FreeRequest(c.memfd, done);
+    if (--c.pending[slot] == 0) c.t_done[slot] = kernel.eq().now();
+}
+
+/**
+ * Issue the staging of one T x T tile into @p dst. kStrided sends one
+ * pitched request; kPerRowFlat sends `rows` rows==1 requests, reaping
+ * completions whenever the request free list runs dry.
+ */
+sim::Task
+stage_tile(os::Kernel &kernel, StageCtx &c, int slot, vm::VAddr dst,
+           vm::VAddr src, std::uint32_t row_bytes, std::uint32_t rows,
+           std::uint64_t src_pitch, bool per_row)
+{
+    if (!per_row) {
+        int rc = 0;
+        core::mov_req *req = nullptr;
+        co_await core::memif_mov_strided(c.memfd, dst, src, row_bytes,
+                                         rows, src_pitch, row_bytes,
+                                         &rc, &req);
+        MEMIF_ASSERT(rc == core::kOk && req != nullptr,
+                     "strided tile staging rejected (%d)", rc);
+        c.owner[req] = slot;
+        ++c.pending[slot];
+        ++c.requests;
+        co_return;
+    }
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        int rc = 0;
+        core::mov_req *req = nullptr;
+        for (;;) {
+            co_await core::memif_mov_strided(
+                c.memfd, dst + std::uint64_t{r} * row_bytes,
+                src + std::uint64_t{r} * src_pitch, row_bytes, 1,
+                row_bytes, row_bytes, &rc, &req);
+            if (rc == core::kOk) break;
+            // Free list exhausted by the outstanding rows: reap one
+            // completion and retry this row.
+            MEMIF_ASSERT(rc == core::kErrNoSpace && req == nullptr,
+                         "per-row tile staging rejected (%d)", rc);
+            co_await reap_one(kernel, c);
+        }
+        c.owner[req] = slot;
+        ++c.pending[slot];
+        ++c.requests;
+    }
+}
+
+/** Drain slot @p slot's outstanding staging requests. */
+sim::Task
+wait_slot(os::Kernel &kernel, StageCtx &c, int slot)
+{
+    while (c.pending[slot] > 0) co_await reap_one(kernel, c);
+}
+
+}  // namespace
+
+double
+TileMatmulResult::overlap_ratio() const
+{
+    if (dma_total == 0) return 0.0;
+    const double hidden =
+        static_cast<double>(compute_total) +
+        static_cast<double>(dma_total) - static_cast<double>(elapsed);
+    const double r = hidden / static_cast<double>(dma_total);
+    return r < 0.0 ? 0.0 : (r > 1.0 ? 1.0 : r);
+}
+
+double
+TileMatmulResult::staging_mb_per_sec() const
+{
+    if (elapsed == 0) return 0.0;
+    return static_cast<double>(bytes_staged) /
+           (1e6 * sim::to_sec(elapsed));
+}
+
+sim::Task
+run_tile_matmul(os::Kernel &kernel, os::Process &proc, int memfd,
+                const TileMatmulConfig &cfg, TileMatmulResult *out)
+{
+    const std::uint32_t T = cfg.tile;
+    MEMIF_ASSERT(T > 0 && cfg.m % T == 0 && cfg.n % T == 0 &&
+                     cfg.k % T == 0,
+                 "tile must divide every matrix dimension");
+    vm::AddressSpace &as = proc.as();
+    const std::uint64_t row_bytes = std::uint64_t{T} * sizeof(float);
+    const std::uint64_t tile_bytes = row_bytes * T;
+    const auto page_round = [](std::uint64_t b) {
+        return (b + 4095) & ~std::uint64_t{4095};
+    };
+
+    // A/B/C row-major floats in slow DDR; two (A, B) tile-buffer pairs
+    // packed dense in fast SRAM for the double buffer.
+    const vm::VAddr a = proc.mmap(
+        page_round(std::uint64_t{cfg.m} * cfg.k * 4), vm::PageSize::k4K);
+    const vm::VAddr b = proc.mmap(
+        page_round(std::uint64_t{cfg.k} * cfg.n * 4), vm::PageSize::k4K);
+    const vm::VAddr cmat = proc.mmap(
+        page_round(std::uint64_t{cfg.m} * cfg.n * 4), vm::PageSize::k4K);
+    vm::VAddr abuf[2], bbuf[2];
+    for (int s = 0; s < 2; ++s) {
+        abuf[s] = proc.mmap(page_round(tile_bytes), vm::PageSize::k4K,
+                            kernel.fast_node());
+        bbuf[s] = proc.mmap(page_round(tile_bytes), vm::PageSize::k4K,
+                            kernel.fast_node());
+    }
+    MEMIF_ASSERT(a && b && cmat && abuf[0] && bbuf[0] && abuf[1] &&
+                     bbuf[1],
+                 "tile_matmul mappings failed");
+
+    // Deterministic real operands so the FMA loops chew actual values.
+    {
+        sim::Rng rng(cfg.seed);
+        std::vector<float> chunk(4096 / sizeof(float));
+        for (const vm::VAddr base : {a, b}) {
+            const std::uint64_t bytes =
+                base == a ? page_round(std::uint64_t{cfg.m} * cfg.k * 4)
+                          : page_round(std::uint64_t{cfg.k} * cfg.n * 4);
+            for (std::uint64_t off = 0; off < bytes; off += 4096) {
+                for (float &v : chunk)
+                    v = static_cast<float>(rng.next_double() - 0.5);
+                as.write(base + off, chunk.data(), 4096);
+            }
+        }
+    }
+
+    const sim::CostModel &cm = kernel.costs();
+    const std::uint32_t mt = cfg.m / T, nt = cfg.n / T, kt = cfg.k / T;
+    const bool dma = cfg.staging != TileStaging::kCpuCopy;
+    const bool per_row = cfg.staging == TileStaging::kPerRowFlat;
+
+    StageCtx ctx;
+    ctx.memfd = memfd;
+    TileMatmulResult res;
+    res.checksum = 1469598103934665603ull;
+    std::vector<float> acc(std::size_t{T} * T);
+    std::vector<float> ta(std::size_t{T} * T), tb(std::size_t{T} * T);
+    std::vector<unsigned char> rowtmp(row_bytes);
+    const sim::SimTime t0 = kernel.eq().now();
+
+    // Stage the (A, B) pair of step kk into pair slot @p slot.
+    const auto src_a = [&](std::uint32_t i, std::uint32_t kk) {
+        return a + (std::uint64_t{i} * T * cfg.k + std::uint64_t{kk} * T) *
+                       sizeof(float);
+    };
+    const auto src_b = [&](std::uint32_t kk, std::uint32_t j) {
+        return b + (std::uint64_t{kk} * T * cfg.n + std::uint64_t{j} * T) *
+                       sizeof(float);
+    };
+
+    for (std::uint32_t i = 0; i < mt; ++i) {
+        for (std::uint32_t j = 0; j < nt; ++j) {
+            std::memset(acc.data(), 0, acc.size() * sizeof(float));
+            int cur = 0;
+            // stage_pair(slot, kk): either two DMA requests or a
+            // synchronous CPU pitched copy charged at the copy model.
+            const auto stage_pair = [&](int slot,
+                                        std::uint32_t kk) -> sim::Task {
+                if (dma) {
+                    ctx.t_issue[slot] = kernel.eq().now();
+                    co_await stage_tile(kernel, ctx, slot, abuf[slot],
+                                        src_a(i, kk),
+                                        static_cast<std::uint32_t>(
+                                            row_bytes),
+                                        T, std::uint64_t{cfg.k} * 4,
+                                        per_row);
+                    co_await stage_tile(kernel, ctx, slot, bbuf[slot],
+                                        src_b(kk, j),
+                                        static_cast<std::uint32_t>(
+                                            row_bytes),
+                                        T, std::uint64_t{cfg.n} * 4,
+                                        per_row);
+                } else {
+                    for (std::uint32_t r = 0; r < T; ++r) {
+                        as.read(src_a(i, kk) + r * std::uint64_t{cfg.k} *
+                                                   4,
+                                rowtmp.data(), row_bytes);
+                        as.write(abuf[slot] + r * row_bytes,
+                                 rowtmp.data(), row_bytes);
+                        as.read(src_b(kk, j) + r * std::uint64_t{cfg.n} *
+                                                   4,
+                                rowtmp.data(), row_bytes);
+                        as.write(bbuf[slot] + r * row_bytes,
+                                 rowtmp.data(), row_bytes);
+                    }
+                    co_await kernel.cpu().busy(
+                        sim::ExecContext::kUser, sim::Op::kOther,
+                        cm.cpu_copy_fixed +
+                            static_cast<sim::Duration>(
+                                1e9 * 2.0 *
+                                static_cast<double>(tile_bytes) /
+                                cm.cpu_copy_bw));
+                }
+                res.bytes_staged += 2 * tile_bytes;
+                res.tiles_staged += 2;
+            };
+            co_await stage_pair(cur, 0);
+            for (std::uint32_t kk = 0; kk < kt; ++kk) {
+                const int nxt = 1 - cur;
+                if (cfg.double_buffer && dma && kk + 1 < kt)
+                    co_await stage_pair(nxt, kk + 1);
+                if (dma) {
+                    co_await wait_slot(kernel, ctx, cur);
+                    res.dma_total +=
+                        ctx.t_done[cur] - ctx.t_issue[cur];
+                }
+                // Consume the staged pair: checksum always (the
+                // byte-exactness proof), real FMAs when computing.
+                as.read(abuf[cur], ta.data(), tile_bytes);
+                as.read(bbuf[cur], tb.data(), tile_bytes);
+                res.checksum = fnv1a(res.checksum, ta.data(), tile_bytes);
+                res.checksum = fnv1a(res.checksum, tb.data(), tile_bytes);
+                if (cfg.compute) {
+                    for (std::uint32_t r = 0; r < T; ++r)
+                        for (std::uint32_t x = 0; x < T; ++x) {
+                            const float av = ta[r * T + x];
+                            for (std::uint32_t cc = 0; cc < T; ++cc)
+                                acc[r * T + cc] += av * tb[x * T + cc];
+                        }
+                    const double flops = 2.0 * T * T * static_cast<double>(T);
+                    const sim::Duration d = static_cast<sim::Duration>(
+                        flops / kFlopsPerNs);
+                    co_await kernel.cpu().busy(sim::ExecContext::kUser,
+                                               sim::Op::kOther, d);
+                    res.compute_total += d;
+                }
+                if (!(cfg.double_buffer && dma) && kk + 1 < kt)
+                    co_await stage_pair(nxt, kk + 1);
+                cur = nxt;
+            }
+            if (cfg.compute) {
+                for (std::uint32_t r = 0; r < T; ++r)
+                    as.write(cmat + ((std::uint64_t{i} * T + r) * cfg.n +
+                                     std::uint64_t{j} * T) *
+                                        sizeof(float),
+                             &acc[std::size_t{r} * T], row_bytes);
+                res.checksum = fnv1a(res.checksum, acc.data(),
+                                     acc.size() * sizeof(float));
+            }
+        }
+    }
+
+    res.elapsed = kernel.eq().now() - t0;
+    res.requests_submitted = ctx.requests;
+    if (out) *out = res;
+    co_return;
+}
+
+}  // namespace memif::workloads

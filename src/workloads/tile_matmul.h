@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tiled matrix multiply with SRAM tile staging — the 2D-descriptor
+ * case study for the strided_dma lever.
+ *
+ * C[M x N] += A[M x K] * B[K x N], all row-major floats in slow DDR.
+ * The inner loops run over T x T tiles whose A and B operands are
+ * staged into scratchpad SRAM first; a row of a DDR tile is
+ * `row_bytes = T * 4` bytes read `K * 4` (or `N * 4`) apart, packed
+ * dense (`dst_pitch = row_bytes`) into the SRAM tile — exactly the
+ * pitched geometry memif_mov_strided() carries in one request.
+ *
+ * Three staging strategies, same arithmetic:
+ *  - kStrided: one strided replication per tile (the tentpole path);
+ *  - kPerRowFlat: one rows==1 request per tile row — the pre-PR-10
+ *    workaround, paying per-request interface costs T times per tile;
+ *  - kCpuCopy: the CPU packs tiles itself with pitched memcpy, charged
+ *    at the cost model's CPU copy rate (no memif at all).
+ *
+ * With double buffering the next tile pair is staged while the current
+ * one is multiplied, so DMA time hides behind compute; overlap_ratio()
+ * reports how much of it hid. The compute is real float arithmetic
+ * over the staged backing bytes, so the checksum proves the pitched
+ * transfers delivered byte-exact tiles (all strategies must agree).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace memif::os {
+class Kernel;
+class Process;
+}  // namespace memif::os
+
+namespace memif::workloads {
+
+/** How A/B tiles reach the SRAM scratchpad. */
+enum class TileStaging {
+    kStrided,     ///< one memif_mov_strided per tile
+    kPerRowFlat,  ///< one rows==1 request per tile row
+    kCpuCopy,     ///< CPU pitched memcpy, no memif
+};
+
+/** Problem and staging geometry. */
+struct TileMatmulConfig {
+    std::uint32_t m = 256;  ///< rows of A and C
+    std::uint32_t n = 256;  ///< columns of B and C
+    std::uint32_t k = 256;  ///< columns of A == rows of B
+    std::uint32_t tile = 64;         ///< T (must divide m, n, k)
+    TileStaging staging = TileStaging::kStrided;
+    bool double_buffer = true;  ///< stage pair kk+1 under compute kk
+    /** False: staging-only sweep — skip the FMA loops (and their
+     *  modelled time) to expose pure staging throughput. */
+    bool compute = true;
+    /** Deterministic seed for the A/B element values. */
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of one run; all times are virtual. */
+struct TileMatmulResult {
+    sim::Duration elapsed = 0;        ///< whole run, wall (virtual)
+    sim::Duration compute_total = 0;  ///< modelled FMA time, summed
+    sim::Duration dma_total = 0;      ///< per-pair staging spans, summed
+    std::uint64_t bytes_staged = 0;   ///< tile payload through staging
+    std::uint64_t tiles_staged = 0;
+    std::uint64_t requests_submitted = 0;  ///< memif requests issued
+    std::uint64_t checksum = 0;  ///< FNV over staged tiles (+ C)
+
+    /**
+     * Fraction of staging time hidden behind compute:
+     * clamp((compute_total + dma_total - elapsed) / dma_total, 0, 1).
+     * Zero when nothing was DMA-staged.
+     */
+    double overlap_ratio() const;
+
+    /** Staged MB/s over the whole run (staging-only sweeps). */
+    double staging_mb_per_sec() const;
+};
+
+/**
+ * Run the workload on @p memfd (an open descriptor on a device of
+ * @p proc; the device's strided_dma lever must be on for the DMA
+ * staging modes). Maps A/B/C in slow memory and the tile buffers in
+ * fast memory, fills A/B from cfg.seed, multiplies, and reports into
+ * @p out. Coroutine — spawn on the kernel and run() to completion.
+ */
+sim::Task run_tile_matmul(os::Kernel &kernel, os::Process &proc,
+                          int memfd, const TileMatmulConfig &cfg,
+                          TileMatmulResult *out);
+
+}  // namespace memif::workloads

@@ -1,0 +1,577 @@
+/**
+ * @file
+ * Strided/gather replication tests at the memif device and C-API
+ * layers: pitched copies must land exactly the bytes of a per-row
+ * oracle (flat-degenerate, padded pitches, rows splitting at page
+ * boundaries, mixed 64K/4K page sizes, SVA-routed streams, gathers),
+ * the fault ladder must never tear a row (TC-error exhaustion rolls
+ * back whole, the CPU fallback preserves the layout, a lost IRQ is
+ * absorbed), and the C-API wrappers must surface malformed geometry,
+ * lever-off rejection, admission bounces (with a usable retry hint)
+ * and bad descriptors exactly like their flat siblings.
+ */
+#include "memif/device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dma/engine.h"
+#include "memif/memif.h"
+#include "memif/user_api.h"
+#include "os/kernel.h"
+#include "os/process.h"
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace memif::core {
+namespace {
+
+MemifConfig
+strided_cfg()
+{
+    // The strided lever alone: sva_dma stays off, so pitch-uniform
+    // page-interior rows fold into true 2D (A/B-count) descriptors —
+    // the geometry path these tests are aimed at.
+    MemifConfig cfg;
+    cfg.strided_dma = true;
+    return cfg;
+}
+
+struct Fixture {
+    os::Kernel kernel;
+    os::Process &proc;
+    MemifDevice dev;
+    MemifUser user;
+
+    explicit Fixture(MemifConfig cfg = strided_cfg())
+        : kernel(os::KernelConfig{.far_bytes = 64ull << 20}),
+          proc(kernel.create_process()),
+          dev(kernel, proc, cfg),
+          user(dev)
+    {
+    }
+
+    ~Fixture()
+    {
+        std::string why;
+        EXPECT_TRUE(dev.check_quiesced(&why)) << "teardown: " << why;
+    }
+
+    sim::FaultInjector &faults() { return kernel.faults(); }
+
+    void
+    fill(vm::VAddr base, std::uint64_t bytes, std::uint8_t seed)
+    {
+        std::vector<std::uint8_t> buf(bytes);
+        for (std::uint64_t i = 0; i < bytes; ++i)
+            buf[i] = static_cast<std::uint8_t>(seed + i * 13);
+        ASSERT_TRUE(proc.as().write(base, buf.data(), bytes));
+    }
+
+    std::vector<std::uint8_t>
+    snap(vm::VAddr base, std::uint64_t bytes)
+    {
+        std::vector<std::uint8_t> buf(bytes);
+        EXPECT_TRUE(proc.as().read(base, buf.data(), bytes));
+        return buf;
+    }
+
+    /** Populate and spawn one strided replication via the user lib. */
+    std::uint32_t
+    submit_strided(vm::VAddr src, vm::VAddr dst, std::uint32_t row_bytes,
+                   std::uint32_t rows, std::uint64_t src_pitch,
+                   std::uint64_t dst_pitch, std::uint64_t gather_list = 0)
+    {
+        const std::uint32_t idx = user.alloc_request();
+        EXPECT_NE(idx, kNoRequest);
+        MovReq &req = user.request(idx);
+        req.op = MovOp::kReplicate;
+        req.src_base = src;
+        req.dst_base = dst;
+        req.num_pages = 0;
+        req.rows = rows;
+        req.row_bytes = row_bytes;
+        req.src_pitch = src_pitch;
+        req.dst_pitch = dst_pitch;
+        req.gather_list = gather_list;
+        kernel.spawn(user.submit(idx));
+        return idx;
+    }
+};
+
+/** What dst must hold after the move: the naive per-row memcpy. */
+std::vector<std::uint8_t>
+oracle(Fixture &f, vm::VAddr src, vm::VAddr dst, std::uint32_t row_bytes,
+       std::uint32_t rows, std::uint64_t sp, std::uint64_t dp)
+{
+    const std::uint64_t dspan = (std::uint64_t{rows} - 1) * dp + row_bytes;
+    const std::uint64_t sspan = (std::uint64_t{rows} - 1) * sp + row_bytes;
+    std::vector<std::uint8_t> want = f.snap(dst, dspan);
+    const std::vector<std::uint8_t> have = f.snap(src, sspan);
+    for (std::uint32_t r = 0; r < rows; ++r)
+        std::memcpy(want.data() + r * dp, have.data() + r * sp, row_bytes);
+    return want;
+}
+
+constexpr std::uint64_t kPb = 4096;
+
+TEST(Strided, FlatPitchDegeneratesAndMatchesOracle)
+{
+    Fixture f;
+    const vm::VAddr src = f.proc.mmap(4 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(4 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(src, 4 * kPb, 7);
+    f.fill(dst, 4 * kPb, 201);
+
+    // pitch == row_bytes on both sides: a flat copy in 2D clothing.
+    const auto want = oracle(f, src, dst, 512, 8, 512, 512);
+    const std::uint32_t idx = f.submit_strided(src, dst, 512, 8, 512, 512);
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_EQ(f.snap(dst, want.size()), want);
+    EXPECT_EQ(f.dev.stats().strided_requests, 1u);
+    EXPECT_EQ(f.dev.stats().strided_rows_moved, 8u);
+    // Bytes outside the written span survive untouched.
+    const auto tail = f.snap(dst + want.size(), kPb);
+    for (std::uint64_t i = 0; i < tail.size(); ++i)
+        ASSERT_EQ(tail[i],
+                  static_cast<std::uint8_t>(201 + (want.size() + i) * 13));
+}
+
+TEST(Strided, PitchedCopyMatchesPerRowOracle)
+{
+    // Randomized geometries, pinned seeds; every shape replays.
+    for (const std::uint64_t seed : {3ull, 17ull, 400ull}) {
+        Fixture f;
+        sim::Rng rng(seed);
+        const std::uint64_t bytes = 64 * kPb;
+        const vm::VAddr src = f.proc.mmap(bytes, vm::PageSize::k4K);
+        const vm::VAddr dst =
+            f.proc.mmap(bytes, vm::PageSize::k4K, f.kernel.fast_node());
+        f.fill(src, bytes, static_cast<std::uint8_t>(seed));
+        f.fill(dst, bytes, static_cast<std::uint8_t>(seed + 101));
+
+        for (unsigned round = 0; round < 12; ++round) {
+            const std::uint32_t rows =
+                2 + static_cast<std::uint32_t>(rng.next_below(14));
+            const std::uint32_t rb =
+                16 + static_cast<std::uint32_t>(rng.next_below(2000));
+            const std::uint64_t sp = rb + 8 * rng.next_below(256);
+            const std::uint64_t dp = rb + 8 * rng.next_below(256);
+            const std::uint64_t sspan = (std::uint64_t{rows} - 1) * sp + rb;
+            const std::uint64_t dspan = (std::uint64_t{rows} - 1) * dp + rb;
+            if (sspan > bytes || dspan > bytes) continue;
+            const std::uint64_t soff = rng.next_below(bytes - sspan + 1);
+            const std::uint64_t doff = rng.next_below(bytes - dspan + 1);
+
+            const auto want =
+                oracle(f, src + soff, dst + doff, rb, rows, sp, dp);
+            const std::uint32_t idx =
+                f.submit_strided(src + soff, dst + doff, rb, rows, sp, dp);
+            f.kernel.run();
+            ASSERT_EQ(f.user.request(idx).load_status(), MovStatus::kDone)
+                << "seed " << seed << " round " << round;
+            ASSERT_EQ(f.snap(dst + doff, want.size()), want)
+                << "seed " << seed << " round " << round << ": rows "
+                << rows << " rb " << rb << " sp " << sp << " dp " << dp;
+        }
+        EXPECT_GT(f.dev.stats().strided_requests, 0u);
+        EXPECT_GT(f.dev.stats().strided_descriptors, 0u);
+    }
+}
+
+TEST(Strided, RowsSplitAtPageBoundariesAndAcrossPageSizes)
+{
+    Fixture f;
+    // Source on 64K pages, destination on 4K: destination rows tile
+    // straight across 4 KB frame boundaries, so nearly every row
+    // splits on the dst side while the src side stays page-interior.
+    const vm::VAddr src = f.proc.mmap(4ull << 16, vm::PageSize::k64K);
+    const vm::VAddr dst =
+        f.proc.mmap(16 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(src, 4ull << 16, 33);
+    f.fill(dst, 16 * kPb, 90);
+
+    const std::uint32_t rows = 12, rb = 3000;
+    const auto want = oracle(f, src, dst, rb, rows, 5000, rb);
+    const std::uint32_t idx = f.submit_strided(src, dst, rb, rows, 5000, rb);
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_EQ(f.snap(dst, want.size()), want);
+    EXPECT_GT(f.dev.stats().strided_row_splits, 0u);
+}
+
+TEST(Strided, SvaStreamDeliversSameBytes)
+{
+    // The same geometry through the non-SVA (2D descriptors) and SVA
+    // (per-row translation slots) routes must land identical bytes.
+    const std::uint32_t rows = 9, rb = 700;
+    const std::uint64_t sp = 1100, dp = 800;
+    std::vector<std::uint8_t> got[2];
+    for (int leg = 0; leg < 2; ++leg) {
+        MemifConfig cfg = strided_cfg();
+        cfg.sva_dma = leg == 1;
+        Fixture f(cfg);
+        const vm::VAddr src = f.proc.mmap(8 * kPb, vm::PageSize::k4K);
+        const vm::VAddr dst =
+            f.proc.mmap(8 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+        f.fill(src, 8 * kPb, 55);
+        f.fill(dst, 8 * kPb, 120);
+
+        const auto want = oracle(f, src, dst, rb, rows, sp, dp);
+        const std::uint32_t idx = f.submit_strided(src, dst, rb, rows, sp, dp);
+        f.kernel.run();
+        EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+        got[leg] = f.snap(dst, want.size());
+        EXPECT_EQ(got[leg], want) << "leg " << leg;
+        if (leg == 0) {
+            EXPECT_GT(f.dev.stats().strided_descriptors, 0u);
+        } else {
+            // SVA streams keep per-row 1:1 slots; no 2D folding.
+            EXPECT_EQ(f.dev.stats().strided_descriptors, 0u);
+        }
+    }
+    EXPECT_EQ(got[0], got[1]);
+}
+
+TEST(StridedFaults, TcErrorExhaustsRetriesWithoutTearingRows)
+{
+    MemifConfig cfg = strided_cfg();
+    cfg.cpu_copy_fallback = false;  // let the DMA error reach the app
+    Fixture f(cfg);
+    const vm::VAddr src = f.proc.mmap(8 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(8 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(src, 8 * kPb, 11);
+    f.fill(dst, 8 * kPb, 222);
+
+    // First chain and all dma_max_retries retries fail.
+    f.faults().arm_nth(dma::kFaultTcError, 1, 1 + cfg.dma_max_retries);
+    const std::uint32_t idx = f.submit_strided(src, dst, 900, 10, 1300, 1000);
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kFailed);
+    EXPECT_EQ(f.user.request(idx).error, MovError::kDmaError);
+    // No torn rows: the whole destination window still reads its old
+    // pattern — a failed pitched move lands nothing, not half a row.
+    const auto after = f.snap(dst, 8 * kPb);
+    for (std::uint64_t i = 0; i < after.size(); ++i)
+        ASSERT_EQ(after[i], static_cast<std::uint8_t>(222 + i * 13))
+            << "byte " << i;
+}
+
+TEST(StridedFaults, CpuFallbackPreservesLayout)
+{
+    Fixture f;  // default strided cfg: cpu_copy_fallback on
+    const vm::VAddr src = f.proc.mmap(8 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(8 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(src, 8 * kPb, 14);
+    f.fill(dst, 8 * kPb, 77);
+
+    f.faults().arm_nth(dma::kFaultTcError, 1, 4);
+    const auto want = oracle(f, src, dst, 900, 10, 1300, 1000);
+    const std::uint32_t idx = f.submit_strided(src, dst, 900, 10, 1300, 1000);
+    f.kernel.run();
+
+    // The fallback replays the exact row geometry: the app sees the
+    // same bytes a healthy DMA would have delivered.
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_EQ(f.snap(dst, want.size()), want);
+    EXPECT_GT(f.dev.stats().fallback_copies, 0u);
+}
+
+TEST(StridedFaults, LostIrqRecovers)
+{
+    Fixture f;
+    const vm::VAddr src = f.proc.mmap(8 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(8 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(src, 8 * kPb, 19);
+    f.fill(dst, 8 * kPb, 60);
+
+    f.faults().arm_nth(dma::kFaultLostIrq, 1);
+    const auto want = oracle(f, src, dst, 512, 6, 2048, 640);
+    const std::uint32_t idx = f.submit_strided(src, dst, 512, 6, 2048, 640);
+    f.kernel.run();
+
+    EXPECT_EQ(f.user.request(idx).load_status(), MovStatus::kDone);
+    EXPECT_EQ(f.snap(dst, want.size()), want);
+}
+
+// --------------------------------------------------------------------
+// C-API wrappers (memif_mov_strided / memif_mov_gather).
+// --------------------------------------------------------------------
+
+/** Registers the fixture's device as /dev/memif0 for the C API. */
+struct DevFile {
+    explicit DevFile(MemifDevice &dev)
+    {
+        RegisterDeviceFile("/dev/memif0", dev);
+    }
+    ~DevFile() { ResetDeviceFiles(); }
+};
+
+TEST(StridedCApi, GatherRowsFromScatteredSources)
+{
+    Fixture f;
+    DevFile df(f.dev);
+    const vm::VAddr src = f.proc.mmap(16 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(8 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    const vm::VAddr list = f.proc.mmap(kPb, vm::PageSize::k4K);
+    f.fill(src, 16 * kPb, 41);
+    f.fill(dst, 8 * kPb, 9);
+
+    // Rows gathered in reverse page order, one per source page.
+    const std::uint32_t rows = 8, rb = 256;
+    const std::uint64_t dp = 320;
+    std::vector<std::uint64_t> addrs(rows);
+    for (std::uint32_t r = 0; r < rows; ++r)
+        addrs[r] = src + (rows - 1 - r) * 2 * kPb + 128;
+    ASSERT_TRUE(f.proc.as().write(list, addrs.data(), rows * 8));
+
+    std::vector<std::uint8_t> want = f.snap(dst, (rows - 1) * dp + rb);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        const auto row = f.snap(addrs[r], rb);
+        std::memcpy(want.data() + r * dp, row.data(), rb);
+    }
+
+    auto app = [&]() -> sim::Task {
+        const int fd = MemifOpen("/dev/memif0");
+        EXPECT_GE(fd, 0);
+        int rc = -1;
+        mov_req *req = nullptr;
+        co_await memif_mov_gather(fd, dst, src, list, rb, rows, dp, &rc,
+                                  &req);
+        EXPECT_EQ(rc, kOk);
+        EXPECT_NE(req, nullptr);
+        if (!req) co_return;
+        mov_req *done = nullptr;
+        while (!(done = RetrieveCompleted(fd))) co_await Poll(fd);
+        EXPECT_EQ(done, req);
+        EXPECT_TRUE(done->succeeded());
+        FreeRequest(fd, done);
+        EXPECT_EQ(MemifClose(fd), kOk);
+    };
+    auto task = app();
+    f.kernel.run();
+    ASSERT_TRUE(task.done());
+    task.rethrow_if_failed();
+
+    EXPECT_EQ(f.snap(dst, want.size()), want);
+    EXPECT_EQ(f.dev.stats().gather_requests, 1u);
+    EXPECT_EQ(f.dev.stats().strided_rows_moved, rows);
+}
+
+TEST(StridedCApi, GatherRowOutsideVmaFailsBadAddress)
+{
+    Fixture f;
+    DevFile df(f.dev);
+    const vm::VAddr src = f.proc.mmap(4 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(4 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    const vm::VAddr list = f.proc.mmap(kPb, vm::PageSize::k4K);
+    f.fill(src, 4 * kPb, 1);
+    f.fill(dst, 4 * kPb, 2);
+
+    // Second row address points past the end of the source vma.
+    std::vector<std::uint64_t> addrs{src, src + 4 * kPb - 16};
+    ASSERT_TRUE(f.proc.as().write(list, addrs.data(), addrs.size() * 8));
+    const auto before = f.snap(dst, 4 * kPb);
+
+    auto app = [&]() -> sim::Task {
+        const int fd = MemifOpen("/dev/memif0");
+        EXPECT_GE(fd, 0);
+        int rc = -1;
+        mov_req *req = nullptr;
+        co_await memif_mov_gather(fd, dst, src, list, 64, 2, 64, &rc,
+                                  &req);
+        EXPECT_EQ(rc, kOk);
+        mov_req *done = nullptr;
+        while (!(done = RetrieveCompleted(fd))) co_await Poll(fd);
+        EXPECT_EQ(done->load_status(), MovStatus::kFailed);
+        EXPECT_EQ(done->error, MovError::kBadAddress);
+        FreeRequest(fd, done);
+        EXPECT_EQ(MemifClose(fd), kOk);
+    };
+    auto task = app();
+    f.kernel.run();
+    ASSERT_TRUE(task.done());
+    task.rethrow_if_failed();
+
+    // The failed gather moved nothing.
+    EXPECT_EQ(f.snap(dst, 4 * kPb), before);
+}
+
+TEST(StridedCApi, MalformedGeometryFailsOnCompletionQueue)
+{
+    Fixture f;
+    DevFile df(f.dev);
+    const vm::VAddr src = f.proc.mmap(8 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(8 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(src, 8 * kPb, 5);
+    f.fill(dst, 8 * kPb, 6);
+
+    struct Case {
+        std::uint64_t d, s;
+        std::uint32_t rb, rows;
+        std::uint64_t sp, dp;
+        MovError want;
+    };
+    const Case cases[] = {
+        // Zero row_bytes.
+        {dst, src, 0, 4, 64, 64, MovError::kBadRequest},
+        // dst_pitch under row_bytes (rows would overlap).
+        {dst, src, 128, 4, 128, 64, MovError::kBadRequest},
+        // rows beyond the PaRAM.
+        {dst, src, 64, dma::DescriptorRam::kEntries + 1, 64, 64,
+         MovError::kBadRequest},
+        // Overlapping src/dst envelopes in one vma.
+        {src + 256, src, 512, 4, 512, 512, MovError::kBadRequest},
+        // Source extent runs off the vma.
+        {dst, src + 8 * kPb - 64, 128, 4, 4096, 128,
+         MovError::kBadAddress},
+    };
+    auto app = [&]() -> sim::Task {
+        const int fd = MemifOpen("/dev/memif0");
+        EXPECT_GE(fd, 0);
+        for (const Case &c : cases) {
+            int rc = -1;
+            mov_req *req = nullptr;
+            co_await memif_mov_strided(fd, c.d, c.s, c.rb, c.rows, c.sp,
+                                       c.dp, &rc, &req);
+            EXPECT_EQ(rc, kOk);
+            EXPECT_NE(req, nullptr);
+            if (!req) co_return;
+            mov_req *done = nullptr;
+            while (!(done = RetrieveCompleted(fd))) co_await Poll(fd);
+            EXPECT_EQ(done, req);
+            EXPECT_EQ(done->load_status(), MovStatus::kFailed);
+            EXPECT_EQ(done->error, c.want);
+            FreeRequest(fd, done);
+        }
+        EXPECT_EQ(MemifClose(fd), kOk);
+    };
+    auto task = app();
+    f.kernel.run();
+    ASSERT_TRUE(task.done());
+    task.rethrow_if_failed();
+}
+
+TEST(StridedCApi, LeverOffRejectsValidGeometry)
+{
+    Fixture f{MemifConfig{}};  // strided_dma off
+    DevFile df(f.dev);
+    const vm::VAddr src = f.proc.mmap(4 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(4 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(src, 4 * kPb, 3);
+    f.fill(dst, 4 * kPb, 4);
+
+    auto app = [&]() -> sim::Task {
+        const int fd = MemifOpen("/dev/memif0");
+        EXPECT_GE(fd, 0);
+        int rc = -1;
+        mov_req *req = nullptr;
+        co_await memif_mov_strided(fd, dst, src, 512, 4, 512, 512, &rc,
+                                   &req);
+        EXPECT_EQ(rc, kOk);
+        mov_req *done = nullptr;
+        while (!(done = RetrieveCompleted(fd))) co_await Poll(fd);
+        EXPECT_EQ(done->load_status(), MovStatus::kFailed);
+        EXPECT_EQ(done->error, MovError::kBadRequest);
+        FreeRequest(fd, done);
+        EXPECT_EQ(MemifClose(fd), kOk);
+    };
+    auto task = app();
+    f.kernel.run();
+    ASSERT_TRUE(task.done());
+    task.rethrow_if_failed();
+    EXPECT_EQ(f.dev.stats().strided_requests, 0u);
+}
+
+TEST(StridedCApi, AdmissionQuotaBouncesWithRetryHint)
+{
+    MemifConfig cfg = strided_cfg();
+    cfg.multi_tenant = true;
+    cfg.tenant_inflight_quota = 1;
+    Fixture f(cfg);
+    DevFile df(f.dev);
+    const vm::VAddr src = f.proc.mmap(128 * kPb, vm::PageSize::k4K);
+    const vm::VAddr dst =
+        f.proc.mmap(128 * kPb, vm::PageSize::k4K, f.kernel.fast_node());
+    f.fill(src, 128 * kPb, 8);
+    f.fill(dst, 128 * kPb, 9);
+
+    auto app = [&]() -> sim::Task {
+        const int fd = MemifOpen("/dev/memif0");
+        EXPECT_GE(fd, 0);
+        // A large strided move fills the quota of one...
+        int rc1 = -1;
+        mov_req *big = nullptr;
+        co_await memif_mov_strided(fd, dst, src, 1024, 256, 1024, 1024,
+                                   &rc1, &big);
+        EXPECT_EQ(rc1, kOk);
+        // ... so the second bounces at admission with a retry hint.
+        // The bounced request still travels the completion queue (the
+        // wrapper must NOT free it on kErrNoSpace).
+        int rc2 = -1;
+        mov_req *bounced = nullptr;
+        co_await memif_mov_strided(fd, dst + 100 * kPb, src + 100 * kPb,
+                                   512, 8, 512, 512, &rc2, &bounced);
+        EXPECT_EQ(rc2, kErrNoSpace);
+        EXPECT_NE(bounced, nullptr);
+        if (!bounced) co_return;
+        EXPECT_EQ(bounced->load_status(), MovStatus::kFailed);
+        EXPECT_EQ(bounced->error, MovError::kNoSpace);
+        EXPECT_GT(bounced->retry_after_us, 0u);
+        EXPECT_LE(bounced->retry_after_us, 10000u);
+
+        for (int drained = 0; drained < 2;) {
+            mov_req *done = RetrieveCompleted(fd);
+            if (!done) {
+                co_await Poll(fd);
+                continue;
+            }
+            FreeRequest(fd, done);
+            ++drained;
+        }
+        EXPECT_TRUE(big->load_status() == MovStatus::kFree ||
+                    big->succeeded());
+        EXPECT_EQ(MemifClose(fd), kOk);
+    };
+    auto task = app();
+    f.kernel.run();
+    ASSERT_TRUE(task.done());
+    task.rethrow_if_failed();
+
+    EXPECT_EQ(f.dev.stats().admission_rejections, 1u);
+    EXPECT_EQ(f.dev.stats().quota_hits_inflight, 1u);
+    EXPECT_EQ(f.dev.stats().strided_requests, 1u);
+}
+
+TEST(StridedCApi, BadFdRejectsWithoutAllocation)
+{
+    Fixture f;  // no device file registered at all
+    auto app = [&]() -> sim::Task {
+        int rc = 0;
+        mov_req *req = reinterpret_cast<mov_req *>(0x1);
+        co_await memif_mov_strided(12345, 0, 0, 64, 2, 64, 64, &rc, &req);
+        EXPECT_EQ(rc, kErrBadFd);
+        EXPECT_EQ(req, nullptr);
+    };
+    auto task = app();
+    f.kernel.run();
+    ASSERT_TRUE(task.done());
+    task.rethrow_if_failed();
+}
+
+}  // namespace
+}  // namespace memif::core

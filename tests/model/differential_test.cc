@@ -1,8 +1,9 @@
 /**
  * @file
  * The differential suite proper: seeded random workloads replayed
- * through all eight presets (levers-off, pipelined, moderated, scaled,
- * tenanted, mmu_aware, managed, tiered) must match the reference model
+ * through all nine presets (levers-off, pipelined, moderated, scaled,
+ * tenanted, mmu_aware, managed, tiered, strided) must match the
+ * reference model
  * byte-for-byte and leave the driver fully quiesced — under FIFO
  * scheduling, fuzzed schedules, injected faults, invalidation storms
  * racing TLB shootdowns against in-flight translation prefetches, and
@@ -178,12 +179,12 @@ TEST(Differential, MinimizerShrinksAnInjectedDivergence)
 // preset (src/check/differential.cc) and updating both expectations.
 TEST(Differential, EveryConfigLeverAppearsInAPreset)
 {
-    EXPECT_EQ(sizeof(core::MemifConfig), 272u)
+    EXPECT_EQ(sizeof(core::MemifConfig), 280u)
         << "MemifConfig changed shape: add the new lever to a preset "
            "in src/check/differential.cc, then update this size";
 
     const core::MemifConfig &top = presets().back().config;
-    EXPECT_STREQ(presets().back().name, "tiered");
+    EXPECT_STREQ(presets().back().name, "strided");
     // Default-on levers are exercised by every preset...
     EXPECT_TRUE(top.gang_lookup);
     EXPECT_TRUE(top.cpu_copy_fallback);
@@ -204,6 +205,7 @@ TEST(Differential, EveryConfigLeverAppearsInAPreset)
     EXPECT_TRUE(top.auto_migrate);
     EXPECT_TRUE(top.tiered_memory);
     EXPECT_TRUE(top.pipelined_eviction);
+    EXPECT_TRUE(top.strided_dma);
     // Scanner dormancy is default-on whenever the daemon runs, so the
     // managed preset exercises the settle/probe/wake machinery too.
     EXPECT_GT(top.heat_settle_epochs, 0u);
@@ -243,6 +245,82 @@ TEST(Differential, InvalidationStormsMatchTheModel)
                     << " memory diverges from preset " << digest_from;
             }
         }
+    }
+}
+
+// Strided workloads: 2D replications with randomized pitch/rows
+// geometries (plus strided malformations) mixed into the usual op
+// stream. Only the strided preset runs them — with the strided_dma
+// lever off a valid strided request fails validation, which the model
+// would mispredict — across FIFO and fuzzed schedules; the final
+// bytes must match the model's naive per-row oracle exactly, and
+// across the seed set the device must actually have taken the 2D
+// descriptor path.
+TEST(Differential, StridedWorkloadsMatchTheModel)
+{
+    const Preset &p = presets().back();
+    ASSERT_STREQ(p.name, "strided");
+    const std::uint64_t nseeds = seeds_from_env(16);
+    std::uint64_t strided_requests = 0, strided_descriptors = 0;
+    std::uint64_t row_splits = 0;
+    for (std::uint64_t seed = 1; seed <= nseeds; ++seed) {
+        const Workload w =
+            generate_workload(seed, /*invalidation_storm=*/false,
+                              /*heat_churn=*/false, /*strided=*/true);
+        // Leg 1: the full preset (SVA on — strided requests ride the
+        // translation stream as 1:1 flat slots, so rows never merge).
+        // Leg 2: the same config minus sva_dma, where whole rows merge
+        // into genuine 2D descriptors — both must match the oracle.
+        core::MemifConfig nosva = p.config;
+        nosva.sva_dma = false;
+        nosva.xlate_prefetch_ahead = false;
+        for (const core::MemifConfig &cfg : {p.config, nosva}) {
+            for (std::uint64_t sched : {0ull, 29ull}) {
+                RunOptions opt;
+                opt.config = cfg;
+                opt.schedule_seed = sched;
+                const RunResult r = run_workload(w, opt);
+                ASSERT_TRUE(r.ok)
+                    << "preset " << p.name << " (strided, sva_dma="
+                    << cfg.sva_dma << "): " << r.failure << "\n"
+                    << diagnose(w, opt);
+                strided_requests += r.stats.strided_requests;
+                strided_descriptors += r.stats.strided_descriptors;
+                row_splits += r.stats.strided_row_splits;
+            }
+        }
+    }
+    EXPECT_GT(strided_requests, 0u)
+        << "strided workloads never produced a strided request";
+    EXPECT_GT(strided_descriptors, 0u)
+        << "no request ever merged rows into a 2D descriptor";
+    EXPECT_GT(row_splits, 0u)
+        << "no row ever straddled a page boundary (geometry too tame)";
+}
+
+// Strided + injected faults: mid-transfer TC errors, lost IRQs and
+// stuck chains must retry (replaying the same pitched list) and, once
+// retries exhaust, fall back to the layout-preserving CPU copy — the
+// model's bytes must still match exactly (no torn rows, no missing
+// pitch gaps).
+TEST(Differential, StridedFaultedRunsMatchTheModel)
+{
+    const Preset &p = presets().back();
+    ASSERT_STREQ(p.name, "strided");
+    const std::uint64_t nseeds = seeds_from_env(16) / 2 + 1;
+    for (std::uint64_t seed = 1; seed <= nseeds; ++seed) {
+        const Workload w =
+            generate_workload(seed, /*invalidation_storm=*/false,
+                              /*heat_churn=*/false, /*strided=*/true);
+        RunOptions opt;
+        opt.config = p.config;
+        opt.arm_faults = true;
+        opt.schedule_seed = seed * 5 + 2;
+        const RunResult r = run_workload(w, opt);
+        ASSERT_TRUE(r.ok)
+            << "preset " << p.name << " (strided, faults armed): "
+            << r.failure << "\n"
+            << diagnose(w, opt);
     }
 }
 
